@@ -1,0 +1,118 @@
+package switchfs
+
+import (
+	"fmt"
+	"testing"
+
+	"switchfs/internal/figures"
+)
+
+// One benchmark per table/figure of the paper's evaluation. Each iteration
+// regenerates the figure at reduced scale on the deterministic simulator and
+// prints the resulting table (use -v or read the log). cmd/fsbench runs the
+// same harnesses at paper scale.
+//
+//	go test -bench=. -benchmem
+//	go run ./cmd/fsbench -fig all -scale paper
+
+// benchScale trades fidelity for benchmark runtime.
+func benchScale() figures.Scale {
+	return figures.Scale{
+		Dirs:         32,
+		FilesPerDir:  32,
+		Workers:      48,
+		OpsPerWorker: 25,
+		ServerCounts: []int{4, 8, 16},
+		CoreCounts:   []int{2, 4, 6},
+		BurstSizes:   []int{10, 100, 1000},
+	}
+}
+
+func benchFigure(b *testing.B, fn func(figures.Scale) figures.Table) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		tab := fn(benchScale())
+		if i == 0 {
+			b.Log("\n" + tab.String())
+		}
+	}
+}
+
+// BenchmarkFig2a — motivation: stat scaling, shared directory (Fig. 2a).
+func BenchmarkFig2a(b *testing.B) { benchFigure(b, figures.Fig2a) }
+
+// BenchmarkFig2b — motivation: stat/create latency breakdown (Fig. 2b).
+func BenchmarkFig2b(b *testing.B) { benchFigure(b, figures.Fig2b) }
+
+// BenchmarkFig2c — motivation: create vs servers under contention (Fig. 2c).
+func BenchmarkFig2c(b *testing.B) { benchFigure(b, figures.Fig2c) }
+
+// BenchmarkFig2d — motivation: create vs cores under contention (Fig. 2d).
+func BenchmarkFig2d(b *testing.B) { benchFigure(b, figures.Fig2d) }
+
+// BenchmarkFig12a — single large directory throughput matrix (Fig. 12a).
+func BenchmarkFig12a(b *testing.B) { benchFigure(b, figures.Fig12a) }
+
+// BenchmarkFig12b — multiple directories throughput matrix (Fig. 12b).
+func BenchmarkFig12b(b *testing.B) { benchFigure(b, figures.Fig12b) }
+
+// BenchmarkFig13 — single-client operation latency (Fig. 13).
+func BenchmarkFig13(b *testing.B) { benchFigure(b, figures.Fig13) }
+
+// BenchmarkFig14 — contribution breakdown Baseline/+Async/+Compaction
+// (Fig. 14).
+func BenchmarkFig14(b *testing.B) { benchFigure(b, figures.Fig14) }
+
+// BenchmarkOverflow — dirty-set overflow fallback (§7.3.2).
+func BenchmarkOverflow(b *testing.B) { benchFigure(b, figures.Overflow) }
+
+// BenchmarkFig15a — switch vs dedicated-server tracker latency (Fig. 15a).
+func BenchmarkFig15a(b *testing.B) { benchFigure(b, figures.Fig15a) }
+
+// BenchmarkFig15b — switch vs dedicated-server tracker throughput ceiling
+// (Fig. 15b).
+func BenchmarkFig15b(b *testing.B) { benchFigure(b, figures.Fig15b) }
+
+// BenchmarkFig16 — owner-server tracking latency distribution (Fig. 16).
+func BenchmarkFig16(b *testing.B) { benchFigure(b, figures.Fig16) }
+
+// BenchmarkFig17 — burst tolerance (Fig. 17).
+func BenchmarkFig17(b *testing.B) { benchFigure(b, figures.Fig17) }
+
+// BenchmarkFig18a — aggregation overhead vs preceding creates (Fig. 18a).
+func BenchmarkFig18a(b *testing.B) { benchFigure(b, figures.Fig18a) }
+
+// BenchmarkFig18b — aggregation overhead vs servers (Fig. 18b).
+func BenchmarkFig18b(b *testing.B) { benchFigure(b, figures.Fig18b) }
+
+// BenchmarkFig19 — end-to-end real-world workloads (Fig. 19 / Tab. 5).
+func BenchmarkFig19(b *testing.B) { benchFigure(b, figures.Fig19) }
+
+// BenchmarkRecovery — crash recovery time (§7.7).
+func BenchmarkRecovery(b *testing.B) { benchFigure(b, figures.Recovery) }
+
+// BenchmarkCreateOps measures simulator efficiency: wall time per simulated
+// create on an 8-server cluster (not a paper figure; a harness health
+// metric).
+func BenchmarkCreateOps(b *testing.B) {
+	e := NewSimEnv(1)
+	fs, err := New(e, Config{Servers: 8, Clients: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer e.Shutdown()
+	fs.RunClient(0, func(p *Proc, c *Client) {
+		if err := c.Mkdir(p, "/bench", 0); err != nil {
+			b.Fatal(err)
+		}
+	})
+	b.ResetTimer()
+	n := b.N
+	fs.RunClient(0, func(p *Proc, c *Client) {
+		for i := 0; i < n; i++ {
+			if err := c.Create(p, fmt.Sprintf("/bench/f%d", i), 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

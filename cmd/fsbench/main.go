@@ -1,0 +1,85 @@
+// Command fsbench regenerates the tables and figures of the SwitchFS paper's
+// evaluation on the deterministic simulator.
+//
+// Usage:
+//
+//	fsbench -fig all -scale quick
+//	fsbench -fig 12a,13,14 -scale paper
+//
+// Figure ids: 2a 2b 2c 2d 12a 12b 13 14 overflow 15a 15b 16 17 18a 18b 19
+// recovery. Scales: tiny, quick, paper (paper takes minutes per figure).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"switchfs/internal/figures"
+)
+
+var registry = []struct {
+	id string
+	fn func(figures.Scale) figures.Table
+}{
+	{"2a", figures.Fig2a},
+	{"2b", figures.Fig2b},
+	{"2c", figures.Fig2c},
+	{"2d", figures.Fig2d},
+	{"12a", figures.Fig12a},
+	{"12b", figures.Fig12b},
+	{"13", figures.Fig13},
+	{"14", figures.Fig14},
+	{"overflow", figures.Overflow},
+	{"15a", figures.Fig15a},
+	{"15b", figures.Fig15b},
+	{"16", figures.Fig16},
+	{"17", figures.Fig17},
+	{"18a", figures.Fig18a},
+	{"18b", figures.Fig18b},
+	{"19", figures.Fig19},
+	{"recovery", figures.Recovery},
+}
+
+func main() {
+	figFlag := flag.String("fig", "all", "comma-separated figure ids, or 'all'")
+	scaleFlag := flag.String("scale", "quick", "tiny | quick | paper")
+	flag.Parse()
+
+	var sc figures.Scale
+	switch *scaleFlag {
+	case "tiny":
+		sc = figures.Scale{Dirs: 16, FilesPerDir: 16, Workers: 32, OpsPerWorker: 20,
+			ServerCounts: []int{4, 8}, CoreCounts: []int{2, 4}, BurstSizes: []int{10, 200}}
+	case "quick":
+		sc = figures.Quick()
+	case "paper":
+		sc = figures.Paper()
+	default:
+		fmt.Fprintf(os.Stderr, "fsbench: unknown scale %q\n", *scaleFlag)
+		os.Exit(2)
+	}
+
+	want := map[string]bool{}
+	all := *figFlag == "all"
+	for _, id := range strings.Split(*figFlag, ",") {
+		want[strings.TrimSpace(id)] = true
+	}
+	ran := 0
+	for _, entry := range registry {
+		if !all && !want[entry.id] {
+			continue
+		}
+		start := time.Now()
+		tab := entry.fn(sc)
+		fmt.Println(tab.String())
+		fmt.Printf("(generated in %.1fs wall time)\n\n", time.Since(start).Seconds())
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "fsbench: no figure matched %q\n", *figFlag)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,97 @@
+// Command fsctl runs an interactive-style script of filesystem operations
+// against an in-process SwitchFS cluster on the real (goroutine) runtime —
+// a smoke-testing and exploration tool.
+//
+// Usage:
+//
+//	fsctl -servers 8 'mkdir /a' 'create /a/f' 'ls /a' 'statdir /a' 'rm /a/f'
+//
+// Commands: mkdir, rmdir, create, rm, stat, statdir, ls, mv, ln, chmod.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"switchfs"
+)
+
+func main() {
+	servers := flag.Int("servers", 4, "metadata server count")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "fsctl: no commands; try 'mkdir /a' 'create /a/f' 'ls /a'")
+		os.Exit(2)
+	}
+
+	e := switchfs.NewRealEnv()
+	fs, err := switchfs.New(e, switchfs.Config{Servers: *servers})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fsctl:", err)
+		os.Exit(1)
+	}
+
+	done := make(chan struct{})
+	fs.RunClient(0, func(p *switchfs.Proc, c *switchfs.Client) {
+		defer close(done)
+		for _, raw := range flag.Args() {
+			fields := strings.Fields(raw)
+			if len(fields) == 0 {
+				continue
+			}
+			cmd := fields[0]
+			arg := func(i int) string {
+				if i < len(fields)-1 {
+					return fields[i+1]
+				}
+				return ""
+			}
+			var err error
+			switch cmd {
+			case "mkdir":
+				err = c.Mkdir(p, arg(0), 0)
+			case "rmdir":
+				err = c.Rmdir(p, arg(0))
+			case "create":
+				err = c.Create(p, arg(0), 0)
+			case "rm":
+				err = c.Delete(p, arg(0))
+			case "stat":
+				var a switchfs.Attr
+				a, err = c.Stat(p, arg(0))
+				if err == nil {
+					fmt.Printf("%s: %v mode=%o size=%d nlink=%d\n",
+						arg(0), a.Type, a.Perm, a.Size, a.Nlink)
+				}
+			case "statdir":
+				var a switchfs.Attr
+				a, err = c.StatDir(p, arg(0))
+				if err == nil {
+					fmt.Printf("%s: dir mode=%o entries=%d\n", arg(0), a.Perm, a.Size)
+				}
+			case "ls":
+				var es []switchfs.DirEntry
+				es, err = c.ReadDir(p, arg(0))
+				for _, e := range es {
+					fmt.Printf("%v\t%s\n", e.Type, e.Name)
+				}
+			case "mv":
+				err = c.Rename(p, arg(0), arg(1))
+			case "ln":
+				err = c.Link(p, arg(0), arg(1))
+			case "chmod":
+				err = c.Chmod(p, arg(0), 0o600)
+			default:
+				err = fmt.Errorf("unknown command %q", cmd)
+			}
+			if err != nil {
+				fmt.Printf("%s: %v\n", raw, err)
+			} else if cmd != "stat" && cmd != "statdir" && cmd != "ls" {
+				fmt.Printf("%s: ok\n", raw)
+			}
+		}
+	})
+	<-done
+}

@@ -1,0 +1,65 @@
+// CNN-training: replays the paper's CV-training end-to-end workload (§7.6) —
+// the lifecycle of an ImageNet-class dataset of small files grouped into
+// directories: download (create+write), training epochs (open/stat/read),
+// and cleanup — against a SwitchFS cluster with data nodes, reporting
+// metadata and end-to-end throughput.
+package main
+
+import (
+	"fmt"
+
+	"switchfs/internal/cluster"
+	"switchfs/internal/env"
+	"switchfs/internal/workload"
+)
+
+func main() {
+	const (
+		classes     = 100 // directories ("synsets")
+		imagesEach  = 64
+		inflight    = 128
+		opsPerConn  = 60
+		imageSizeKB = 128
+	)
+
+	sim := env.NewSim(2026)
+	defer sim.Shutdown()
+	c := cluster.New(sim, cluster.Options{
+		Servers:         8,
+		Clients:         8,
+		DataNodes:       8,
+		Costs:           env.DefaultCosts(),
+		SwitchIndexBits: 14,
+	})
+
+	ns := workload.MultiDir(classes, imagesEach)
+	ns.Preload(c)
+	fmt.Printf("dataset: %d classes × %d images (%d KB each), 8 metadata + 8 data nodes\n\n",
+		classes, imagesEach, imageSizeKB)
+
+	for pi, phase := range []struct {
+		name string
+		mix  workload.Mix
+	}{
+		{"end-to-end (with data access)", workload.CNNTrainingMix(imageSizeKB << 10)},
+		{"metadata only", workload.CNNTrainingMix(0)},
+	} {
+		res := workload.Run(sim, c, workload.RunCfg{
+			Workers:      inflight,
+			OpsPerWorker: opsPerConn,
+			Clients:      8,
+			Seed:         int64(3 + 1000*pi), // distinct namespaces per phase
+			Gen:          phase.mix.Gen(ns, false),
+		})
+		fmt.Printf("%-32s %9.0f ops/s  (%d ops, %d errors)\n",
+			phase.name, res.ThroughputOps(), res.Ops, res.Errs)
+		for _, op := range []string{"open", "stat", "create"} {
+			for o, h := range res.Lat {
+				if o.String() == op {
+					fmt.Printf("    %-8s %s\n", op, h.Summary())
+				}
+			}
+		}
+		fmt.Println()
+	}
+}

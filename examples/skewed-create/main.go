@@ -1,0 +1,62 @@
+// Skewed-create: the paper's headline scenario (§7.2) — many clients
+// creating files in ONE shared directory. The run compares SwitchFS against
+// the two emulated baselines on identical simulated hardware and prints the
+// sustained throughput of each, demonstrating how asynchronous updates plus
+// change-log compaction dissolve the directory hotspot.
+package main
+
+import (
+	"fmt"
+
+	"switchfs/internal/baseline"
+	"switchfs/internal/cluster"
+	"switchfs/internal/core"
+	"switchfs/internal/env"
+	"switchfs/internal/fsapi"
+	"switchfs/internal/workload"
+)
+
+func main() {
+	const (
+		servers  = 8
+		inflight = 128
+		perOp    = 60
+	)
+	ns := workload.SingleDir(0)
+
+	run := func(name string, sys fsapi.System, sim *env.Sim) {
+		ns.Preload(sys)
+		res := workload.Run(sim, sys, workload.RunCfg{
+			Workers:      inflight,
+			OpsPerWorker: perOp,
+			Clients:      8,
+			Seed:         7,
+			Gen:          ns.FreshFiles(core.OpCreate),
+		})
+		fmt.Printf("%-18s %9.0f creates/s   mean %6.1fµs   p99 %7.1fµs\n",
+			name, res.ThroughputOps(), res.All.Mean()/1e3, res.All.Percentile(0.99)/1e3)
+	}
+
+	fmt.Printf("%d concurrent clients creating files in one shared directory\n", inflight)
+	fmt.Printf("%d metadata servers × 4 cores\n\n", servers)
+
+	sim := env.NewSim(1)
+	run("SwitchFS", cluster.New(sim, cluster.Options{
+		Servers: servers, Clients: 8, Costs: env.DefaultCosts(), SwitchIndexBits: 14,
+	}), sim)
+	sim.Shutdown()
+
+	for _, mode := range []baseline.Mode{baseline.InfiniFS, baseline.CFS} {
+		sim := env.NewSim(1)
+		run(mode.String(), baseline.New(sim, baseline.Options{
+			Mode: mode, Servers: servers, Clients: 8, Costs: env.DefaultCosts(),
+		}), sim)
+		sim.Shutdown()
+	}
+
+	fmt.Println("\nSwitchFS absorbs the hotspot: updates to the shared directory are")
+	fmt.Println("logged locally on every server (commuting appends under a shared lock)")
+	fmt.Println("and compacted before application, so neither the network round trips")
+	fmt.Println("nor the per-directory serialization of the baselines appear on the")
+	fmt.Println("critical path.")
+}

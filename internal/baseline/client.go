@@ -1,0 +1,297 @@
+package baseline
+
+import (
+	"sync"
+
+	"switchfs/internal/core"
+	"switchfs/internal/env"
+	"switchfs/internal/fsapi"
+)
+
+// bclient is one baseline LibFS instance: path resolution over a
+// path→directory-id cache, synchronous request/response with retransmission.
+type bclient struct {
+	c  *Cluster
+	id env.NodeID
+
+	mu    sync.Mutex
+	cache map[string]core.DirID
+	calls map[uint64]*env.Future
+	rpcs  uint64
+}
+
+var _ fsapi.FS = (*bclient)(nil)
+
+func (cl *bclient) handle(p *env.Proc, from env.NodeID, msg any) {
+	r, ok := msg.(*bresp)
+	if !ok {
+		return
+	}
+	cl.mu.Lock()
+	fut := cl.calls[r.RPC]
+	cl.mu.Unlock()
+	if fut != nil {
+		fut.Complete(r)
+	}
+}
+
+func (cl *bclient) call(p *env.Proc, to env.NodeID, build func(rpc uint64) any) (*bresp, error) {
+	cl.mu.Lock()
+	cl.rpcs++
+	rpc := uint64(cl.id)<<40 | cl.rpcs
+	fut := env.NewFuture()
+	cl.calls[rpc] = fut
+	cl.mu.Unlock()
+	defer func() {
+		cl.mu.Lock()
+		delete(cl.calls, rpc)
+		cl.mu.Unlock()
+	}()
+	msg := build(rpc)
+	for try := 0; try < 64; try++ {
+		p.Send(to, msg)
+		if v, ok := fut.WaitTimeout(p, cl.c.Opts.RetryTimeout); ok {
+			return v.(*bresp), nil
+		}
+	}
+	return nil, core.ErrTimeout
+}
+
+// resolve walks a path's directories, returning the parent's id, the leaf
+// name, and the parent's path (for subtree routing).
+func (cl *bclient) resolve(p *env.Proc, path string) (core.DirID, string, string, error) {
+	comps, err := core.SplitPath(path)
+	if err != nil {
+		return core.DirID{}, "", "", err
+	}
+	if len(comps) == 0 {
+		return core.DirID{}, "", "", core.ErrInvalid
+	}
+	p.Compute(cl.c.Opts.Costs.ClientOp)
+	cur := core.RootDirID
+	walked := ""
+	for _, comp := range comps[:len(comps)-1] {
+		walked += "/" + comp
+		p.Compute(cl.c.Opts.Costs.CacheLookup)
+		cl.mu.Lock()
+		id, hit := cl.cache[walked]
+		cl.mu.Unlock()
+		if hit {
+			cur = id
+			continue
+		}
+		owner := cl.c.ownerForDirID(cur, parentPath(walked))
+		resp, err := cl.call(p, owner.id, func(rpc uint64) any {
+			return &breq{RPC: rpc, From: cl.id, Op: core.OpLookup, Dir: cur,
+				DirPath: parentPath(walked), Name: comp}
+		})
+		if err != nil {
+			return core.DirID{}, "", "", err
+		}
+		if resp.Err != core.ErrnoOK {
+			return core.DirID{}, "", "", resp.Err.Err()
+		}
+		cl.mu.Lock()
+		cl.cache[walked] = resp.Dir
+		cl.mu.Unlock()
+		cur = resp.Dir
+	}
+	dirPath := "/" + joinPath(comps[:len(comps)-1])
+	return cur, comps[len(comps)-1], dirPath, nil
+}
+
+func joinPath(comps []string) string {
+	out := ""
+	for i, c := range comps {
+		if i > 0 {
+			out += "/"
+		}
+		out += c
+	}
+	return out
+}
+
+// do routes one operation and returns its error.
+func (cl *bclient) do(p *env.Proc, op core.Op, path string) (*bresp, error) {
+	dir, name, dirPath, err := cl.resolve(p, path)
+	if err != nil {
+		return nil, err
+	}
+	var owner *bserver
+	switch op {
+	case core.OpStatDir, core.OpReadDir:
+		// Directory reads address the directory itself.
+		cl.mu.Lock()
+		id, ok := cl.cache[path]
+		cl.mu.Unlock()
+		if !ok {
+			o := cl.c.ownerForDirID(dir, dirPath)
+			resp, err := cl.call(p, o.id, func(rpc uint64) any {
+				return &breq{RPC: rpc, From: cl.id, Op: core.OpLookup, Dir: dir,
+					DirPath: dirPath, Name: name}
+			})
+			if err != nil {
+				return nil, err
+			}
+			if resp.Err != core.ErrnoOK {
+				return nil, resp.Err.Err()
+			}
+			id = resp.Dir
+			cl.mu.Lock()
+			cl.cache[path] = id
+			cl.mu.Unlock()
+		}
+		owner = cl.c.ownerForDirID(id, path)
+		resp, err := cl.call(p, owner.id, func(rpc uint64) any {
+			return &breq{RPC: rpc, From: cl.id, Op: op, Dir: id, DirPath: path}
+		})
+		if err != nil {
+			return nil, err
+		}
+		return resp, resp.Err.Err()
+	case core.OpMkdir:
+		newID := cl.c.nextID()
+		owner = cl.c.ownerForDirID(dir, dirPath)
+		resp, err := cl.call(p, owner.id, func(rpc uint64) any {
+			return &breq{RPC: rpc, From: cl.id, Op: op, Dir: dir, DirPath: dirPath,
+				Name: name, NewDir: newID}
+		})
+		if err != nil {
+			return nil, err
+		}
+		if resp.Err == core.ErrnoOK {
+			cl.mu.Lock()
+			cl.cache[path] = resp.Dir
+			cl.mu.Unlock()
+		}
+		return resp, resp.Err.Err()
+	case core.OpRmdir:
+		owner = cl.c.ownerForDirID(dir, dirPath)
+	case core.OpCreate, core.OpDelete:
+		owner = cl.c.fileServerForPath(dir, name, dirPath)
+	default: // stat/open/close/chmod
+		owner = cl.c.fileServerForPath(dir, name, dirPath)
+	}
+	resp, err := cl.call(p, owner.id, func(rpc uint64) any {
+		return &breq{RPC: rpc, From: cl.id, Op: op, Dir: dir, DirPath: dirPath, Name: name}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return resp, resp.Err.Err()
+}
+
+// --- fsapi.FS -----------------------------------------------------------------
+
+func (cl *bclient) Create(p *env.Proc, path string) error {
+	_, err := cl.do(p, core.OpCreate, path)
+	return err
+}
+
+func (cl *bclient) Delete(p *env.Proc, path string) error {
+	_, err := cl.do(p, core.OpDelete, path)
+	return err
+}
+
+func (cl *bclient) Mkdir(p *env.Proc, path string) error {
+	_, err := cl.do(p, core.OpMkdir, path)
+	return err
+}
+
+func (cl *bclient) Rmdir(p *env.Proc, path string) error {
+	_, err := cl.do(p, core.OpRmdir, path)
+	if err == nil {
+		cl.mu.Lock()
+		delete(cl.cache, path)
+		cl.mu.Unlock()
+	}
+	return err
+}
+
+func (cl *bclient) Stat(p *env.Proc, path string) error {
+	_, err := cl.do(p, core.OpStat, path)
+	return err
+}
+
+func (cl *bclient) Open(p *env.Proc, path string) error {
+	_, err := cl.do(p, core.OpOpen, path)
+	return err
+}
+
+func (cl *bclient) Close(p *env.Proc, path string) error {
+	_, err := cl.do(p, core.OpClose, path)
+	return err
+}
+
+func (cl *bclient) Chmod(p *env.Proc, path string, perm core.Perm) error {
+	_, err := cl.do(p, core.OpChmod, path)
+	return err
+}
+
+func (cl *bclient) StatDir(p *env.Proc, path string) error {
+	_, err := cl.do(p, core.OpStatDir, path)
+	return err
+}
+
+func (cl *bclient) ReadDir(p *env.Proc, path string) error {
+	_, err := cl.do(p, core.OpReadDir, path)
+	return err
+}
+
+func (cl *bclient) Rename(p *env.Proc, src, dst string) error {
+	sdir, sname, sdirPath, err := cl.resolve(p, src)
+	if err != nil {
+		return err
+	}
+	ddir, dname, ddirPath, err := cl.resolve(p, dst)
+	if err != nil {
+		return err
+	}
+	owner := cl.c.fileServerForPath(sdir, sname, sdirPath)
+	resp, err := cl.call(p, owner.id, func(rpc uint64) any {
+		return &breq{RPC: rpc, From: cl.id, Op: core.OpRename,
+			Dir: sdir, DirPath: sdirPath, Name: sname,
+			Dir2: ddir, Dir2Path: ddirPath, Name2: dname}
+	})
+	if err != nil {
+		return err
+	}
+	return resp.Err.Err()
+}
+
+func (cl *bclient) Data(p *env.Proc, shard int, write bool, bytes int64) error {
+	if cl.c.Opts.DataNodes == 0 {
+		return nil
+	}
+	node := dataBase + env.NodeID(shard%cl.c.Opts.DataNodes)
+	cl.mu.Lock()
+	cl.rpcs++
+	rpc := uint64(cl.id)<<40 | cl.rpcs
+	fut := env.NewFuture()
+	cl.calls[rpc] = fut
+	cl.mu.Unlock()
+	defer func() {
+		cl.mu.Lock()
+		delete(cl.calls, rpc)
+		cl.mu.Unlock()
+	}()
+	for try := 0; try < 8; try++ {
+		p.Send(node, &bdata{RPC: rpc, From: cl.id, Bytes: bytes})
+		if _, ok := fut.WaitTimeout(p, 40*env.Millisecond); ok {
+			return nil
+		}
+	}
+	return core.ErrTimeout
+}
+
+// ClientFS implements fsapi.System.
+func (c *Cluster) ClientFS(i int) fsapi.FS { return c.clients[i%len(c.clients)] }
+
+// SpawnClient runs fn as a process on client i's node (workload workers).
+func (c *Cluster) SpawnClient(i int, fn func(p *env.Proc)) {
+	c.EnvH.Spawn(c.clients[i%len(c.clients)].id, fn)
+}
+
+// Drain implements fsapi.System: baseline updates are synchronous, so there
+// is no deferred work to apply.
+func (c *Cluster) Drain(p *env.Proc) {}

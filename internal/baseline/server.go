@@ -1,0 +1,505 @@
+package baseline
+
+import (
+	"sync"
+
+	"switchfs/internal/core"
+	"switchfs/internal/env"
+	"switchfs/internal/kv"
+)
+
+// Baseline message types (the baselines share the env network but speak
+// their own compact protocol).
+
+// breq is a client request.
+type breq struct {
+	RPC      uint64
+	From     env.NodeID
+	Op       core.Op
+	Dir      core.DirID // parent (double-inode ops, file ops) or target dir
+	DirPath  string     // Ceph subtree routing
+	Name     string
+	NewDir   core.DirID // mkdir: preallocated directory id
+	Dir2     core.DirID // rename destination parent
+	Dir2Path string
+	Name2    string
+	Perm     core.Perm
+}
+
+// bresp answers a client request.
+type bresp struct {
+	RPC  uint64
+	Err  core.Errno
+	Dir  core.DirID
+	Size int64
+}
+
+// bsub is a server-to-server sub-operation of a synchronous multi-server
+// update (the cross-server coordination SwitchFS hides, §3.2 Challenge #1).
+type bsub struct {
+	RPC  uint64
+	From env.NodeID
+	Kind subKind
+	Dir  core.DirID
+	Name string
+	Put  bool // parent update: insert (true) or remove (false)
+	Type core.FileType
+}
+
+type subKind uint8
+
+const (
+	// subParentApply applies a dentry insert/remove + attribute update on
+	// the directory's owner under its exclusive lock.
+	subParentApply subKind = iota + 1
+	// subCreateDir installs a new directory inode.
+	subCreateDir
+	// subDeleteDirIfEmpty validates emptiness and removes a directory inode.
+	subDeleteDirIfEmpty
+	// subPutFile / subDelFile / subGetFile manipulate a remote file inode
+	// (CFS rename legs).
+	subPutFile
+	subDelFile
+	subGetFile
+)
+
+// bsubResp answers a sub-operation.
+type bsubResp struct {
+	RPC uint64
+	Err core.Errno
+	Raw []byte
+}
+
+// bdata is a data-node access.
+type bdata struct {
+	RPC   uint64
+	From  env.NodeID
+	Bytes int64
+}
+
+// bserver is one baseline metadata server.
+type bserver struct {
+	c  *Cluster
+	id env.NodeID
+	kv *kv.Store
+
+	mu    sync.Mutex
+	locks map[core.DirID]*env.RWMutex
+	calls map[uint64]*env.Future
+	rpcs  uint64
+}
+
+func (s *bserver) lockOf(id core.DirID) *env.RWMutex {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	l := s.locks[id]
+	if l == nil {
+		l = &env.RWMutex{}
+		s.locks[id] = l
+	}
+	return l
+}
+
+// call performs a retried server-to-server RPC.
+func (s *bserver) call(p *env.Proc, to env.NodeID, build func(rpc uint64) any) *bsubResp {
+	s.mu.Lock()
+	s.rpcs++
+	rpc := uint64(s.id)<<40 | s.rpcs
+	fut := env.NewFuture()
+	s.calls[rpc] = fut
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.calls, rpc)
+		s.mu.Unlock()
+	}()
+	msg := build(rpc)
+	for try := 0; try < 64; try++ {
+		p.Send(to, msg)
+		if v, ok := fut.WaitTimeout(p, s.c.Opts.RetryTimeout); ok {
+			return v.(*bsubResp)
+		}
+	}
+	return &bsubResp{RPC: rpc, Err: core.ErrnoUnavailable}
+}
+
+// handle dispatches baseline messages.
+func (s *bserver) handle(p *env.Proc, from env.NodeID, msg any) {
+	switch m := msg.(type) {
+	case *breq:
+		s.handleReq(p, m)
+	case *bsub:
+		s.handleSub(p, m)
+	case *bsubResp:
+		s.mu.Lock()
+		fut := s.calls[m.RPC]
+		s.mu.Unlock()
+		if fut != nil {
+			fut.Complete(m)
+		}
+	}
+}
+
+// stack charges the per-request software cost; the modeled CephFS pays its
+// heavy stack here (§7.2.1 observation 4).
+func (s *bserver) stack(p *env.Proc) {
+	c := &s.c.Opts.Costs
+	p.Compute(c.Parse)
+	if s.c.Opts.Mode == Ceph {
+		p.Compute(c.HeavyStack)
+	}
+}
+
+func (s *bserver) handleReq(p *env.Proc, m *breq) {
+	s.stack(p)
+	c := &s.c.Opts.Costs
+	resp := &bresp{RPC: m.RPC}
+	fail := func(err core.Errno) {
+		resp.Err = err
+		p.Send(m.From, resp)
+	}
+	switch m.Op {
+	case core.OpLookup:
+		l := s.lockOf(m.Dir)
+		l.RLock(p)
+		p.Compute(c.KVGet)
+		raw, ok := s.kv.Get(fileKey(m.Dir, m.Name))
+		l.RUnlock()
+		if !ok || len(raw) < 1 || raw[0] != 2 {
+			fail(core.ErrnoNotExist)
+			return
+		}
+		resp.Dir = core.DirIDFromBytes(raw[2:]) // skip marker + 'D'
+		p.Send(m.From, resp)
+
+	case core.OpStat, core.OpOpen, core.OpClose:
+		l := s.lockOf(m.Dir)
+		l.RLock(p)
+		p.Compute(c.KVGet)
+		_, ok := s.kv.Get(fileKey(m.Dir, m.Name))
+		l.RUnlock()
+		if !ok {
+			fail(core.ErrnoNotExist)
+			return
+		}
+		p.Send(m.From, resp)
+
+	case core.OpChmod:
+		l := s.lockOf(m.Dir)
+		l.Lock(p)
+		p.Compute(c.KVGet + c.WALAppend + c.KVPut)
+		raw, ok := s.kv.Get(fileKey(m.Dir, m.Name))
+		if ok {
+			s.kv.Put(fileKey(m.Dir, m.Name), raw)
+		}
+		l.Unlock()
+		if !ok {
+			fail(core.ErrnoNotExist)
+			return
+		}
+		p.Send(m.From, resp)
+
+	case core.OpStatDir, core.OpReadDir:
+		l := s.lockOf(m.Dir)
+		l.RLock(p)
+		p.Compute(c.KVGet)
+		raw, ok := s.kv.Get(dirKey(m.Dir))
+		var n int
+		if ok && m.Op == core.OpReadDir {
+			s.kv.Scan(entKey(m.Dir, ""), func(k, v []byte) bool { n++; return true })
+			p.Compute(env.Duration(n) * c.KVScanEntry)
+		}
+		l.RUnlock()
+		if !ok {
+			fail(core.ErrnoNotExist)
+			return
+		}
+		resp.Size = decodeDir(raw).Size
+		p.Send(m.From, resp)
+
+	case core.OpCreate, core.OpDelete:
+		s.createDelete(p, m, resp)
+
+	case core.OpMkdir:
+		s.mkdir(p, m, resp)
+
+	case core.OpRmdir:
+		s.rmdir(p, m, resp)
+
+	case core.OpRename:
+		s.rename(p, m, resp)
+
+	default:
+		fail(core.ErrnoInvalid)
+	}
+}
+
+// createDelete executes the synchronous double-inode file operations. Under
+// grouping the file inode, the dentry, and the parent attributes are all
+// local (one server, one directory lock). Under separation the file inode is
+// local but the parent update is a cross-server transaction — the extra
+// round trip and serialization SwitchFS removes (§3.2).
+func (s *bserver) createDelete(p *env.Proc, m *breq, resp *bresp) {
+	c := &s.c.Opts.Costs
+	put := m.Op == core.OpCreate
+	parentSrv := s.c.ownerForDirID(m.Dir, m.DirPath)
+
+	p.Compute(c.KVGet)
+	_, exists := s.kv.Get(fileKey(m.Dir, m.Name))
+	if put && exists {
+		resp.Err = core.ErrnoExist
+		p.Send(m.From, resp)
+		return
+	}
+	if !put && !exists {
+		resp.Err = core.ErrnoNotExist
+		p.Send(m.From, resp)
+		return
+	}
+
+	if parentSrv == s {
+		// Local transaction under the parent's exclusive lock.
+		l := s.lockOf(m.Dir)
+		l.Lock(p)
+		p.Compute(c.WALAppend + c.TxnOverhead)
+		s.applyParent(p, m.Dir, m.Name, put, core.TypeRegular)
+		if put {
+			p.Compute(c.KVPut)
+			s.kv.Put(fileKey(m.Dir, m.Name), []byte{1})
+		} else {
+			p.Compute(c.KVDel)
+			s.kv.Delete(fileKey(m.Dir, m.Name))
+		}
+		l.Unlock()
+		p.Send(m.From, resp)
+		return
+	}
+
+	// Cross-server: prepare locally, update the parent remotely, commit.
+	p.Compute(c.WALAppend + c.TxnOverhead)
+	sub := s.call(p, parentSrv.id, func(rpc uint64) any {
+		return &bsub{RPC: rpc, From: s.id, Kind: subParentApply,
+			Dir: m.Dir, Name: m.Name, Put: put, Type: core.TypeRegular}
+	})
+	if sub.Err != core.ErrnoOK {
+		resp.Err = sub.Err
+		p.Send(m.From, resp)
+		return
+	}
+	p.Compute(c.TxnOverhead)
+	if put {
+		p.Compute(c.KVPut)
+		s.kv.Put(fileKey(m.Dir, m.Name), []byte{1})
+	} else {
+		p.Compute(c.KVDel)
+		s.kv.Delete(fileKey(m.Dir, m.Name))
+	}
+	p.Send(m.From, resp)
+}
+
+// mkdir updates the parent (locally — the request is routed to the parent's
+// owner) and installs the new directory inode on its own server, which is a
+// cross-server step in every baseline (Tab. 1).
+func (s *bserver) mkdir(p *env.Proc, m *breq, resp *bresp) {
+	c := &s.c.Opts.Costs
+	p.Compute(c.KVGet)
+	if _, exists := s.kv.Get(fileKey(m.Dir, m.Name)); exists {
+		resp.Err = core.ErrnoExist
+		p.Send(m.From, resp)
+		return
+	}
+	dirSrv := s.c.ownerForDirID(m.NewDir, m.DirPath+"/"+m.Name)
+	l := s.lockOf(m.Dir)
+	l.Lock(p)
+	p.Compute(c.WALAppend + c.TxnOverhead)
+	s.applyParent(p, m.Dir, m.Name, true, core.TypeDir)
+	p.Compute(c.KVPut)
+	s.kv.Put(fileKey(m.Dir, m.Name), append([]byte{2}, dirKey(m.NewDir)...))
+	if dirSrv == s {
+		p.Compute(c.KVPut)
+		s.kv.Put(dirKey(m.NewDir), encodeDir(&dirRecord{Perm: core.DefaultDirPerm}))
+	} else {
+		sub := s.call(p, dirSrv.id, func(rpc uint64) any {
+			return &bsub{RPC: rpc, From: s.id, Kind: subCreateDir, Dir: m.NewDir}
+		})
+		if sub.Err != core.ErrnoOK {
+			l.Unlock()
+			resp.Err = sub.Err
+			p.Send(m.From, resp)
+			return
+		}
+	}
+	l.Unlock()
+	resp.Dir = m.NewDir
+	p.Send(m.From, resp)
+}
+
+// rmdir validates emptiness at the directory's server and removes it, then
+// updates the parent.
+func (s *bserver) rmdir(p *env.Proc, m *breq, resp *bresp) {
+	c := &s.c.Opts.Costs
+	if s.c.Opts.Mode == IndexFS {
+		// The paper notes IndexFS's rmdir is incomplete; results omit it.
+		resp.Err = core.ErrnoInvalid
+		p.Send(m.From, resp)
+		return
+	}
+	p.Compute(c.KVGet)
+	raw, ok := s.kv.Get(fileKey(m.Dir, m.Name))
+	if !ok || len(raw) < 1 || raw[0] != 2 {
+		resp.Err = core.ErrnoNotExist
+		p.Send(m.From, resp)
+		return
+	}
+	target := core.DirIDFromBytes(raw[2:])
+	dirSrv := s.c.ownerForDirID(target, m.DirPath+"/"+m.Name)
+	l := s.lockOf(m.Dir)
+	l.Lock(p)
+	if dirSrv == s {
+		if s.deleteDirIfEmpty(p, target) != core.ErrnoOK {
+			l.Unlock()
+			resp.Err = core.ErrnoNotEmpty
+			p.Send(m.From, resp)
+			return
+		}
+	} else {
+		sub := s.call(p, dirSrv.id, func(rpc uint64) any {
+			return &bsub{RPC: rpc, From: s.id, Kind: subDeleteDirIfEmpty, Dir: target}
+		})
+		if sub.Err != core.ErrnoOK {
+			l.Unlock()
+			resp.Err = sub.Err
+			p.Send(m.From, resp)
+			return
+		}
+	}
+	p.Compute(c.WALAppend + c.TxnOverhead + c.KVDel)
+	s.kv.Delete(fileKey(m.Dir, m.Name))
+	s.applyParent(p, m.Dir, m.Name, false, core.TypeDir)
+	l.Unlock()
+	p.Send(m.From, resp)
+}
+
+// rename moves a file between directories: synchronous multi-inode update.
+func (s *bserver) rename(p *env.Proc, m *breq, resp *bresp) {
+	c := &s.c.Opts.Costs
+	p.Compute(c.KVGet)
+	if _, ok := s.kv.Get(fileKey(m.Dir, m.Name)); !ok {
+		resp.Err = core.ErrnoNotExist
+		p.Send(m.From, resp)
+		return
+	}
+	// Remove source (local: the request is routed to the source's server).
+	srcParent := s.c.ownerForDirID(m.Dir, m.DirPath)
+	l := s.lockOf(m.Dir)
+	l.Lock(p)
+	p.Compute(c.WALAppend + 2*c.TxnOverhead + c.KVDel)
+	s.kv.Delete(fileKey(m.Dir, m.Name))
+	if srcParent == s {
+		s.applyParent(p, m.Dir, m.Name, false, core.TypeRegular)
+	} else {
+		s.call(p, srcParent.id, func(rpc uint64) any {
+			return &bsub{RPC: rpc, From: s.id, Kind: subParentApply,
+				Dir: m.Dir, Name: m.Name, Put: false, Type: core.TypeRegular}
+		})
+	}
+	l.Unlock()
+	// Install destination.
+	dstFile := s.c.fileServerForPath(m.Dir2, m.Name2, m.Dir2Path)
+	if dstFile == s {
+		p.Compute(c.KVPut)
+		s.kv.Put(fileKey(m.Dir2, m.Name2), []byte{1})
+	} else {
+		s.call(p, dstFile.id, func(rpc uint64) any {
+			return &bsub{RPC: rpc, From: s.id, Kind: subPutFile, Dir: m.Dir2, Name: m.Name2}
+		})
+	}
+	dstParent := s.c.ownerForDirID(m.Dir2, m.Dir2Path)
+	if dstParent == s {
+		l2 := s.lockOf(m.Dir2)
+		l2.Lock(p)
+		s.applyParent(p, m.Dir2, m.Name2, true, core.TypeRegular)
+		l2.Unlock()
+	} else {
+		s.call(p, dstParent.id, func(rpc uint64) any {
+			return &bsub{RPC: rpc, From: s.id, Kind: subParentApply,
+				Dir: m.Dir2, Name: m.Name2, Put: true, Type: core.TypeRegular}
+		})
+	}
+	p.Send(m.From, resp)
+}
+
+// applyParent performs the dentry + attribute update of a directory on this
+// server. Callers hold the directory's exclusive lock.
+func (s *bserver) applyParent(p *env.Proc, dir core.DirID, name string, put bool, t core.FileType) {
+	c := &s.c.Opts.Costs
+	// The serialized hot-directory transaction: lock-manager bookkeeping,
+	// transaction log, and index maintenance on top of the attribute
+	// read-modify-write (calibrated to Fig. 2b).
+	p.Compute(c.DirTxn + c.KVGet + c.KVPut)
+	raw, _ := s.kv.Get(dirKey(dir))
+	r := decodeDir(raw)
+	if put {
+		r.Size++
+	} else if r.Size > 0 {
+		r.Size--
+	}
+	r.Mtime = p.Now()
+	s.kv.Put(dirKey(dir), encodeDir(r))
+	p.Compute(c.KVPut)
+	if put {
+		s.kv.Put(entKey(dir, name), []byte{byte(t)})
+	} else {
+		s.kv.Delete(entKey(dir, name))
+	}
+}
+
+func (s *bserver) deleteDirIfEmpty(p *env.Proc, dir core.DirID) core.Errno {
+	c := &s.c.Opts.Costs
+	p.Compute(c.KVGet)
+	raw, ok := s.kv.Get(dirKey(dir))
+	if !ok {
+		return core.ErrnoNotExist
+	}
+	if decodeDir(raw).Size != 0 {
+		return core.ErrnoNotEmpty
+	}
+	p.Compute(c.WALAppend + c.KVDel)
+	s.kv.Delete(dirKey(dir))
+	return core.ErrnoOK
+}
+
+// handleSub serves server-to-server sub-operations.
+func (s *bserver) handleSub(p *env.Proc, m *bsub) {
+	s.stack(p)
+	c := &s.c.Opts.Costs
+	resp := &bsubResp{RPC: m.RPC}
+	switch m.Kind {
+	case subParentApply:
+		l := s.lockOf(m.Dir)
+		l.Lock(p)
+		p.Compute(c.TxnOverhead + c.WALAppend)
+		s.applyParent(p, m.Dir, m.Name, m.Put, m.Type)
+		l.Unlock()
+	case subCreateDir:
+		p.Compute(c.WALAppend + c.KVPut)
+		s.kv.Put(dirKey(m.Dir), encodeDir(&dirRecord{Perm: core.DefaultDirPerm}))
+	case subDeleteDirIfEmpty:
+		resp.Err = s.deleteDirIfEmpty(p, m.Dir)
+	case subPutFile:
+		p.Compute(c.WALAppend + c.KVPut)
+		s.kv.Put(fileKey(m.Dir, m.Name), []byte{1})
+	case subDelFile:
+		p.Compute(c.WALAppend + c.KVDel)
+		s.kv.Delete(fileKey(m.Dir, m.Name))
+	case subGetFile:
+		p.Compute(c.KVGet)
+		raw, ok := s.kv.Get(fileKey(m.Dir, m.Name))
+		if !ok {
+			resp.Err = core.ErrnoNotExist
+		} else {
+			resp.Raw = raw
+		}
+	}
+	p.Send(m.From, resp)
+}

@@ -1,0 +1,298 @@
+// Package client implements LibFS, the SwitchFS user-space client library
+// (paper §4.2): path resolution over a directory-metadata cache with lazy
+// invalidation, request routing by consistent hashing, switch-mediated
+// directory reads, and UDP-style retransmission.
+package client
+
+import (
+	"errors"
+	"sync"
+
+	"switchfs/internal/core"
+	"switchfs/internal/env"
+	"switchfs/internal/server"
+	"switchfs/internal/wire"
+)
+
+// Config parameterizes a client.
+type Config struct {
+	ID        env.NodeID
+	Placement *core.Placement
+	ServerOf  func(uint32) env.NodeID
+	SwitchFor func(core.Fingerprint) env.NodeID
+	// Coordinator handles rename and link.
+	Coordinator env.NodeID
+	Tracker     server.TrackerMode
+	Costs       env.Costs
+	// RetryTimeout and MaxRetries bound request retransmission.
+	RetryTimeout env.Duration
+	MaxRetries   int
+}
+
+// Client is one LibFS instance bound to an env node.
+type Client struct {
+	cfg  Config
+	env  env.Env
+	node *env.Node
+
+	mu        sync.Mutex
+	cache     map[string]cachedDir
+	byID      map[core.DirID][]string
+	invalSeen map[env.NodeID]uint64
+	rpcSeq    uint64
+	pending   map[uint64]*env.Future
+
+	// Stats observable by harnesses.
+	Lookups    uint64
+	CacheHits  uint64
+	Retries    uint64
+	StaleRetry uint64
+}
+
+type cachedDir struct {
+	ref  core.DirRef
+	attr core.Attr
+}
+
+// New builds a client and registers its node. Clients have unlimited cores:
+// client CPU is never the bottleneck in the paper's evaluation.
+func New(e env.Env, cfg Config) *Client {
+	if cfg.RetryTimeout == 0 {
+		cfg.RetryTimeout = 2 * env.Millisecond
+	}
+	if cfg.MaxRetries == 0 {
+		// Must outlast the worst-case server-side stall: an aggregation
+		// participant holds a change-log lock for up to 100 retransmission
+		// rounds before giving up (§5.4.1 recovery interplay).
+		cfg.MaxRetries = 250
+	}
+	c := &Client{
+		cfg:       cfg,
+		env:       e,
+		cache:     make(map[string]cachedDir),
+		byID:      make(map[core.DirID][]string),
+		invalSeen: make(map[env.NodeID]uint64),
+		pending:   make(map[uint64]*env.Future),
+	}
+	c.node = e.AddNode(cfg.ID, env.NodeConfig{Handler: c.handle})
+	return c
+}
+
+// ID returns the client's node id.
+func (c *Client) ID() env.NodeID { return c.cfg.ID }
+
+// handle completes pending calls with arriving responses.
+func (c *Client) handle(p *env.Proc, from env.NodeID, msg any) {
+	pkt, ok := msg.(*wire.Packet)
+	if !ok {
+		return
+	}
+	rpc, rc := respInfo(pkt.Body)
+	if rc != nil {
+		c.applyInval(from, rc)
+	}
+	c.mu.Lock()
+	fut := c.pending[rpc]
+	c.mu.Unlock()
+	if fut != nil {
+		fut.Complete(pkt.Body)
+	}
+}
+
+// respInfo extracts the rpc id and common fields from any response body.
+func respInfo(m wire.Msg) (uint64, *wire.RespCommon) {
+	switch b := m.(type) {
+	case *wire.LookupResp:
+		return b.RPC, &b.RespCommon
+	case *wire.MutateResp:
+		return b.RPC, &b.RespCommon
+	case *wire.FileResp:
+		return b.RPC, &b.RespCommon
+	case *wire.DirReadResp:
+		return b.RPC, &b.RespCommon
+	case *wire.RenameResp:
+		return b.RPC, &b.RespCommon
+	case *wire.LinkResp:
+		return b.RPC, &b.RespCommon
+	case *wire.DataResp:
+		return b.RPC, &b.RespCommon
+	default:
+		return 0, nil
+	}
+}
+
+// applyInval drops cache entries named by piggybacked invalidation records
+// (lazy invalidation, §5.2).
+func (c *Client) applyInval(from env.NodeID, rc *wire.RespCommon) {
+	if len(rc.Inval) == 0 {
+		c.mu.Lock()
+		if rc.InvalSeqHigh > c.invalSeen[from] {
+			c.invalSeen[from] = rc.InvalSeqHigh
+		}
+		c.mu.Unlock()
+		return
+	}
+	c.mu.Lock()
+	for _, e := range rc.Inval {
+		for _, path := range c.byID[e.Dir] {
+			delete(c.cache, path)
+		}
+		delete(c.byID, e.Dir)
+	}
+	if rc.InvalSeqHigh > c.invalSeen[from] {
+		c.invalSeen[from] = rc.InvalSeqHigh
+	}
+	c.mu.Unlock()
+}
+
+// invalidatePrefix drops every cached path with the given prefix (stale-cache
+// retry).
+func (c *Client) invalidatePrefix(prefix string) {
+	c.mu.Lock()
+	for path, e := range c.cache {
+		if len(path) >= len(prefix) && path[:len(prefix)] == prefix {
+			delete(c.cache, path)
+			paths := c.byID[e.ref.ID]
+			for i, q := range paths {
+				if q == path {
+					c.byID[e.ref.ID] = append(paths[:i], paths[i+1:]...)
+					break
+				}
+			}
+		}
+	}
+	c.mu.Unlock()
+}
+
+// ownerOfFP maps a fingerprint to its owner server node.
+func (c *Client) ownerOfFP(fp core.Fingerprint) env.NodeID {
+	return c.cfg.ServerOf(c.cfg.Placement.OwnerOfFingerprint(fp))
+}
+
+// call sends one request and waits for its response, retransmitting on
+// timeout. resent reports whether any retransmission happened (at-least-once
+// semantics for mutations).
+func (c *Client) call(p *env.Proc, dst env.NodeID, pkt *wire.Packet, rpc uint64) (wire.Msg, bool, error) {
+	fut := env.NewFuture()
+	c.mu.Lock()
+	c.pending[rpc] = fut
+	c.mu.Unlock()
+	defer func() {
+		c.mu.Lock()
+		delete(c.pending, rpc)
+		c.mu.Unlock()
+	}()
+	resent := false
+	for try := 0; try < c.cfg.MaxRetries; try++ {
+		p.Send(dst, pkt)
+		if v, ok := fut.WaitTimeout(p, c.cfg.RetryTimeout); ok {
+			return v.(wire.Msg), resent, nil
+		}
+		resent = true
+		c.Retries++
+	}
+	return nil, resent, core.ErrTimeout
+}
+
+// nextRPC allocates a request id.
+func (c *Client) nextRPC() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.rpcSeq++
+	return c.rpcSeq
+}
+
+// reqCommon stamps the shared request fields.
+func (c *Client) reqCommon(rpc uint64, dst env.NodeID, ancestors []core.DirID) wire.ReqCommon {
+	c.mu.Lock()
+	seen := c.invalSeen[dst]
+	c.mu.Unlock()
+	return wire.ReqCommon{RPC: rpc, Client: c.cfg.ID, InvalSeq: seen, Ancestors: ancestors}
+}
+
+// resolved is the output of path resolution for one target.
+type resolved struct {
+	parent    core.DirRef
+	name      string
+	ancestors []core.DirID
+	path      string
+}
+
+// resolve walks the path's directories through the cache (§5.2.1 step 1),
+// issuing lookups on misses. It returns the parent DirRef and the leaf name.
+func (c *Client) resolve(p *env.Proc, path string) (resolved, error) {
+	comps, err := core.SplitPath(path)
+	if err != nil {
+		return resolved{}, err
+	}
+	if len(comps) == 0 {
+		return resolved{}, core.ErrInvalid
+	}
+	cur := core.RootRef()
+	ancestors := []core.DirID{cur.ID}
+	walked := ""
+	for _, comp := range comps[:len(comps)-1] {
+		walked += "/" + comp
+		p.Compute(c.cfg.Costs.CacheLookup)
+		c.mu.Lock()
+		e, hit := c.cache[walked]
+		c.mu.Unlock()
+		if hit {
+			c.CacheHits++
+			cur = e.ref
+			ancestors = append(ancestors, cur.ID)
+			continue
+		}
+		ref, attr, err := c.lookupOne(p, cur, comp, ancestors)
+		if err != nil {
+			return resolved{}, err
+		}
+		c.mu.Lock()
+		c.cache[walked] = cachedDir{ref: ref, attr: attr}
+		c.byID[ref.ID] = append(c.byID[ref.ID], walked)
+		c.mu.Unlock()
+		cur = ref
+		ancestors = append(ancestors, cur.ID)
+	}
+	return resolved{parent: cur, name: comps[len(comps)-1], ancestors: ancestors, path: path}, nil
+}
+
+// lookupOne fetches one directory's metadata from its owner.
+func (c *Client) lookupOne(p *env.Proc, parent core.DirRef, name string, ancestors []core.DirID) (core.DirRef, core.Attr, error) {
+	c.Lookups++
+	key := core.Key{PID: parent.ID, Name: name}
+	fp := key.Fingerprint()
+	dst := c.ownerOfFP(fp)
+	rpc := c.nextRPC()
+	req := &wire.LookupReq{ReqCommon: c.reqCommon(rpc, dst, ancestors), Parent: parent.ID, Name: name}
+	v, _, err := c.call(p, dst, &wire.Packet{Dst: dst, Origin: c.cfg.ID, Body: req}, rpc)
+	if err != nil {
+		return core.DirRef{}, core.Attr{}, err
+	}
+	resp := v.(*wire.LookupResp)
+	if resp.Err != core.ErrnoOK {
+		return core.DirRef{}, core.Attr{}, resp.Err.Err()
+	}
+	return core.DirRef{ID: resp.Dir, Key: key, FP: fp}, resp.Attr, nil
+}
+
+// withResolution runs fn with a resolved path, transparently refreshing the
+// cache and retrying when a server reports the client's cached components
+// stale (§5.2.1 "If invalid, ... invalidate stale cache entries and retry").
+func (c *Client) withResolution(p *env.Proc, path string, fn func(r resolved) error) error {
+	for attempt := 0; ; attempt++ {
+		r, err := c.resolve(p, path)
+		if err == nil {
+			err = fn(r)
+		}
+		if errors.Is(err, core.ErrStaleCache) || errors.Is(err, core.ErrRetry) {
+			if attempt >= 16 {
+				return core.ErrTimeout
+			}
+			c.StaleRetry++
+			c.invalidatePrefix("/")
+			continue
+		}
+		return err
+	}
+}

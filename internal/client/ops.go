@@ -1,0 +1,263 @@
+package client
+
+import (
+	"switchfs/internal/core"
+	"switchfs/internal/env"
+	"switchfs/internal/server"
+	"switchfs/internal/wire"
+)
+
+// The public operation set. Every operation runs on a Proc (blocking until
+// completion) and returns POSIX-style errors from internal/core.
+
+// mutate drives the shared client half of create/delete/mkdir/rmdir.
+func (c *Client) mutate(p *env.Proc, op core.Op, path string, perm core.Perm) (core.DirID, error) {
+	var out core.DirID
+	err := c.withResolution(p, path, func(r resolved) error {
+		p.Compute(c.cfg.Costs.ClientOp)
+		key := core.Key{PID: r.parent.ID, Name: r.name}
+		dst := c.ownerOfFP(key.Fingerprint())
+		rpc := c.nextRPC()
+		req := &wire.MutateReq{
+			ReqCommon: c.reqCommon(rpc, dst, r.ancestors),
+			Op:        op,
+			Parent:    r.parent,
+			Name:      r.name,
+			Perm:      perm,
+		}
+		v, _, err := c.call(p, dst, &wire.Packet{Dst: dst, Origin: c.cfg.ID, Body: req}, rpc)
+		if err != nil {
+			return err
+		}
+		// Exactly-once across retransmission comes from the server-side
+		// (client, RPC) dedup cache: a retried request replays the original
+		// outcome rather than re-executing (§5.4.1). Only a server crash
+		// that loses the cache can surface an operation's own earlier
+		// effect as EEXIST/ENOENT.
+		resp := v.(*wire.MutateResp)
+		out = resp.Dir
+		return resp.Err.Err()
+	})
+	return out, err
+}
+
+// Create makes a regular file.
+func (c *Client) Create(p *env.Proc, path string, perm core.Perm) error {
+	_, err := c.mutate(p, core.OpCreate, path, perm)
+	return err
+}
+
+// Delete unlinks a regular file.
+func (c *Client) Delete(p *env.Proc, path string) error {
+	_, err := c.mutate(p, core.OpDelete, path, 0)
+	return err
+}
+
+// Mkdir creates a directory.
+func (c *Client) Mkdir(p *env.Proc, path string, perm core.Perm) error {
+	_, err := c.mutate(p, core.OpMkdir, path, perm)
+	return err
+}
+
+// Rmdir removes an empty directory.
+func (c *Client) Rmdir(p *env.Proc, path string) error {
+	_, err := c.mutate(p, core.OpRmdir, path, 0)
+	if err == nil {
+		c.invalidatePrefix(path)
+	}
+	return err
+}
+
+// fileOp drives stat/open/close/chmod.
+func (c *Client) fileOp(p *env.Proc, op core.Op, path string, perm core.Perm) (core.Attr, []uint32, error) {
+	var attr core.Attr
+	var loc []uint32
+	err := c.withResolution(p, path, func(r resolved) error {
+		p.Compute(c.cfg.Costs.ClientOp)
+		key := core.Key{PID: r.parent.ID, Name: r.name}
+		dst := c.ownerOfFP(key.Fingerprint())
+		rpc := c.nextRPC()
+		req := &wire.FileReq{
+			ReqCommon: c.reqCommon(rpc, dst, r.ancestors),
+			Op:        op,
+			Parent:    r.parent,
+			Name:      r.name,
+			Perm:      perm,
+		}
+		v, _, err := c.call(p, dst, &wire.Packet{Dst: dst, Origin: c.cfg.ID, Body: req}, rpc)
+		if err != nil {
+			return err
+		}
+		resp := v.(*wire.FileResp)
+		attr = resp.Attr
+		loc = resp.DataLoc
+		return resp.Err.Err()
+	})
+	return attr, loc, err
+}
+
+// Stat reads a file's attributes.
+func (c *Client) Stat(p *env.Proc, path string) (core.Attr, error) {
+	a, _, err := c.fileOp(p, core.OpStat, path, 0)
+	return a, err
+}
+
+// Open opens a file and returns its attributes and data locations.
+func (c *Client) Open(p *env.Proc, path string) (core.Attr, []uint32, error) {
+	return c.fileOp(p, core.OpOpen, path, 0)
+}
+
+// Close closes a file.
+func (c *Client) Close(p *env.Proc, path string) error {
+	_, _, err := c.fileOp(p, core.OpClose, path, 0)
+	return err
+}
+
+// Chmod updates a file's permissions.
+func (c *Client) Chmod(p *env.Proc, path string, perm core.Perm) error {
+	_, _, err := c.fileOp(p, core.OpChmod, path, perm)
+	return err
+}
+
+// dirRead drives statdir/readdir (§5.2.2): the request carries a dirty-set
+// query through the switch so the owner learns the directory state with zero
+// extra round trips.
+func (c *Client) dirRead(p *env.Proc, op core.Op, path string) (core.Attr, []core.DirEntry, error) {
+	var attr core.Attr
+	var entries []core.DirEntry
+	if comps, err := core.SplitPath(path); err == nil && len(comps) == 0 {
+		// The root directory needs no resolution.
+		a, es, err := c.dirReadRef(p, op, core.RootRef(), nil)
+		return a, es, err
+	}
+	err := c.withResolution(p, path, func(r resolved) error {
+		key := core.Key{PID: r.parent.ID, Name: r.name}
+		// The DirRef's ID is resolved by the owner via its inode; the client
+		// needs key and fingerprint for routing. A cached entry supplies the
+		// ID when available.
+		ref := core.DirRef{Key: key, FP: key.Fingerprint()}
+		c.mu.Lock()
+		if e, ok := c.cache[path]; ok {
+			ref.ID = e.ref.ID
+		}
+		c.mu.Unlock()
+		a, es, err := c.dirReadRef(p, op, ref, r.ancestors)
+		attr, entries = a, es
+		return err
+	})
+	return attr, entries, err
+}
+
+// dirReadRef sends a directory read for an already-known DirRef, routing it
+// through the switch for the dirty-set query unless the owner-tracker
+// variant is active.
+func (c *Client) dirReadRef(p *env.Proc, op core.Op, ref core.DirRef, ancestors []core.DirID) (core.Attr, []core.DirEntry, error) {
+	p.Compute(c.cfg.Costs.ClientOp)
+	owner := c.ownerOfFP(ref.FP)
+	rpc := c.nextRPC()
+	req := &wire.DirReadReq{
+		ReqCommon: c.reqCommon(rpc, owner, ancestors),
+		Op:        op,
+		Dir:       ref,
+	}
+	pkt := &wire.Packet{Dst: owner, Origin: c.cfg.ID, Body: req}
+	dst := owner
+	if c.cfg.Tracker != server.TrackerOwner {
+		pkt.DS = &wire.DSHeader{Op: wire.DSQuery, FP: ref.FP}
+		dst = c.cfg.SwitchFor(ref.FP)
+	}
+	v, _, err := c.call(p, dst, pkt, rpc)
+	if err != nil {
+		return core.Attr{}, nil, err
+	}
+	resp := v.(*wire.DirReadResp)
+	return resp.Attr, resp.Entries, resp.Err.Err()
+}
+
+// StatDir reads a directory's attributes.
+func (c *Client) StatDir(p *env.Proc, path string) (core.Attr, error) {
+	a, _, err := c.dirRead(p, core.OpStatDir, path)
+	return a, err
+}
+
+// ReadDir lists a directory.
+func (c *Client) ReadDir(p *env.Proc, path string) ([]core.DirEntry, error) {
+	_, es, err := c.dirRead(p, core.OpReadDir, path)
+	return es, err
+}
+
+// twoPath drives rename and link through the coordinator.
+func (c *Client) twoPath(p *env.Proc, op core.Op, src, dst string) error {
+	return c.withResolution(p, src, func(rs resolved) error {
+		return c.withResolution(p, dst, func(rd resolved) error {
+			p.Compute(c.cfg.Costs.ClientOp)
+			anc := append(append([]core.DirID(nil), rs.ancestors...), rd.ancestors...)
+			rpc := c.nextRPC()
+			coord := c.cfg.Coordinator
+			var body wire.Msg
+			if op == core.OpRename {
+				body = &wire.RenameReq{
+					ReqCommon: c.reqCommon(rpc, coord, anc),
+					SrcParent: rs.parent, SrcName: rs.name,
+					DstParent: rd.parent, DstName: rd.name,
+				}
+			} else {
+				body = &wire.LinkReq{
+					ReqCommon: c.reqCommon(rpc, coord, anc),
+					SrcParent: rs.parent, SrcName: rs.name,
+					DstParent: rd.parent, DstName: rd.name,
+				}
+			}
+			v, _, err := c.call(p, coord, &wire.Packet{Dst: coord, Origin: c.cfg.ID, Body: body}, rpc)
+			if err != nil {
+				return err
+			}
+			rrpc, rc := respInfo(v)
+			_ = rrpc
+			if rc == nil {
+				return core.ErrInvalid
+			}
+			return rc.Err.Err()
+		})
+	})
+}
+
+// Rename moves a file or directory.
+func (c *Client) Rename(p *env.Proc, src, dst string) error {
+	err := c.twoPath(p, core.OpRename, src, dst)
+	if err == nil {
+		c.invalidatePrefix(src)
+	}
+	return err
+}
+
+// Link creates a hard link dst pointing at src's file (§5.5).
+func (c *Client) Link(p *env.Proc, src, dst string) error {
+	return c.twoPath(p, core.OpLink, src, dst)
+}
+
+// Data performs a data-node read or write (end-to-end workloads, §7.6).
+// Data accesses queue behind hundreds of microseconds of I/O; the timeout is
+// far above the metadata RPC timeout so queuing does not trigger retransmit
+// storms.
+func (c *Client) Data(p *env.Proc, node env.NodeID, op core.Op, bytes int64) error {
+	rpc := c.nextRPC()
+	req := &wire.DataReq{ReqCommon: c.reqCommon(rpc, node, nil), Op: op, Bytes: bytes}
+	fut := env.NewFuture()
+	c.mu.Lock()
+	c.pending[rpc] = fut
+	c.mu.Unlock()
+	defer func() {
+		c.mu.Lock()
+		delete(c.pending, rpc)
+		c.mu.Unlock()
+	}()
+	for try := 0; try < 8; try++ {
+		p.Send(node, &wire.Packet{Dst: node, Origin: c.cfg.ID, Body: req})
+		if v, ok := fut.WaitTimeout(p, 40*env.Millisecond); ok {
+			return v.(*wire.DataResp).Err.Err()
+		}
+		c.Retries++
+	}
+	return core.ErrTimeout
+}

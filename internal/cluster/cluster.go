@@ -1,0 +1,368 @@
+// Package cluster assembles SwitchFS deployments over an environment:
+// metadata servers, programmable switches (or tracker variants), clients and
+// data nodes — plus the fault and reconfiguration orchestration used by the
+// recovery experiments (§5.4, §5.5, §7.7).
+package cluster
+
+import (
+	"fmt"
+
+	"switchfs/internal/client"
+	"switchfs/internal/core"
+	"switchfs/internal/env"
+	"switchfs/internal/pswitch"
+	"switchfs/internal/server"
+	"switchfs/internal/wal"
+	"switchfs/internal/wire"
+)
+
+// Node id layout (the "MAC addresses" of the L2 network).
+const (
+	switchBase  env.NodeID = 1
+	trackerNode env.NodeID = 90
+	serverBase  env.NodeID = 100
+	clientBase  env.NodeID = 10000
+	dataBase    env.NodeID = 20000
+)
+
+// Options configures a cluster.
+type Options struct {
+	Servers        int
+	CoresPerServer int
+	Clients        int
+	DataNodes      int
+	// Switches > 1 range-partitions fingerprints over spine switches (§6.4).
+	Switches int
+	Costs    env.Costs
+	Tracker  server.TrackerMode
+	// TrackerCores sizes the dedicated-server tracker (Fig. 15: 12 cores).
+	TrackerCores int
+	// TrackerOpCost is the dedicated tracker's per-packet CPU time.
+	TrackerOpCost env.Duration
+	// Async and Compaction gate the §7.3.1 contribution-breakdown modes;
+	// both default to true (full SwitchFS).
+	Async      bool
+	Compaction bool
+	// ForceOverflow makes every dirty-set insert fail (§7.3.2).
+	ForceOverflow bool
+	// Switch geometry; zero means paper defaults (10 × 2^17).
+	SwitchStages    int
+	SwitchIndexBits uint
+	// Protocol tunables forwarded to servers.
+	PushEntries  int
+	PushIdle     env.Duration
+	OwnerQuiesce env.Duration
+	RetryTimeout env.Duration
+}
+
+// Defaults fills zero fields with the paper's evaluation setup (§7.1): eight
+// four-core servers, one switch.
+func (o *Options) Defaults() {
+	if o.Servers == 0 {
+		o.Servers = 8
+	}
+	if o.CoresPerServer == 0 {
+		o.CoresPerServer = 4
+	}
+	if o.Clients == 0 {
+		o.Clients = 1
+	}
+	if o.Switches == 0 {
+		o.Switches = 1
+	}
+	if o.TrackerCores == 0 {
+		o.TrackerCores = 12
+	}
+	if o.TrackerOpCost == 0 {
+		o.TrackerOpCost = 1 * env.Microsecond
+	}
+}
+
+// Cluster is a wired deployment.
+type Cluster struct {
+	Env       env.Env
+	Opts      Options
+	Placement *core.Placement
+	Servers   []*server.Server
+	Switches  []*pswitch.Switch
+	Clients   []*client.Client
+	DataNodes []env.NodeID
+	wals      []wal.Log
+}
+
+// ServerOf maps a placement slot to a node id.
+func ServerOf(slot uint32) env.NodeID { return serverBase + env.NodeID(slot) }
+
+// New builds a cluster. Pass Async/Compaction explicitly via NewWithModes for
+// the breakdown experiments; New enables the full design.
+func New(e env.Env, opts Options) *Cluster {
+	opts.Async = true
+	opts.Compaction = true
+	return NewWithModes(e, opts)
+}
+
+// NewWithModes builds a cluster honoring opts.Async and opts.Compaction.
+func NewWithModes(e env.Env, opts Options) *Cluster {
+	opts.Defaults()
+	c := &Cluster{Env: e, Opts: opts}
+
+	slots := make([]uint32, opts.Servers)
+	for i := range slots {
+		slots[i] = uint32(i)
+	}
+	c.Placement = core.NewPlacement(slots, 0)
+
+	peers := make([]env.NodeID, opts.Servers)
+	for i := range peers {
+		peers[i] = ServerOf(uint32(i))
+	}
+
+	// Switches (or the dedicated tracker server).
+	var switchFor func(core.Fingerprint) env.NodeID
+	switch opts.Tracker {
+	case server.TrackerServer:
+		sw := pswitch.New(trackerNode, pswitch.Config{
+			Stages:    opts.SwitchStages,
+			IndexBits: opts.SwitchIndexBits,
+			Servers:   peers,
+		})
+		if opts.ForceOverflow {
+			sw.ForceOverflow(true)
+		}
+		c.Switches = []*pswitch.Switch{sw}
+		// The dedicated server pays CPU per packet and has finite cores —
+		// the throughput ceiling of Fig. 15(b).
+		e.AddNode(trackerNode, env.NodeConfig{
+			Cores: opts.TrackerCores,
+			Handler: func(p *env.Proc, from env.NodeID, msg any) {
+				p.Compute(opts.TrackerOpCost)
+				sw.Handler(p, from, msg)
+			},
+		})
+		switchFor = func(core.Fingerprint) env.NodeID { return trackerNode }
+	case server.TrackerOwner:
+		switchFor = func(fp core.Fingerprint) env.NodeID {
+			return ServerOf(c.Placement.OwnerOfFingerprint(fp))
+		}
+	default:
+		for i := 0; i < opts.Switches; i++ {
+			id := switchBase + env.NodeID(i)
+			sw := pswitch.New(id, pswitch.Config{
+				Stages:    opts.SwitchStages,
+				IndexBits: opts.SwitchIndexBits,
+				Pipes:     1,
+				PipeDelay: opts.Costs.SwitchPipe,
+				Servers:   peers,
+			})
+			if opts.ForceOverflow {
+				sw.ForceOverflow(true)
+			}
+			c.Switches = append(c.Switches, sw)
+			e.AddNode(id, env.NodeConfig{Handler: sw.Handler})
+		}
+		n := len(c.Switches)
+		switchFor = func(fp core.Fingerprint) env.NodeID {
+			// Range partitioning by fingerprint prefix (§6.4).
+			i := int(uint64(fp)>>(core.FingerprintBits-8)) % n
+			return c.Switches[i].ID
+		}
+	}
+
+	// Metadata servers.
+	for i := 0; i < opts.Servers; i++ {
+		w := wal.NewMem()
+		c.wals = append(c.wals, w)
+		srv := server.New(e, server.Config{
+			ID:           ServerOf(uint32(i)),
+			Cores:        opts.CoresPerServer,
+			Costs:        opts.Costs,
+			Placement:    c.Placement,
+			ServerOf:     ServerOf,
+			Peers:        peers,
+			SwitchFor:    switchFor,
+			Coordinator:  ServerOf(0),
+			WAL:          w,
+			Tracker:      opts.Tracker,
+			Async:        opts.Async,
+			Compaction:   opts.Compaction,
+			PushEntries:  opts.PushEntries,
+			PushIdle:     opts.PushIdle,
+			OwnerQuiesce: opts.OwnerQuiesce,
+			RetryTimeout: opts.RetryTimeout,
+		})
+		c.Servers = append(c.Servers, srv)
+	}
+
+	// Clients.
+	for i := 0; i < opts.Clients; i++ {
+		cl := client.New(e, client.Config{
+			ID:          clientBase + env.NodeID(i),
+			Placement:   c.Placement,
+			ServerOf:    ServerOf,
+			SwitchFor:   switchFor,
+			Coordinator: ServerOf(0),
+			Tracker:     opts.Tracker,
+			Costs:       opts.Costs,
+		})
+		c.Clients = append(c.Clients, cl)
+	}
+
+	// Data nodes (end-to-end workloads, §7.6).
+	for i := 0; i < opts.DataNodes; i++ {
+		id := dataBase + env.NodeID(i)
+		c.DataNodes = append(c.DataNodes, id)
+		cost := opts.Costs.DataIO
+		e.AddNode(id, env.NodeConfig{Cores: 4, Handler: func(p *env.Proc, from env.NodeID, msg any) {
+			pkt, ok := msg.(*wire.Packet)
+			if !ok {
+				return
+			}
+			req, ok := pkt.Body.(*wire.DataReq)
+			if !ok {
+				return
+			}
+			p.Compute(cost)
+			p.Send(req.Client, &wire.Packet{Dst: req.Client, Origin: id,
+				Body: &wire.DataResp{RespCommon: wire.RespCommon{RPC: req.RPC}}})
+		}})
+	}
+	return c
+}
+
+// Client returns the i-th client (mod the pool).
+func (c *Cluster) Client(i int) *client.Client { return c.Clients[i%len(c.Clients)] }
+
+// Run spawns fn on client i's node and, under Sim, drives the simulation
+// until fn completes. Under Real it blocks on a channel.
+func (c *Cluster) Run(i int, fn func(p *env.Proc, cl *client.Client)) {
+	cl := c.Client(i)
+	done := false
+	c.Env.Spawn(cl.ID(), func(p *env.Proc) {
+		fn(p, cl)
+		done = true
+	})
+	if s, ok := c.Env.(*env.Sim); ok {
+		s.Run()
+		if !done {
+			panic("cluster: simulation drained before the client finished (deadlock?)")
+		}
+	}
+}
+
+// RunNoDrain spawns fn on client i's node and, under Sim, stops the
+// simulation as soon as fn completes — pending proactive-aggregation timers
+// stay queued instead of draining. Fault-injection harnesses use this to
+// crash components while deferred updates are still outstanding.
+func (c *Cluster) RunNoDrain(i int, fn func(p *env.Proc, cl *client.Client)) {
+	cl := c.Client(i)
+	s, isSim := c.Env.(*env.Sim)
+	c.Env.Spawn(cl.ID(), func(p *env.Proc) {
+		fn(p, cl)
+		if isSim {
+			s.Stop()
+		}
+	})
+	if isSim {
+		s.Run()
+	}
+}
+
+// CrashServer fail-stops server i (volatile state lost, WAL survives).
+func (c *Cluster) CrashServer(i int) { c.Servers[i].Crash() }
+
+// RecoverServer restarts server i from its WAL and runs §5.4.2 recovery on a
+// process; it reports the virtual time the recovery took via the returned
+// future (completed with env.Duration).
+func (c *Cluster) RecoverServer(i int) *env.Future {
+	old := c.Servers[i]
+	cfg := serverConfigOf(c, i)
+	srv := server.Restart(c.Env, cfg, old.WAL())
+	c.Servers[i] = srv
+	fut := env.NewFuture()
+	c.Env.Spawn(srv.ID(), func(p *env.Proc) {
+		start := p.Now()
+		if err := srv.Recover(p); err != nil {
+			fut.Complete(err)
+			return
+		}
+		fut.Complete(p.Now() - start)
+	})
+	return fut
+}
+
+// serverConfigOf rebuilds the config used at construction time.
+func serverConfigOf(c *Cluster, i int) server.Config {
+	peers := make([]env.NodeID, c.Opts.Servers)
+	for j := range peers {
+		peers[j] = ServerOf(uint32(j))
+	}
+	var switchFor func(core.Fingerprint) env.NodeID
+	switch c.Opts.Tracker {
+	case server.TrackerServer:
+		switchFor = func(core.Fingerprint) env.NodeID { return trackerNode }
+	case server.TrackerOwner:
+		switchFor = func(fp core.Fingerprint) env.NodeID {
+			return ServerOf(c.Placement.OwnerOfFingerprint(fp))
+		}
+	default:
+		n := len(c.Switches)
+		switchFor = func(fp core.Fingerprint) env.NodeID {
+			i := int(uint64(fp)>>(core.FingerprintBits-8)) % n
+			return c.Switches[i].ID
+		}
+	}
+	return server.Config{
+		ID:           ServerOf(uint32(i)),
+		Cores:        c.Opts.CoresPerServer,
+		Costs:        c.Opts.Costs,
+		Placement:    c.Placement,
+		ServerOf:     ServerOf,
+		Peers:        peers,
+		SwitchFor:    switchFor,
+		Coordinator:  ServerOf(0),
+		Tracker:      c.Opts.Tracker,
+		Async:        c.Opts.Async,
+		Compaction:   c.Opts.Compaction,
+		PushEntries:  c.Opts.PushEntries,
+		PushIdle:     c.Opts.PushIdle,
+		OwnerQuiesce: c.Opts.OwnerQuiesce,
+		RetryTimeout: c.Opts.RetryTimeout,
+	}
+}
+
+// CrashSwitch clears all switch state (§5.4.2 "Switch failure").
+func (c *Cluster) CrashSwitch() {
+	for _, sw := range c.Switches {
+		sw.Reset()
+	}
+}
+
+// RecoverSwitch restores consistency after a switch reboot: every server
+// flushes its change-logs so all directories return to normal state,
+// matching the empty dirty set. The returned future completes with the
+// virtual duration.
+func (c *Cluster) RecoverSwitch() *env.Future {
+	fut := env.NewFuture()
+	c.Env.Spawn(c.Servers[0].ID(), func(p *env.Proc) {
+		start := p.Now()
+		// Flush sequentially from an orchestration process; servers stop
+		// serving while flushing.
+		for _, srv := range c.Servers {
+			srv := srv
+			sub := env.NewFuture()
+			c.Env.Spawn(srv.ID(), func(sp *env.Proc) {
+				srv.FlushAll(sp)
+				sub.Complete(nil)
+			})
+			sub.Wait(p)
+		}
+		fut.Complete(p.Now() - start)
+	})
+	return fut
+}
+
+// String summarizes the deployment.
+func (c *Cluster) String() string {
+	return fmt.Sprintf("cluster{%d servers × %d cores, %d switches, %d clients}",
+		c.Opts.Servers, c.Opts.CoresPerServer, len(c.Switches), len(c.Clients))
+}

@@ -1,0 +1,108 @@
+package cluster
+
+import (
+	"switchfs/internal/client"
+	"switchfs/internal/core"
+	"switchfs/internal/env"
+	"switchfs/internal/fsapi"
+	"switchfs/internal/wire"
+)
+
+// fsAdapter exposes a SwitchFS client through the fsapi surface shared with
+// the baselines.
+type fsAdapter struct {
+	c  *Cluster
+	cl *client.Client
+}
+
+var _ fsapi.FS = (*fsAdapter)(nil)
+
+// ClientFS implements fsapi.System.
+func (c *Cluster) ClientFS(i int) fsapi.FS { return &fsAdapter{c: c, cl: c.Client(i)} }
+
+// Name implements fsapi.System.
+func (c *Cluster) Name() string { return "SwitchFS" }
+
+// Preload implements fsapi.System.
+func (c *Cluster) Preload(dirs []string, filesPerDir int) {
+	pl := NewPreload(c)
+	for _, d := range dirs {
+		if filesPerDir > 0 {
+			pl.Files(d, "f", filesPerDir)
+		} else {
+			pl.Dir(d)
+		}
+	}
+}
+
+func (a *fsAdapter) Create(p *env.Proc, path string) error { return a.cl.Create(p, path, 0) }
+func (a *fsAdapter) Delete(p *env.Proc, path string) error { return a.cl.Delete(p, path) }
+func (a *fsAdapter) Mkdir(p *env.Proc, path string) error  { return a.cl.Mkdir(p, path, 0) }
+func (a *fsAdapter) Rmdir(p *env.Proc, path string) error  { return a.cl.Rmdir(p, path) }
+
+func (a *fsAdapter) Stat(p *env.Proc, path string) error {
+	_, err := a.cl.Stat(p, path)
+	return err
+}
+
+func (a *fsAdapter) Open(p *env.Proc, path string) error {
+	_, _, err := a.cl.Open(p, path)
+	return err
+}
+
+func (a *fsAdapter) Close(p *env.Proc, path string) error { return a.cl.Close(p, path) }
+
+func (a *fsAdapter) Chmod(p *env.Proc, path string, perm core.Perm) error {
+	return a.cl.Chmod(p, path, perm)
+}
+
+func (a *fsAdapter) StatDir(p *env.Proc, path string) error {
+	_, err := a.cl.StatDir(p, path)
+	return err
+}
+
+func (a *fsAdapter) ReadDir(p *env.Proc, path string) error {
+	_, err := a.cl.ReadDir(p, path)
+	return err
+}
+
+func (a *fsAdapter) Rename(p *env.Proc, src, dst string) error { return a.cl.Rename(p, src, dst) }
+
+func (a *fsAdapter) Data(p *env.Proc, shard int, write bool, bytes int64) error {
+	if len(a.c.DataNodes) == 0 {
+		return nil
+	}
+	op := core.OpRead
+	if write {
+		op = core.OpWrite
+	}
+	return a.cl.Data(p, a.c.DataNodes[shard%len(a.c.DataNodes)], op, bytes)
+}
+
+var _ fsapi.System = (*Cluster)(nil)
+var _ wire.Msg = (*wire.DataReq)(nil)
+
+// SpawnClient runs fn as a process on client i's node (workload workers).
+func (c *Cluster) SpawnClient(i int, fn func(p *env.Proc)) {
+	c.Env.Spawn(c.Client(i).ID(), fn)
+}
+
+// Drain implements fsapi.System: every server flushes its change-logs to the
+// owners, applying all deferred updates now instead of on the proactive
+// timers. Throughput accounting charges this work to the run that deferred
+// it.
+func (c *Cluster) Drain(p *env.Proc) {
+	futs := make([]*env.Future, len(c.Servers))
+	for i, srv := range c.Servers {
+		srv := srv
+		fut := env.NewFuture()
+		futs[i] = fut
+		c.Env.Spawn(srv.ID(), func(sp *env.Proc) {
+			srv.FlushAll(sp)
+			fut.Complete(nil)
+		})
+	}
+	for _, fut := range futs {
+		fut.Wait(p)
+	}
+}

@@ -1,0 +1,277 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"switchfs/internal/client"
+	"switchfs/internal/core"
+	"switchfs/internal/env"
+)
+
+// sim builds a small deterministic cluster for protocol tests.
+func sim(t *testing.T, opts Options) (*env.Sim, *Cluster) {
+	t.Helper()
+	s := env.NewSim(7)
+	if opts.SwitchIndexBits == 0 {
+		opts.SwitchIndexBits = 8 // small dirty set is plenty for tests
+	}
+	c := New(s, opts)
+	t.Cleanup(s.Shutdown)
+	return s, c
+}
+
+func TestCreateStatDelete(t *testing.T) {
+	_, c := sim(t, Options{Servers: 4, Clients: 1})
+	c.Run(0, func(p *env.Proc, cl *client.Client) {
+		if err := cl.Mkdir(p, "/a", 0); err != nil {
+			t.Errorf("mkdir: %v", err)
+		}
+		if err := cl.Create(p, "/a/b", 0); err != nil {
+			t.Errorf("create: %v", err)
+		}
+		attr, err := cl.Stat(p, "/a/b")
+		if err != nil {
+			t.Errorf("stat: %v", err)
+		}
+		if attr.Type != core.TypeRegular {
+			t.Errorf("stat type = %v", attr.Type)
+		}
+		if err := cl.Create(p, "/a/b", 0); !errors.Is(err, core.ErrExist) {
+			t.Errorf("duplicate create: %v", err)
+		}
+		if err := cl.Delete(p, "/a/b"); err != nil {
+			t.Errorf("delete: %v", err)
+		}
+		if _, err := cl.Stat(p, "/a/b"); !errors.Is(err, core.ErrNotExist) {
+			t.Errorf("stat after delete: %v", err)
+		}
+	})
+}
+
+func TestStatDirSeesAsyncUpdates(t *testing.T) {
+	_, c := sim(t, Options{Servers: 4, Clients: 1})
+	c.Run(0, func(p *env.Proc, cl *client.Client) {
+		if err := cl.Mkdir(p, "/dir", 0); err != nil {
+			t.Errorf("mkdir: %v", err)
+			return
+		}
+		for i := 0; i < 10; i++ {
+			if err := cl.Create(p, fmt.Sprintf("/dir/f%d", i), 0); err != nil {
+				t.Errorf("create %d: %v", i, err)
+				return
+			}
+		}
+		// The creates deferred their directory updates; statdir must trigger
+		// aggregation and observe all ten entries — durable visibility.
+		attr, err := cl.StatDir(p, "/dir")
+		if err != nil {
+			t.Errorf("statdir: %v", err)
+			return
+		}
+		if attr.Size != 10 {
+			t.Errorf("statdir size = %d, want 10", attr.Size)
+		}
+		entries, err := cl.ReadDir(p, "/dir")
+		if err != nil {
+			t.Errorf("readdir: %v", err)
+			return
+		}
+		if len(entries) != 10 {
+			t.Errorf("readdir returned %d entries, want 10", len(entries))
+		}
+	})
+}
+
+func TestReaddirAfterDeletes(t *testing.T) {
+	_, c := sim(t, Options{Servers: 4, Clients: 1})
+	c.Run(0, func(p *env.Proc, cl *client.Client) {
+		cl.Mkdir(p, "/d", 0)
+		for i := 0; i < 6; i++ {
+			cl.Create(p, fmt.Sprintf("/d/f%d", i), 0)
+		}
+		for i := 0; i < 3; i++ {
+			if err := cl.Delete(p, fmt.Sprintf("/d/f%d", i)); err != nil {
+				t.Errorf("delete: %v", err)
+				return
+			}
+		}
+		attr, err := cl.StatDir(p, "/d")
+		if err != nil || attr.Size != 3 {
+			t.Errorf("statdir: size=%d err=%v, want 3", attr.Size, err)
+			return
+		}
+		es, _ := cl.ReadDir(p, "/d")
+		if len(es) != 3 {
+			t.Errorf("readdir %d entries, want 3", len(es))
+			return
+		}
+	})
+}
+
+func TestCreateDeleteSameNameFIFO(t *testing.T) {
+	_, c := sim(t, Options{Servers: 4, Clients: 1})
+	c.Run(0, func(p *env.Proc, cl *client.Client) {
+		cl.Mkdir(p, "/d", 0)
+		// create+delete pairs of the same name must cancel exactly.
+		for i := 0; i < 5; i++ {
+			if err := cl.Create(p, "/d/x", 0); err != nil {
+				t.Errorf("create #%d: %v", i, err)
+				return
+			}
+			if err := cl.Delete(p, "/d/x"); err != nil {
+				t.Errorf("delete #%d: %v", i, err)
+				return
+			}
+		}
+		if err := cl.Create(p, "/d/x", 0); err != nil {
+			t.Errorf("final create: %v", err)
+			return
+		}
+		attr, err := cl.StatDir(p, "/d")
+		if err != nil || attr.Size != 1 {
+			t.Errorf("statdir size=%d err=%v, want 1", attr.Size, err)
+			return
+		}
+		es, _ := cl.ReadDir(p, "/d")
+		if len(es) != 1 || es[0].Name != "x" {
+			t.Errorf("readdir: %v", es)
+			return
+		}
+	})
+}
+
+func TestMkdirRmdir(t *testing.T) {
+	_, c := sim(t, Options{Servers: 4, Clients: 1})
+	c.Run(0, func(p *env.Proc, cl *client.Client) {
+		if err := cl.Mkdir(p, "/p", 0); err != nil {
+			t.Errorf("mkdir /p: %v", err)
+			return
+		}
+		if err := cl.Mkdir(p, "/p/q", 0); err != nil {
+			t.Errorf("mkdir /p/q: %v", err)
+			return
+		}
+		if err := cl.Create(p, "/p/q/file", 0); err != nil {
+			t.Errorf("create: %v", err)
+			return
+		}
+		if err := cl.Rmdir(p, "/p/q"); !errors.Is(err, core.ErrNotEmpty) {
+			t.Errorf("rmdir non-empty: %v, want ENOTEMPTY", err)
+			return
+		}
+		if err := cl.Delete(p, "/p/q/file"); err != nil {
+			t.Errorf("delete: %v", err)
+			return
+		}
+		if err := cl.Rmdir(p, "/p/q"); err != nil {
+			t.Errorf("rmdir: %v", err)
+			return
+		}
+		if _, err := cl.StatDir(p, "/p/q"); !errors.Is(err, core.ErrNotExist) {
+			t.Errorf("statdir after rmdir: %v", err)
+			return
+		}
+		attr, err := cl.StatDir(p, "/p")
+		if err != nil || attr.Size != 0 {
+			t.Errorf("parent size=%d err=%v, want 0", attr.Size, err)
+			return
+		}
+	})
+}
+
+func TestDeepPaths(t *testing.T) {
+	_, c := sim(t, Options{Servers: 4, Clients: 1})
+	c.Run(0, func(p *env.Proc, cl *client.Client) {
+		path := ""
+		for i := 0; i < 8; i++ {
+			path += fmt.Sprintf("/d%d", i)
+			if err := cl.Mkdir(p, path, 0); err != nil {
+				t.Errorf("mkdir %s: %v", path, err)
+				return
+			}
+		}
+		if err := cl.Create(p, path+"/leaf", 0); err != nil {
+			t.Errorf("create leaf: %v", err)
+			return
+		}
+		if _, err := cl.Stat(p, path+"/leaf"); err != nil {
+			t.Errorf("stat leaf: %v", err)
+			return
+		}
+	})
+}
+
+func TestConcurrentCreatesOneDirectory(t *testing.T) {
+	s, c := sim(t, Options{Servers: 8, Clients: 4})
+	done := 0
+	const perClient = 25
+	for i := 0; i < 4; i++ {
+		i := i
+		cl := c.Client(i)
+		s.Spawn(cl.ID(), func(p *env.Proc) {
+			if i == 0 {
+				if err := cl.Mkdir(p, "/shared", 0); err != nil {
+					t.Errorf("mkdir: %v", err)
+				}
+			} else {
+				// Wait for the directory to exist.
+				for {
+					if _, err := cl.StatDir(p, "/shared"); err == nil {
+						break
+					}
+					p.Sleep(50 * env.Microsecond)
+				}
+			}
+			for j := 0; j < perClient; j++ {
+				if err := cl.Create(p, fmt.Sprintf("/shared/c%d-f%d", i, j), 0); err != nil {
+					t.Errorf("create c%d f%d: %v", i, j, err)
+				}
+			}
+			done++
+		})
+	}
+	s.Run()
+	if done != 4 {
+		t.Errorf("only %d clients finished", done)
+		return
+	}
+	c.Run(0, func(p *env.Proc, cl *client.Client) {
+		attr, err := cl.StatDir(p, "/shared")
+		if err != nil {
+			t.Errorf("statdir: %v", err)
+			return
+		}
+		if attr.Size != 4*perClient {
+			t.Errorf("size=%d, want %d", attr.Size, 4*perClient)
+			return
+		}
+		es, _ := cl.ReadDir(p, "/shared")
+		if len(es) != 4*perClient {
+			t.Errorf("readdir %d, want %d", len(es), 4*perClient)
+			return
+		}
+	})
+}
+
+func TestPreloadVisible(t *testing.T) {
+	_, c := sim(t, Options{Servers: 4, Clients: 1})
+	pl := NewPreload(c)
+	pl.Files("/data/set1", "img", 100)
+	c.Run(0, func(p *env.Proc, cl *client.Client) {
+		attr, err := cl.StatDir(p, "/data/set1")
+		if err != nil || attr.Size != 100 {
+			t.Errorf("statdir: size=%d err=%v", attr.Size, err)
+			return
+		}
+		if _, err := cl.Stat(p, "/data/set1/img42"); err != nil {
+			t.Errorf("stat preloaded file: %v", err)
+			return
+		}
+		if err := cl.Create(p, "/data/set1/img42", 0); !errors.Is(err, core.ErrExist) {
+			t.Errorf("create over preloaded: %v", err)
+			return
+		}
+	})
+}

@@ -1,0 +1,162 @@
+package cluster
+
+import (
+	"fmt"
+
+	"switchfs/internal/core"
+	"switchfs/internal/env"
+	"switchfs/internal/server"
+	"switchfs/internal/wal"
+)
+
+// Reconfigure grows (or shrinks) the metadata cluster following §5.5/§A.3's
+// stop-the-world procedure:
+//
+//  1. every server stops serving and flushes its change-logs (all
+//     directories return to normal state);
+//  2. the consistent-hashing ring is remapped — no switch change is needed,
+//     the hash function lives on clients and servers;
+//  3. metadata whose owner changed migrates to its new server (inodes with
+//     their entry lists), WAL-logged on the receiving side;
+//  4. servers resume.
+//
+// The returned future completes with the virtual duration of the
+// reconfiguration. The paper's per-step coordinator WAL and two-phase commit
+// make each step idempotent under crashes; this implementation performs the
+// steps from an orchestration process and asserts quiescence instead (the
+// §A.3 crash-during-reconfiguration matrix is out of scope for the model).
+func (c *Cluster) Reconfigure(newServers int) *env.Future {
+	fut := env.NewFuture()
+	if newServers < 1 {
+		fut.Complete(fmt.Errorf("cluster: cannot reconfigure to %d servers", newServers))
+		return fut
+	}
+	c.Env.Spawn(c.Servers[0].ID(), func(p *env.Proc) {
+		start := p.Now()
+
+		// Step 1: quiesce and flush.
+		for _, srv := range c.Servers {
+			srv.SetServing(false)
+		}
+		for _, srv := range c.Servers {
+			srv := srv
+			sub := env.NewFuture()
+			c.Env.Spawn(srv.ID(), func(sp *env.Proc) {
+				srv.FlushAll(sp)
+				srv.SetServing(false) // FlushAll re-enables; stay quiesced
+				sub.Complete(nil)
+			})
+			sub.Wait(p)
+		}
+
+		// Step 2: remap the ring and the switch multicast domain.
+		old := c.Servers
+		slots := make([]uint32, newServers)
+		peers := make([]env.NodeID, newServers)
+		for i := range slots {
+			slots[i] = uint32(i)
+			peers[i] = ServerOf(uint32(i))
+		}
+		c.Placement.Reset(slots)
+		for _, sw := range c.Switches {
+			sw.SetServers(peers)
+		}
+		c.Opts.Servers = newServers
+
+		// New servers join (their configs see the new ring).
+		for i := len(old); i < newServers; i++ {
+			w := wal.NewMem()
+			c.wals = append(c.wals, w)
+			cfg := serverConfigOf(c, i)
+			cfg.WAL = w
+			srv := server.New(c.Env, cfg)
+			srv.SetServing(false)
+			c.Servers = append(c.Servers, srv)
+		}
+		// Surviving servers must address the new peer set.
+		for i, srv := range old {
+			if i < newServers {
+				srv.SetPeers(peers)
+			}
+		}
+
+		// Step 3: migrate metadata whose owner changed.
+		moved := 0
+		for i, srv := range old {
+			if i >= newServers {
+				// Removed server: everything it owns moves out.
+				moved += c.migrateFrom(srv)
+				srv.Crash()
+				continue
+			}
+			moved += c.migrateFrom(srv)
+		}
+		if len(old) > newServers {
+			c.Servers = c.Servers[:newServers]
+		}
+
+		// Step 4: resume.
+		for _, srv := range c.Servers {
+			srv.SetServing(true)
+		}
+		_ = moved
+		fut.Complete(p.Now() - start)
+	})
+	return fut
+}
+
+// migrateFrom moves every record on srv whose new owner differs. The
+// stop-the-world quiesce makes direct store-to-store movement safe; the
+// receiving server WAL-logs each record so migrations survive later crashes.
+func (c *Cluster) migrateFrom(srv *server.Server) int {
+	type rec struct {
+		key core.Key
+		in  *core.Inode
+	}
+	var inodes []rec
+	srv.KV().Scan(nil, func(k, v []byte) bool {
+		key, err := core.DecodeKey(k)
+		if err != nil {
+			return true // dentries move with their directory below
+		}
+		in, err := core.DecodeInode(v)
+		if err != nil {
+			return true
+		}
+		inodes = append(inodes, rec{key: key, in: in})
+		return true
+	})
+	moved := 0
+	for _, r := range inodes {
+		slot := c.Placement.OwnerOfFingerprint(r.key.Fingerprint())
+		dst := c.Servers[int(slot)]
+		if dst == srv {
+			continue
+		}
+		dst.InjectInode(r.key, r.in, true)
+		srv.KV().Delete(r.key.Encode())
+		moved++
+		if r.in.Type == core.TypeDir {
+			// The entry list lives with the directory inode.
+			prefix := core.EntryPrefix(r.in.ID)
+			type dent struct {
+				k []byte
+				e core.DirEntry
+			}
+			var dents []dent
+			srv.KV().Scan(prefix, func(k, v []byte) bool {
+				name := string(k[len(prefix):])
+				if de, err := core.DecodeDirEntry(name, v); err == nil {
+					dents = append(dents, dent{k: append([]byte(nil), k...), e: de})
+				}
+				return true
+			})
+			for _, d := range dents {
+				dst.InjectDentry(r.in.ID, d.e, true)
+				srv.KV().Delete(d.k)
+				moved++
+			}
+		}
+	}
+	return moved
+}

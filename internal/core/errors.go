@@ -1,0 +1,104 @@
+package core
+
+import "errors"
+
+// Filesystem errors surfaced by the public API. They mirror the POSIX errno
+// values the paper's operations return (e.g. rmdir on a non-empty directory
+// fails with ENOTEMPTY, §5.2.3).
+var (
+	// ErrExist: the target name already exists (EEXIST).
+	ErrExist = errors.New("file exists")
+	// ErrNotExist: no such file or directory (ENOENT).
+	ErrNotExist = errors.New("no such file or directory")
+	// ErrNotEmpty: directory not empty (ENOTEMPTY).
+	ErrNotEmpty = errors.New("directory not empty")
+	// ErrNotDir: a path component is not a directory (ENOTDIR).
+	ErrNotDir = errors.New("not a directory")
+	// ErrIsDir: the operation requires a non-directory (EISDIR).
+	ErrIsDir = errors.New("is a directory")
+	// ErrInvalid: malformed argument (EINVAL).
+	ErrInvalid = errors.New("invalid argument")
+	// ErrStaleCache: the client's cached directory metadata was invalidated
+	// (lazy invalidation, §5.2); the client must refresh and retry. Never
+	// surfaced to applications.
+	ErrStaleCache = errors.New("stale client metadata cache")
+	// ErrRetry: internal transient condition (lock conflict during 2PC,
+	// in-flight reconfiguration); the client library retries transparently.
+	ErrRetry = errors.New("transient conflict, retry")
+	// ErrUnavailable: the contacted server is recovering or stopped.
+	ErrUnavailable = errors.New("server unavailable")
+	// ErrLoop: the rename would make two directories each other's ancestor
+	// (orphaned loop, §5.2).
+	ErrLoop = errors.New("rename would create a directory loop")
+	// ErrTimeout: the operation exceeded its retry budget.
+	ErrTimeout = errors.New("operation timed out")
+)
+
+// Errno is the compact wire representation of the error set above.
+type Errno uint8
+
+// Wire error codes. ErrOK marks success.
+const (
+	ErrnoOK Errno = iota
+	ErrnoExist
+	ErrnoNotExist
+	ErrnoNotEmpty
+	ErrnoNotDir
+	ErrnoIsDir
+	ErrnoInvalid
+	ErrnoStaleCache
+	ErrnoRetry
+	ErrnoUnavailable
+	ErrnoLoop
+)
+
+var errnoToErr = [...]error{
+	ErrnoOK:          nil,
+	ErrnoExist:       ErrExist,
+	ErrnoNotExist:    ErrNotExist,
+	ErrnoNotEmpty:    ErrNotEmpty,
+	ErrnoNotDir:      ErrNotDir,
+	ErrnoIsDir:       ErrIsDir,
+	ErrnoInvalid:     ErrInvalid,
+	ErrnoStaleCache:  ErrStaleCache,
+	ErrnoRetry:       ErrRetry,
+	ErrnoUnavailable: ErrUnavailable,
+	ErrnoLoop:        ErrLoop,
+}
+
+// Err converts a wire code back into the canonical error value.
+func (e Errno) Err() error {
+	if int(e) < len(errnoToErr) {
+		return errnoToErr[e]
+	}
+	return ErrInvalid
+}
+
+// ErrnoOf maps an error to its wire code. Unknown errors map to ErrnoInvalid;
+// handlers only return errors from the set above.
+func ErrnoOf(err error) Errno {
+	switch {
+	case err == nil:
+		return ErrnoOK
+	case errors.Is(err, ErrExist):
+		return ErrnoExist
+	case errors.Is(err, ErrNotExist):
+		return ErrnoNotExist
+	case errors.Is(err, ErrNotEmpty):
+		return ErrnoNotEmpty
+	case errors.Is(err, ErrNotDir):
+		return ErrnoNotDir
+	case errors.Is(err, ErrIsDir):
+		return ErrnoIsDir
+	case errors.Is(err, ErrStaleCache):
+		return ErrnoStaleCache
+	case errors.Is(err, ErrRetry):
+		return ErrnoRetry
+	case errors.Is(err, ErrUnavailable):
+		return ErrnoUnavailable
+	case errors.Is(err, ErrLoop):
+		return ErrnoLoop
+	default:
+		return ErrnoInvalid
+	}
+}

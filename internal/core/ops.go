@@ -1,0 +1,86 @@
+package core
+
+// Op enumerates metadata operations. The paper classifies them by the number
+// of inodes they touch (§5.2): double-inode ops update the target object and
+// its parent directory and are the ones SwitchFS makes asynchronous.
+type Op uint8
+
+const (
+	// OpCreate creates a regular file (double-inode).
+	OpCreate Op = iota + 1
+	// OpDelete unlinks a regular file (double-inode).
+	OpDelete
+	// OpMkdir creates a directory (double-inode).
+	OpMkdir
+	// OpRmdir removes an empty directory (double-inode, plus aggregation).
+	OpRmdir
+	// OpStat reads a file inode (single-inode).
+	OpStat
+	// OpStatDir reads directory attributes (single-inode, directory read).
+	OpStatDir
+	// OpReadDir lists a directory (single-inode, directory read).
+	OpReadDir
+	// OpOpen opens a file (single-inode).
+	OpOpen
+	// OpClose closes a file (single-inode).
+	OpClose
+	// OpLookup resolves one path component to directory metadata.
+	OpLookup
+	// OpChmod updates permissions (single-inode on the target; directory
+	// chmod additionally broadcasts invalidation).
+	OpChmod
+	// OpRename moves a file or directory (up to four inodes, 2PC).
+	OpRename
+	// OpLink creates a hard link (2PC across reference and attributes).
+	OpLink
+	// OpRead reads file data from a data node (end-to-end workloads).
+	OpRead
+	// OpWrite writes file data to a data node (end-to-end workloads).
+	OpWrite
+)
+
+var opNames = [...]string{
+	OpCreate:  "create",
+	OpDelete:  "delete",
+	OpMkdir:   "mkdir",
+	OpRmdir:   "rmdir",
+	OpStat:    "stat",
+	OpStatDir: "statdir",
+	OpReadDir: "readdir",
+	OpOpen:    "open",
+	OpClose:   "close",
+	OpLookup:  "lookup",
+	OpChmod:   "chmod",
+	OpRename:  "rename",
+	OpLink:    "link",
+	OpRead:    "read",
+	OpWrite:   "write",
+}
+
+func (o Op) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return "op?"
+}
+
+// DoubleInode reports whether the operation updates both a target object and
+// its parent directory — the class SwitchFS executes asynchronously (§5.2.1).
+func (o Op) DoubleInode() bool {
+	switch o {
+	case OpCreate, OpDelete, OpMkdir, OpRmdir:
+		return true
+	}
+	return false
+}
+
+// DirRead reports whether the operation reads directory attributes or entry
+// lists and therefore must observe (and possibly aggregate) pending
+// asynchronous updates (§5.2.2).
+func (o Op) DirRead() bool { return o == OpStatDir || o == OpReadDir }
+
+// UpdatesDir reports whether the operation logically modifies its parent
+// directory's metadata (Tab. 2 "Dir. Update" class).
+func (o Op) UpdatesDir() bool {
+	return o.DoubleInode() || o == OpRename
+}

@@ -1,0 +1,168 @@
+// Package env provides the dual-mode runtime SwitchFS protocol code runs on.
+//
+// The same server, client, switch, and baseline implementations execute on
+// two environments:
+//
+//   - Sim: a deterministic discrete-event simulator with a virtual clock.
+//     Nodes have a configurable number of CPU cores (FIFO resources), links
+//     have configurable latency, jitter, loss and duplication, and all
+//     randomness is seeded. Benchmarks reproduce the paper's figures under
+//     Sim, because protocol-induced costs (RTT counts, lock serialization,
+//     per-op service time) are what the paper measures — and because virtual
+//     time can express "16 servers × 4 cores" on any host.
+//
+//   - Real: goroutines, channels and the wall clock. Examples and the UDP
+//     daemons run on Real.
+//
+// Protocol code is written against Proc (a lightweight process) and the
+// blocking primitives Future, Mutex, Cond and Semaphore, which behave
+// identically in both modes.
+package env
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Time is a clock reading in nanoseconds (virtual under Sim, monotonic wall
+// time under Real).
+type Time = int64
+
+// Duration is a span of nanoseconds.
+type Duration = int64
+
+// Convenient duration units.
+const (
+	Nanosecond  Duration = 1
+	Microsecond Duration = 1000
+	Millisecond Duration = 1000 * Microsecond
+	Second      Duration = 1000 * Millisecond
+)
+
+// NodeID names a node (client, metadata server, switch, data node) on the
+// simulated L2 network — the moral equivalent of a MAC address.
+type NodeID uint32
+
+// Handler processes one message delivered to a node. It runs on a fresh Proc
+// and may block on primitives, sleep, compute, and send messages.
+type Handler func(p *Proc, from NodeID, msg any)
+
+// NodeConfig configures a node at registration time.
+type NodeConfig struct {
+	// Cores is the number of CPU cores: the maximum number of concurrently
+	// executing Compute sections. Zero means unlimited (no CPU modeling) —
+	// used for client nodes, whose CPU is never the bottleneck in the paper.
+	Cores int
+	// Handler receives inbound messages. A nil handler drops them.
+	Handler Handler
+}
+
+// Env is the runtime interface shared by Sim and Real.
+type Env interface {
+	// Now returns the current clock reading.
+	Now() Time
+	// AddNode registers a node. Registering an existing id replaces its
+	// handler and core count (used when a crashed server restarts).
+	AddNode(id NodeID, cfg NodeConfig) *Node
+	// Node returns a registered node, or nil.
+	Node(id NodeID) *Node
+	// Spawn starts a process bound to the given node.
+	Spawn(node NodeID, fn func(*Proc))
+	// After schedules fn to run once after d. fn runs in a non-process
+	// context and must not block on primitives.
+	After(d Duration, fn func()) *Timer
+	// Net returns the network fault/latency configuration.
+	Net() *NetConfig
+
+	// unexported hooks used by Proc and the primitives.
+	now() Time
+	sched(d Duration, fn func()) *Timer
+	unpark(p *Proc)
+	deliver(from, to NodeID, msg any, extraDelay Duration)
+	newProc(node *Node, fn func(*Proc))
+	randFloat() float64
+	randJitter(j Duration) Duration
+}
+
+// Node is a registered network endpoint with its CPU resource.
+type Node struct {
+	ID    NodeID
+	cores *Semaphore // nil when Cores == 0
+	env   Env
+	h     Handler
+	down  bool
+}
+
+// SetDown marks the node crashed (true) or alive (false). Messages to and
+// from a crashed node are dropped, and its handler is not invoked — the
+// volatile-state loss itself is the owning subsystem's business.
+func (n *Node) SetDown(down bool) { n.down = down }
+
+// Down reports the crash flag.
+func (n *Node) Down() bool { return n.down }
+
+// SetHandler replaces the node's message handler (server restart).
+func (n *Node) SetHandler(h Handler) { n.h = h }
+
+// Proc is a lightweight process: protocol code's execution context. Procs
+// are cooperatively scheduled under Sim (exactly one runs at a time) and are
+// plain goroutines under Real.
+type Proc struct {
+	env    Env
+	node   *Node
+	resume chan struct{}
+	// timedOut communicates Future/acquire timeout state between the timer
+	// callback and the resumed process.
+	timedOut bool
+	// killed is set by Sim.Shutdown to unwind the process.
+	killed bool
+	// state tracks the Sim scheduler lifecycle (idle/dispatched/running/
+	// parked); the scheduler asserts its invariants on every transition.
+	state int
+}
+
+// Env returns the runtime this process runs on.
+func (p *Proc) Env() Env { return p.env }
+
+// Self returns the node this process is bound to.
+func (p *Proc) Self() NodeID { return p.node.ID }
+
+// Now returns the current clock reading.
+func (p *Proc) Now() Time { return p.env.now() }
+
+// Send transmits a message to another node, subject to the network's
+// latency, loss and duplication configuration. Send never blocks.
+func (p *Proc) Send(to NodeID, msg any) {
+	p.env.deliver(p.node.ID, to, msg, 0)
+}
+
+// Spawn starts a sibling process on the same node.
+func (p *Proc) Spawn(fn func(*Proc)) { p.env.newProc(p.node, fn) }
+
+// String aids debugging.
+func (p *Proc) String() string { return fmt.Sprintf("proc@%d", p.node.ID) }
+
+// Timer is a cancellable scheduled callback.
+type Timer struct {
+	cancelled atomic.Bool
+	fn        func()
+	// real-mode backing timer; nil under Sim.
+	stop func()
+}
+
+// Cancel prevents the callback from firing if it has not fired yet.
+func (t *Timer) Cancel() {
+	if t == nil {
+		return
+	}
+	t.cancelled.Store(true)
+	if t.stop != nil {
+		t.stop()
+	}
+}
+
+func (t *Timer) fire() {
+	if !t.cancelled.Load() && t.fn != nil {
+		t.fn()
+	}
+}

@@ -1,0 +1,59 @@
+package env
+
+// Verdict is a fault-injection decision for one message.
+type Verdict int
+
+// Verdicts returned by a Filter.
+const (
+	// Pass delivers the message normally (still subject to probabilities).
+	Pass Verdict = iota
+	// Drop discards the message.
+	Drop
+	// Dup delivers the message twice.
+	Dup
+)
+
+// NetConfig models the datacenter network connecting clients, servers and
+// the switch. SwitchFS runs over UDP (§5.4.1), so loss, duplication and
+// reordering are first-class behaviours the protocol must tolerate; tests
+// exercise them through these knobs.
+type NetConfig struct {
+	// Latency is the one-way propagation+processing delay per hop.
+	Latency Duration
+	// Jitter adds a uniform random [0, Jitter) to each delivery; any nonzero
+	// jitter yields reordering between independent packets.
+	Jitter Duration
+	// DropProb and DupProb are per-message probabilities.
+	DropProb float64
+	DupProb  float64
+	// Filter, when set, can override the fate of individual messages —
+	// targeted fault injection ("drop the first aggregation ack").
+	Filter func(from, to NodeID, msg any) Verdict
+}
+
+// DefaultNetConfig reflects the paper's testbed: ~1.5 µs one-way latency on
+// 100 GbE with kernel-bypass networking (the paper reports an RTT of ~3 µs
+// in §7.3.3), no loss.
+func DefaultNetConfig() NetConfig {
+	return NetConfig{Latency: 1500 * Nanosecond, Jitter: 200 * Nanosecond}
+}
+
+// decide applies the filter and probabilities.
+func (c *NetConfig) decide(from, to NodeID, msg any, e Env) (drop, dup bool, delay Duration) {
+	delay = c.Latency + e.randJitter(c.Jitter)
+	if c.Filter != nil {
+		switch c.Filter(from, to, msg) {
+		case Drop:
+			return true, false, 0
+		case Dup:
+			return false, true, delay
+		}
+	}
+	if c.DropProb > 0 && e.randFloat() < c.DropProb {
+		return true, false, 0
+	}
+	if c.DupProb > 0 && e.randFloat() < c.DupProb {
+		return false, true, delay
+	}
+	return false, false, delay
+}

@@ -1,0 +1,132 @@
+package env
+
+import "testing"
+
+func TestRWMutexReadersShare(t *testing.T) {
+	s := NewSim(1)
+	defer s.Shutdown()
+	s.AddNode(1, NodeConfig{})
+	var m RWMutex
+	inside := 0
+	maxInside := 0
+	for i := 0; i < 5; i++ {
+		s.Spawn(1, func(p *Proc) {
+			m.RLock(p)
+			inside++
+			if inside > maxInside {
+				maxInside = inside
+			}
+			p.Sleep(Microsecond)
+			inside--
+			m.RUnlock()
+		})
+	}
+	if end := s.Run(); end != Microsecond {
+		t.Fatalf("readers serialized: 5×1µs took %d", end)
+	}
+	if maxInside != 5 {
+		t.Fatalf("max concurrent readers = %d", maxInside)
+	}
+}
+
+func TestRWMutexWriterExcludes(t *testing.T) {
+	s := NewSim(1)
+	defer s.Shutdown()
+	s.AddNode(1, NodeConfig{})
+	var m RWMutex
+	var order []string
+	s.Spawn(1, func(p *Proc) {
+		m.Lock(p)
+		order = append(order, "w1-in")
+		p.Sleep(2 * Microsecond)
+		order = append(order, "w1-out")
+		m.Unlock()
+	})
+	s.Spawn(1, func(p *Proc) {
+		p.Sleep(Microsecond)
+		m.RLock(p)
+		order = append(order, "r")
+		m.RUnlock()
+	})
+	s.Run()
+	want := []string{"w1-in", "w1-out", "r"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order %v, want %v", order, want)
+		}
+	}
+}
+
+func TestRWMutexWriterNotStarved(t *testing.T) {
+	// FIFO queue: a writer arriving amid a reader stream blocks later
+	// readers, so it cannot starve.
+	s := NewSim(1)
+	defer s.Shutdown()
+	s.AddNode(1, NodeConfig{})
+	var m RWMutex
+	var got []string
+	// Reader R1 holds the lock; writer W queues; reader R2 arrives later and
+	// must wait behind W.
+	s.Spawn(1, func(p *Proc) {
+		m.RLock(p)
+		p.Sleep(3 * Microsecond)
+		m.RUnlock()
+	})
+	s.Spawn(1, func(p *Proc) {
+		p.Sleep(Microsecond)
+		m.Lock(p)
+		got = append(got, "W")
+		m.Unlock()
+	})
+	s.Spawn(1, func(p *Proc) {
+		p.Sleep(2 * Microsecond)
+		m.RLock(p)
+		got = append(got, "R2")
+		m.RUnlock()
+	})
+	s.Run()
+	if len(got) != 2 || got[0] != "W" || got[1] != "R2" {
+		t.Fatalf("order %v, want [W R2]", got)
+	}
+}
+
+func TestRWMutexReaderBatchAfterWriter(t *testing.T) {
+	s := NewSim(1)
+	defer s.Shutdown()
+	s.AddNode(1, NodeConfig{})
+	var m RWMutex
+	concurrent := 0
+	peak := 0
+	s.Spawn(1, func(p *Proc) {
+		m.Lock(p)
+		p.Sleep(Microsecond)
+		m.Unlock()
+	})
+	for i := 0; i < 4; i++ {
+		s.Spawn(1, func(p *Proc) {
+			p.Sleep(100) // queue behind the writer
+			m.RLock(p)
+			concurrent++
+			if concurrent > peak {
+				peak = concurrent
+			}
+			p.Sleep(Microsecond)
+			concurrent--
+			m.RUnlock()
+		})
+	}
+	s.Run()
+	if peak != 4 {
+		t.Fatalf("queued readers not granted as a batch: peak=%d", peak)
+	}
+}
+
+func TestRWMutexMisuse(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("RUnlock without RLock did not panic")
+		}
+	}()
+	var m RWMutex
+	m.RUnlock()
+}

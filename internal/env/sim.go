@@ -1,0 +1,309 @@
+package env
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+)
+
+// Sim is the deterministic discrete-event environment. All processes are
+// cooperatively scheduled: exactly one process (or event callback) executes
+// at any moment, events fire in (time, insertion) order, and every random
+// decision comes from a single seeded generator — identical configurations
+// produce identical executions.
+type Sim struct {
+	cur   Time
+	seq   uint64
+	pq    eventQueue
+	nodes map[NodeID]*Node
+	net   NetConfig
+	rnd   *rand.Rand
+
+	yield   chan struct{}
+	stopped bool
+
+	free []*simProcState // pooled worker goroutines
+	all  []*simProcState // every live worker, for Shutdown
+
+	// Stats observable by harnesses.
+	Delivered uint64
+	Dropped   uint64
+	// lastBusy is the virtual time of the last real work (a process ran);
+	// cancelled-timer no-ops do not advance it.
+	lastBusy Time
+}
+
+type simProcState struct {
+	p      *Proc
+	fn     func(*Proc)
+	exited bool
+}
+
+// NewSim creates a simulator seeded for deterministic execution.
+func NewSim(seed int64) *Sim {
+	s := &Sim{
+		nodes: make(map[NodeID]*Node),
+		rnd:   rand.New(rand.NewSource(seed)),
+		yield: make(chan struct{}),
+		net:   DefaultNetConfig(),
+	}
+	return s
+}
+
+// Now returns the virtual clock.
+func (s *Sim) Now() Time { return s.cur }
+func (s *Sim) now() Time { return s.cur }
+
+// Net returns the mutable network configuration.
+func (s *Sim) Net() *NetConfig { return &s.net }
+
+// AddNode registers (or re-registers) a node.
+func (s *Sim) AddNode(id NodeID, cfg NodeConfig) *Node {
+	n := s.nodes[id]
+	if n == nil {
+		n = &Node{ID: id, env: s}
+		s.nodes[id] = n
+	}
+	n.h = cfg.Handler
+	if cfg.Cores > 0 {
+		n.cores = NewSemaphore(cfg.Cores)
+	} else {
+		n.cores = nil
+	}
+	n.down = false
+	return n
+}
+
+// Node returns a registered node or nil.
+func (s *Sim) Node(id NodeID) *Node { return s.nodes[id] }
+
+// Spawn starts a process on the given node at the current virtual time.
+func (s *Sim) Spawn(node NodeID, fn func(*Proc)) {
+	n := s.nodes[node]
+	if n == nil {
+		panic("env: Spawn on unregistered node")
+	}
+	s.newProc(n, fn)
+}
+
+// After schedules a callback.
+func (s *Sim) After(d Duration, fn func()) *Timer { return s.sched(d, fn) }
+
+func (s *Sim) sched(d Duration, fn func()) *Timer {
+	t := &Timer{fn: fn}
+	if d < 0 {
+		d = 0
+	}
+	s.seq++
+	heap.Push(&s.pq, event{at: s.cur + d, seq: s.seq, fn: t.fire})
+	return t
+}
+
+func (s *Sim) randFloat() float64 { return s.rnd.Float64() }
+
+func (s *Sim) randJitter(j Duration) Duration {
+	if j <= 0 {
+		return 0
+	}
+	return Duration(s.rnd.Int63n(int64(j)))
+}
+
+// deliver sends a message through the simulated network.
+func (s *Sim) deliver(from, to NodeID, msg any, extraDelay Duration) {
+	src := s.nodes[from]
+	if src != nil && src.down {
+		return // a crashed node emits nothing
+	}
+	drop, dup, delay := s.net.decide(from, to, msg, s)
+	if drop {
+		s.Dropped++
+		return
+	}
+	n := 1
+	if dup {
+		n = 2
+	}
+	for i := 0; i < n; i++ {
+		d := delay + extraDelay
+		if i > 0 {
+			d += s.randJitter(s.net.Latency) // duplicates trail the original
+		}
+		s.sched(d, func() {
+			dst := s.nodes[to]
+			if dst == nil || dst.down || dst.h == nil {
+				s.Dropped++
+				return
+			}
+			s.Delivered++
+			s.newProc(dst, func(p *Proc) { dst.h(p, from, msg) })
+		})
+	}
+}
+
+// newProc dispatches fn on a pooled worker goroutine, scheduled immediately.
+func (s *Sim) newProc(node *Node, fn func(*Proc)) {
+	var st *simProcState
+	if k := len(s.free); k > 0 {
+		st = s.free[k-1]
+		s.free = s.free[:k-1]
+	} else {
+		st = &simProcState{p: &Proc{env: s, resume: make(chan struct{}, 1)}}
+		s.all = append(s.all, st)
+		go s.workerLoop(st)
+	}
+	st.p.node = node
+	st.fn = fn
+	st.p.state = stateDispatched
+	s.sched(0, func() { s.runProc(st.p, stateDispatched) })
+}
+
+// Proc lifecycle states (diagnostics for the scheduler invariants).
+const (
+	stateIdle = iota
+	stateDispatched
+	stateRunning
+	stateParked
+)
+
+// workerLoop is the body of a pooled worker goroutine.
+func (s *Sim) workerLoop(st *simProcState) {
+	defer func() {
+		// A killed worker unwinds with killSentinel; anything else is a real
+		// bug and must crash the test/benchmark loudly.
+		if r := recover(); r != nil {
+			if _, ok := r.(killSentinel); ok {
+				st.exited = true
+				s.yield <- struct{}{}
+				return
+			}
+			panic(r)
+		}
+	}()
+	for {
+		<-st.p.resume
+		if st.p.killed {
+			panic(killSentinel{})
+		}
+		if st.p.state != stateRunning {
+			panic(fmt.Sprintf("env: worker woke with stale token (state %d)", st.p.state))
+		}
+		if st.fn == nil {
+			panic("env: worker dispatched with no function (stale token)")
+		}
+		st.fn(st.p)
+		st.fn = nil
+		st.p.state = stateIdle
+		s.free = append(s.free, st)
+		s.yield <- struct{}{}
+	}
+}
+
+type killSentinel struct{}
+
+// runProc transfers control to p until it parks, finishes, or dies.
+func (s *Sim) runProc(p *Proc, want int) {
+	s.lastBusy = s.cur
+	if p.state != want {
+		panic(fmt.Sprintf("env: scheduling a proc in state %d, want %d", p.state, want))
+	}
+	p.state = stateRunning
+	select {
+	case p.resume <- struct{}{}:
+	default:
+		panic("env: double unpark — a process was made runnable twice for one park")
+	}
+	<-s.yield
+}
+
+// park is called from a running process to hand control back to the
+// scheduler until unparked.
+func (p *Proc) park() {
+	if s, ok := p.env.(*Sim); ok {
+		p.state = stateParked
+		s.yield <- struct{}{}
+		<-p.resume
+		if p.killed {
+			panic(killSentinel{})
+		}
+		if p.state != stateRunning {
+			panic(fmt.Sprintf("env: park woke with stale token (state %d)", p.state))
+		}
+		return
+	}
+	<-p.resume
+}
+
+// unpark makes a parked process runnable at the current virtual time.
+func (s *Sim) unpark(p *Proc) {
+	s.sched(0, func() { s.runProc(p, stateParked) })
+}
+
+// Run executes events until the queue drains or Stop is called. It returns
+// the virtual time reached. A Stop from an earlier Run does not carry over.
+func (s *Sim) Run() Time {
+	s.stopped = false
+	for !s.stopped && s.pq.Len() > 0 {
+		ev := heap.Pop(&s.pq).(event)
+		if ev.at > s.cur {
+			s.cur = ev.at
+		}
+		ev.fn()
+	}
+	return s.cur
+}
+
+// RunFor executes events for d of virtual time, then stops (leaving pending
+// events queued). It returns the virtual time reached.
+func (s *Sim) RunFor(d Duration) Time {
+	s.sched(d, func() { s.stopped = true })
+	return s.Run()
+}
+
+// Stop halts Run after the current event.
+func (s *Sim) Stop() { s.stopped = true }
+
+// LastBusy returns the virtual time of the most recent process execution —
+// the drain point of background work, ignoring trailing cancelled timers.
+func (s *Sim) LastBusy() Time { return s.lastBusy }
+
+// Shutdown kills every live process so the worker goroutines exit. The
+// simulation must not be Run again afterwards. Benchmarks call Shutdown after
+// every configuration so parked processes do not accumulate across runs.
+func (s *Sim) Shutdown() {
+	s.stopped = true
+	for _, st := range s.all {
+		if st.exited {
+			continue
+		}
+		st.p.killed = true
+		st.p.resume <- struct{}{}
+		<-s.yield
+	}
+	s.free = nil
+}
+
+// event is a scheduled callback.
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventQueue []event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	*q = old[:n-1]
+	return ev
+}

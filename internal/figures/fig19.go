@@ -1,0 +1,72 @@
+package figures
+
+import (
+	"fmt"
+
+	"switchfs/internal/workload"
+)
+
+// Fig19 reproduces Fig. 19 / Tab. 5: end-to-end throughput under real-world
+// workloads — the synthetic PanguFS mix (80% of operations in 20% of the
+// directories), the CNN-training trace, and the thumbnail trace, the latter
+// two with data access against data nodes. Shapes: SwitchFS leads; CephFS
+// trails by orders of magnitude; E-InfiniFS and E-CFS land between.
+func Fig19(sc Scale) Table {
+	t := Table{ID: "Fig19", Title: "end-to-end workloads: throughput (Kops/s)",
+		Header: []string{"workload", "CephFS", "Emulated-InfiniFS", "Emulated-CFS", "SwitchFS"}}
+	cases := []struct {
+		name string
+		mix  workload.Mix
+		skew bool
+		data bool
+	}{
+		{"Synthetic (Pangu, skewed)", workload.PanguMix(), true, false},
+		{"CNN Training", workload.CNNTrainingMix(128 << 10), false, true},
+		{"Thumbnail", workload.ThumbnailMix(128 << 10), false, true},
+		{"CNN Training (metadata)", workload.CNNTrainingMix(0), false, false},
+		{"Thumbnail (metadata)", workload.ThumbnailMix(0), false, false},
+	}
+	ns := workload.MultiDir(sc.Dirs, sc.FilesPerDir)
+	for _, cse := range cases {
+		row := []string{cse.name}
+		for _, k := range []sysKind{sysCeph, sysInfiniFS, sysCFS, sysSwitchFS} {
+			dataNodes := 0
+			if cse.data {
+				dataNodes = 8
+			}
+			sim, sys, done := deploy(17, k, 8, 4, 8, dataNodes, nil)
+			if k == sysSwitchFS {
+				done()
+				sim, sys, done = deploySwitchFS(17, 8, 4, 8, dataNodes)
+			}
+			ns.Preload(sys)
+			workers := sc.Workers * 4 // §7.6: 256 in-flight requests
+			if k == sysCeph {
+				workers = sc.Workers
+			}
+			res := runOn(sim, sys, ns, cse.mix.Gen(ns, cse.skew), workers, sc.OpsPerWorker, 8)
+			done()
+			row = append(row, kops(res.ThroughputOps()))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// Recovery reproduces §7.7: time to recover a crashed server (WAL replay +
+// re-aggregation + invalidation-list clone) and to restore consistency after
+// a switch reboot (flush every change-log). Recovery time is proportional to
+// the volume of WAL-resident state.
+func Recovery(sc Scale) Table {
+	t := Table{ID: "Recovery", Title: "crash recovery time (virtual ms)",
+		Header: []string{"scenario", "files", "recovery ms"}}
+	for _, files := range []int{sc.Dirs * sc.FilesPerDir / 4, sc.Dirs * sc.FilesPerDir} {
+		d := recoverServerTime(18, files, sc.Dirs)
+		t.Rows = append(t.Rows, []string{"server crash", itoa(files), fmt.Sprintf("%.3f", float64(d)/1e6)})
+	}
+	for _, files := range []int{sc.Dirs * sc.FilesPerDir / 4, sc.Dirs * sc.FilesPerDir} {
+		d := recoverSwitchTime(19, files, sc.Dirs)
+		t.Rows = append(t.Rows, []string{"switch crash", itoa(files), fmt.Sprintf("%.3f", float64(d)/1e6)})
+	}
+	return t
+}

@@ -1,0 +1,217 @@
+// Package figures regenerates every table and figure of the paper's
+// evaluation (§3.2 motivation and §7). Each function stands up the systems
+// under comparison on a fresh deterministic simulation, preloads the
+// workload's namespace, drives the closed-loop load, and returns a printable
+// table. EXPERIMENTS.md records the paper-vs-measured comparison for each.
+package figures
+
+import (
+	"fmt"
+	"strings"
+
+	"switchfs/internal/baseline"
+	"switchfs/internal/cluster"
+	"switchfs/internal/core"
+	"switchfs/internal/env"
+	"switchfs/internal/fsapi"
+	"switchfs/internal/workload"
+)
+
+// Scale sizes an experiment. Quick keeps `go test -bench` fast; Paper
+// approaches the paper's population sizes (minutes per figure).
+type Scale struct {
+	Dirs         int
+	FilesPerDir  int
+	Workers      int
+	OpsPerWorker int
+	ServerCounts []int
+	CoreCounts   []int
+	BurstSizes   []int
+}
+
+// Quick is the reduced scale used by the bench targets.
+func Quick() Scale {
+	return Scale{
+		Dirs:         64,
+		FilesPerDir:  64,
+		Workers:      64,
+		OpsPerWorker: 40,
+		ServerCounts: []int{4, 8, 16},
+		CoreCounts:   []int{2, 4, 6},
+		BurstSizes:   []int{10, 50, 1000},
+	}
+}
+
+// Paper approaches the paper's configuration (§7.1).
+func Paper() Scale {
+	return Scale{
+		Dirs:         1024,
+		FilesPerDir:  256,
+		Workers:      256,
+		OpsPerWorker: 120,
+		ServerCounts: []int{4, 8, 12, 16},
+		CoreCounts:   []int{2, 3, 4, 5, 6},
+		BurstSizes:   []int{10, 20, 50, 100, 1000},
+	}
+}
+
+// Table is a printable result grid.
+type Table struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// String renders the table as aligned text.
+func (t Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s — %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Header)
+	for _, r := range t.Rows {
+		line(r)
+	}
+	return b.String()
+}
+
+// sysKind names a system under comparison.
+type sysKind int
+
+const (
+	sysSwitchFS sysKind = iota
+	sysInfiniFS
+	sysCFS
+	sysCeph
+	sysIndexFS
+)
+
+func (k sysKind) String() string {
+	switch k {
+	case sysSwitchFS:
+		return "SwitchFS"
+	case sysInfiniFS:
+		return "Emulated-InfiniFS"
+	case sysCFS:
+		return "Emulated-CFS"
+	case sysCeph:
+		return "CephFS"
+	default:
+		return "IndexFS"
+	}
+}
+
+// deploy stands up one system on a fresh simulation.
+func deploy(seed int64, k sysKind, servers, cores, clients, dataNodes int,
+	tweak func(*cluster.Options)) (*env.Sim, fsapi.System, func()) {
+
+	sim := env.NewSim(seed)
+	costs := env.DefaultCosts()
+	switch k {
+	case sysSwitchFS:
+		opts := cluster.Options{
+			Servers:         servers,
+			CoresPerServer:  cores,
+			Clients:         clients,
+			DataNodes:       dataNodes,
+			Costs:           costs,
+			SwitchIndexBits: 14,
+		}
+		if tweak != nil {
+			tweak(&opts)
+		}
+		var c *cluster.Cluster
+		if opts.Async || opts.Compaction {
+			c = cluster.NewWithModes(sim, opts)
+		} else if tweak == nil {
+			c = cluster.New(sim, opts)
+		} else {
+			c = cluster.NewWithModes(sim, opts)
+		}
+		return sim, c, sim.Shutdown
+	default:
+		mode := map[sysKind]baseline.Mode{
+			sysInfiniFS: baseline.InfiniFS,
+			sysCFS:      baseline.CFS,
+			sysCeph:     baseline.Ceph,
+			sysIndexFS:  baseline.IndexFS,
+		}[k]
+		c := baseline.New(sim, baseline.Options{
+			Mode:           mode,
+			Servers:        servers,
+			CoresPerServer: cores,
+			Clients:        clients,
+			DataNodes:      dataNodes,
+			Costs:          costs,
+		})
+		return sim, c, sim.Shutdown
+	}
+}
+
+// deploySwitchFS is deploy with full SwitchFS defaults.
+func deploySwitchFS(seed int64, servers, cores, clients, dataNodes int) (*env.Sim, fsapi.System, func()) {
+	return deploy(seed, sysSwitchFS, servers, cores, clients, dataNodes, func(o *cluster.Options) {
+		o.Async = true
+		o.Compaction = true
+	})
+}
+
+// kops formats ops/s as Kops/s.
+func kops(v float64) string { return fmt.Sprintf("%.1f", v/1e3) }
+
+// mops formats ops/s as Mops/s.
+func mops(v float64) string { return fmt.Sprintf("%.3f", v/1e6) }
+
+// us formats nanoseconds as microseconds.
+func us(v float64) string { return fmt.Sprintf("%.1f", v/1e3) }
+
+// runOn executes a generator against a deployed system.
+func runOn(sim *env.Sim, sys fsapi.System, ns workload.Namespace, gen workload.Gen,
+	workers, ops, clients int) workload.Result {
+	return workload.Run(sim, sys, workload.RunCfg{
+		Workers:      workers,
+		OpsPerWorker: ops,
+		Clients:      clients,
+		Seed:         1,
+		Gen:          gen,
+	})
+}
+
+// genFor builds the per-op generator used by the Fig. 12 matrix.
+func genFor(ns workload.Namespace, op core.Op) workload.Gen {
+	switch op {
+	case core.OpCreate:
+		return ns.FreshFiles(core.OpCreate)
+	case core.OpDelete:
+		return ns.CreateThenDelete()
+	case core.OpMkdir:
+		return ns.FreshDirs(core.OpMkdir)
+	case core.OpRmdir:
+		return ns.MkdirThenRmdir()
+	case core.OpStat:
+		return ns.UniformFiles(core.OpStat)
+	case core.OpStatDir:
+		return ns.StatDirs()
+	default:
+		return ns.UniformFiles(op)
+	}
+}

@@ -1,0 +1,84 @@
+package figures
+
+import (
+	"fmt"
+
+	"switchfs/internal/client"
+	"switchfs/internal/cluster"
+	"switchfs/internal/env"
+)
+
+// recoverServerTime preloads a WAL-backed namespace, runs protocol traffic so
+// change-logs hold pending entries, crashes one server, and measures §5.4.2
+// recovery: WAL replay, change-log re-delivery, aggregation of owned
+// directories, invalidation-list clone.
+func recoverServerTime(seed int64, files, dirs int) env.Duration {
+	sim := env.NewSim(seed)
+	defer sim.Shutdown()
+	c := cluster.New(sim, cluster.Options{Servers: 8, Clients: 1, SwitchIndexBits: 14,
+		Costs: env.DefaultCosts(),
+		// Proactive aggregation is parked so pending updates survive until
+		// the crash — the recovery has real change-logs to re-deliver.
+		PushEntries: 1 << 30, PushIdle: env.Second, OwnerQuiesce: env.Second})
+	pl := cluster.NewPreload(c)
+	pl.LogWAL = true
+	perDir := files / dirs
+	if perDir < 1 {
+		perDir = 1
+	}
+	for d := 0; d < dirs; d++ {
+		pl.Files(fmt.Sprintf("/w%04d", d), "f", perDir)
+	}
+	// Pending asynchronous updates at crash time (stop before the proactive
+	// timers drain them).
+	c.RunNoDrain(0, func(p *env.Proc, cl *client.Client) {
+		for d := 0; d < dirs; d += 7 {
+			cl.Create(p, fmt.Sprintf("/w%04d/pending", d), 0)
+		}
+	})
+	c.CrashServer(1)
+	fut := c.RecoverServer(1)
+	sim.Run()
+	v, ok := fut.Peek()
+	if !ok {
+		panic("figures: server recovery did not complete")
+	}
+	if err, isErr := v.(error); isErr {
+		panic(err)
+	}
+	return v.(env.Duration)
+}
+
+// recoverSwitchTime measures restoring consistency after a switch reboot:
+// every server flushes its change-logs so all directories return to normal
+// state, matching the reset dirty set.
+func recoverSwitchTime(seed int64, files, dirs int) env.Duration {
+	sim := env.NewSim(seed)
+	defer sim.Shutdown()
+	c := cluster.New(sim, cluster.Options{Servers: 8, Clients: 1, SwitchIndexBits: 14,
+		Costs:       env.DefaultCosts(),
+		PushEntries: 1 << 30, PushIdle: env.Second, OwnerQuiesce: env.Second})
+	pl := cluster.NewPreload(c)
+	perDir := files / dirs
+	if perDir < 1 {
+		perDir = 1
+	}
+	for d := 0; d < dirs; d++ {
+		pl.Files(fmt.Sprintf("/w%04d", d), "f", perDir)
+	}
+	c.RunNoDrain(0, func(p *env.Proc, cl *client.Client) {
+		for d := 0; d < dirs; d++ {
+			for i := 0; i < 4; i++ {
+				cl.Create(p, fmt.Sprintf("/w%04d/pending%d", d, i), 0)
+			}
+		}
+	})
+	c.CrashSwitch()
+	fut := c.RecoverSwitch()
+	sim.Run()
+	v, ok := fut.Peek()
+	if !ok {
+		panic("figures: switch recovery did not complete")
+	}
+	return v.(env.Duration)
+}

@@ -1,0 +1,35 @@
+package figures
+
+import (
+	"testing"
+
+	"switchfs/internal/core"
+	"switchfs/internal/workload"
+)
+
+// TestSmokeThroughput sanity-checks the harness plumbing: SwitchFS must beat
+// Emulated-CFS on contended creates (the paper's headline), and every system
+// must complete without errors.
+func TestSmokeThroughput(t *testing.T) {
+	ns := workload.SingleDir(16)
+	results := map[sysKind]float64{}
+	for _, k := range []sysKind{sysSwitchFS, sysInfiniFS, sysCFS} {
+		var sim, sys, done = deploy(1, k, 8, 4, 4, 0, nil)
+		if k == sysSwitchFS {
+			sim.Shutdown()
+			sim, sys, done = deploySwitchFS(1, 8, 4, 4, 0)
+		}
+		ns.Preload(sys)
+		res := runOn(sim, sys, ns, ns.FreshFiles(core.OpCreate), 64, 30, 4)
+		done()
+		if res.Errs > 0 {
+			t.Fatalf("%v: %d errors", k, res.Errs)
+		}
+		results[k] = res.ThroughputOps()
+		t.Logf("%v: %.0f ops/s, %s", k, res.ThroughputOps(), res.All.Summary())
+	}
+	if results[sysSwitchFS] <= results[sysCFS] {
+		t.Errorf("SwitchFS (%.0f) did not beat E-CFS (%.0f) on contended creates",
+			results[sysSwitchFS], results[sysCFS])
+	}
+}

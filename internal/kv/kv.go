@@ -1,0 +1,179 @@
+// Package kv implements the ordered in-memory key-value store backing each
+// metadata server — the stand-in for RocksDB in async-write mode (paper
+// §7.1). It is a concurrent skiplist with byte-ordered keys and prefix scans;
+// directory entry lists rely on the ordering to enumerate children with one
+// scan (schema of Tab. 3).
+package kv
+
+import (
+	"bytes"
+	"math/rand"
+	"sync"
+)
+
+const maxLevel = 20
+
+type node struct {
+	key  []byte
+	val  []byte
+	next []*node
+	dead bool // tombstone under delete; removed from index immediately
+}
+
+// Store is a sorted key-value map safe for concurrent use.
+type Store struct {
+	mu   sync.RWMutex
+	head *node
+	rnd  *rand.Rand
+	n    int
+}
+
+// New creates an empty store. The level generator is seeded deterministically
+// so simulated runs are reproducible.
+func New() *Store {
+	return &Store{
+		head: &node{next: make([]*node, maxLevel)},
+		rnd:  rand.New(rand.NewSource(0x5FD1)),
+	}
+}
+
+// Len returns the number of live keys.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.n
+}
+
+// randLevel picks a tower height with P(level ≥ k) = 4^-k.
+func (s *Store) randLevel() int {
+	lvl := 1
+	for lvl < maxLevel && s.rnd.Intn(4) == 0 {
+		lvl++
+	}
+	return lvl
+}
+
+// findPred fills pred[i] with the rightmost node at level i whose key is
+// strictly less than key. Caller holds at least the read lock.
+func (s *Store) findPred(key []byte, pred *[maxLevel]*node) *node {
+	x := s.head
+	for i := maxLevel - 1; i >= 0; i-- {
+		for x.next[i] != nil && bytes.Compare(x.next[i].key, key) < 0 {
+			x = x.next[i]
+		}
+		pred[i] = x
+	}
+	return x.next[0]
+}
+
+// Get returns a copy of the value stored under key.
+func (s *Store) Get(key []byte) ([]byte, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var pred [maxLevel]*node
+	n := s.findPred(key, &pred)
+	if n == nil || !bytes.Equal(n.key, key) {
+		return nil, false
+	}
+	return append([]byte(nil), n.val...), true
+}
+
+// Has reports key presence without copying the value.
+func (s *Store) Has(key []byte) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var pred [maxLevel]*node
+	n := s.findPred(key, &pred)
+	return n != nil && bytes.Equal(n.key, key)
+}
+
+// Put stores a copy of val under a copy of key, overwriting any previous
+// value. It reports whether the key was newly inserted.
+func (s *Store) Put(key, val []byte) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var pred [maxLevel]*node
+	n := s.findPred(key, &pred)
+	if n != nil && bytes.Equal(n.key, key) {
+		n.val = append([]byte(nil), val...)
+		return false
+	}
+	lvl := s.randLevel()
+	nn := &node{
+		key:  append([]byte(nil), key...),
+		val:  append([]byte(nil), val...),
+		next: make([]*node, lvl),
+	}
+	for i := 0; i < lvl; i++ {
+		nn.next[i] = pred[i].next[i]
+		pred[i].next[i] = nn
+	}
+	s.n++
+	return true
+}
+
+// Delete removes key, reporting whether it was present.
+func (s *Store) Delete(key []byte) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var pred [maxLevel]*node
+	n := s.findPred(key, &pred)
+	if n == nil || !bytes.Equal(n.key, key) {
+		return false
+	}
+	for i := 0; i < len(n.next); i++ {
+		if pred[i].next[i] == n {
+			pred[i].next[i] = n.next[i]
+		}
+	}
+	n.dead = true
+	s.n--
+	return true
+}
+
+// Scan calls fn for every live (key, value) with the given prefix, in key
+// order, until fn returns false. The callback receives the store's internal
+// slices and must not retain or mutate them.
+func (s *Store) Scan(prefix []byte, fn func(key, val []byte) bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var pred [maxLevel]*node
+	n := s.findPred(prefix, &pred)
+	for n != nil && bytes.HasPrefix(n.key, prefix) {
+		if !fn(n.key, n.val) {
+			return
+		}
+		n = n.next[0]
+	}
+}
+
+// CountPrefix returns the number of keys with the given prefix.
+func (s *Store) CountPrefix(prefix []byte) int {
+	c := 0
+	s.Scan(prefix, func(_, _ []byte) bool { c++; return true })
+	return c
+}
+
+// Range calls fn for every live pair in [lo, hi) in key order until fn
+// returns false. A nil hi means "to the end".
+func (s *Store) Range(lo, hi []byte, fn func(key, val []byte) bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var pred [maxLevel]*node
+	n := s.findPred(lo, &pred)
+	for n != nil && (hi == nil || bytes.Compare(n.key, hi) < 0) {
+		if !fn(n.key, n.val) {
+			return
+		}
+		n = n.next[0]
+	}
+}
+
+// Clear drops every key (crash simulation: a server's volatile state is
+// lost).
+func (s *Store) Clear() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.head = &node{next: make([]*node, maxLevel)}
+	s.n = 0
+}

@@ -1,0 +1,4 @@
+package server
+
+// EnableApplyTrace toggles apply tracing (development diagnostics).
+func EnableApplyTrace(v bool) { debugApply = v }

@@ -1,0 +1,332 @@
+package server
+
+import (
+	"switchfs/internal/core"
+	"switchfs/internal/env"
+	"switchfs/internal/wal"
+	"switchfs/internal/wire"
+)
+
+// handleMutate executes create, delete, mkdir (asynchronously per §5.2.1)
+// and rmdir (aggregation-first per §5.2.3). The request is addressed to the
+// owner of the target object's inode.
+func (s *Server) handleMutate(p *env.Proc, req *wire.MutateReq) {
+	p.Compute(s.cfg.Costs.Parse)
+	if s.replayIfDuplicate(p, &req.ReqCommon) {
+		return
+	}
+	if !s.begin(&req.ReqCommon) {
+		return // in flight; the original execution will reply
+	}
+	s.Stats.Ops++
+	if req.Op == core.OpRmdir {
+		s.doRmdir(p, req)
+		return
+	}
+	s.doMutate(p, req)
+}
+
+// doMutate is the local half of create/delete/mkdir.
+func (s *Server) doMutate(p *env.Proc, req *wire.MutateReq) {
+	c := &s.cfg.Costs
+	key := core.Key{PID: req.Parent.ID, Name: req.Name}
+	parentLog := s.clogOf(req.Parent)
+
+	// Locking (Fig. 4 step 2): shared lock on the parent's change-log —
+	// concurrent updates to one directory commute — and an exclusive lock on
+	// the target inode, which serializes create/delete of the same name.
+	p.Compute(c.LockOp)
+	parentLog.lock.RLock(p)
+	kl := s.lockOf(key)
+	kl.Lock(p)
+	fail := func(err error) {
+		kl.Unlock()
+		parentLog.lock.RUnlock()
+		resp := &wire.MutateResp{RespCommon: s.respCommon(&req.ReqCommon, err)}
+		s.remember(req.Client, req.RPC, resp)
+		s.reply(p, req.Client, resp)
+	}
+
+	// Checking (step 3): stale-cache validation and existence.
+	if err := s.checkAncestors(&req.ReqCommon); err != nil {
+		fail(err)
+		return
+	}
+	p.Compute(c.KVGet)
+	raw, exists := s.kv.Get(key.Encode())
+	var newDir core.DirID
+	in := &core.Inode{}
+	entry := core.LogEntry{Time: p.Now(), Name: req.Name}
+	switch req.Op {
+	case core.OpCreate:
+		if exists {
+			fail(core.ErrExist)
+			return
+		}
+		perm := req.Perm
+		if perm == 0 {
+			perm = core.DefaultFilePerm
+		}
+		now := p.Now()
+		in.Attr = core.Attr{Type: core.TypeRegular, Perm: perm, Nlink: 1,
+			Atime: now, Mtime: now, Ctime: now}
+		entry.Op, entry.Type, entry.Perm = core.OpCreate, core.TypeRegular, perm
+	case core.OpMkdir:
+		if exists {
+			fail(core.ErrExist)
+			return
+		}
+		perm := req.Perm
+		if perm == 0 {
+			perm = core.DefaultDirPerm
+		}
+		now := p.Now()
+		newDir = s.idgen.Next()
+		in.Attr = core.Attr{Type: core.TypeDir, Perm: perm, Nlink: 2,
+			Atime: now, Mtime: now, Ctime: now}
+		in.ID = newDir
+		entry.Op, entry.Type, entry.Perm = core.OpMkdir, core.TypeDir, perm
+	case core.OpDelete:
+		if !exists {
+			fail(core.ErrNotExist)
+			return
+		}
+		old, err := core.DecodeInode(raw)
+		if err != nil || old.Type == core.TypeDir {
+			fail(core.ErrIsDir)
+			return
+		}
+		entry.Op, entry.Type = core.OpDelete, old.Type
+		if old.File != 0 {
+			// Hard-linked file: the delete removes this reference and
+			// decrements the shared attribute object's link count (§5.5).
+			if err := s.adjustNlink(p, old.File, -1); err != nil {
+				fail(err)
+				return
+			}
+		}
+	default:
+		fail(core.ErrInvalid)
+		return
+	}
+
+	// Commit (step 4): persist the operation, then execute (step 5). The
+	// change-log entry id is reserved before logging so recovery can rebuild
+	// the queue; per-name FIFO order is guaranteed by the target inode lock,
+	// not by global id order.
+	s.mu.Lock()
+	s.nextEntry++
+	entry.ID = s.nextEntry
+	s.mu.Unlock()
+	walRec := s.encodeCommit(req.Op, key, req.Parent, entry, in)
+	p.Compute(c.WALAppend)
+	var lsn = mustAppend(s.wal, recCommit, walRec)
+	if req.Op == core.OpDelete {
+		p.Compute(c.KVDel)
+		s.kv.Delete(key.Encode())
+	} else {
+		p.Compute(c.KVPut)
+		s.kv.Put(key.Encode(), core.EncodeInode(in))
+	}
+
+	if !s.cfg.Async {
+		// Baseline (Fig. 14): synchronous cross-server update of the parent
+		// directory before replying. Locks are held across the round trip.
+		s.syncCommit(p, req, parentLog, entry, lsn, kl, newDir)
+		return
+	}
+
+	// Append to the parent's change-log (step 5).
+	p.Compute(c.LogAppend)
+	parentLog.qmu.Lock()
+	parentLog.log.Append(entry)
+	parentLog.walLSN[entry.ID] = lsn
+	pending := parentLog.log.Len()
+	parentLog.qmu.Unlock()
+
+	// Dirty-set update and completion (steps 6–7).
+	resp := &wire.MutateResp{RespCommon: s.respCommon(&req.ReqCommon, nil), Dir: newDir}
+	s.remember(req.Client, req.RPC, resp)
+	s.asyncCommit(p, req.Parent, parentLog, entry, resp, req.Client)
+
+	// Unlocking happens when the switch (or the fallback owner) acks.
+	kl.Unlock()
+	parentLog.lock.RUnlock()
+
+	// Proactive push when the log fills an MTU (§5.3), outside the locks.
+	if pending >= s.cfg.PushEntries {
+		s.maybePush(parentLog)
+	} else {
+		s.resetIdleTimer(parentLog)
+	}
+}
+
+// asyncCommit sends the dirty-set insert and waits for the commit ack
+// (success multicast leg 7b, or the fallback owner's ack). Retransmission
+// makes the path robust to packet loss; inserts are idempotent (§5.4.1).
+func (s *Server) asyncCommit(p *env.Proc, parent core.DirRef, parentLog *dirLog,
+	entry core.LogEntry, resp *wire.MutateResp, client env.NodeID) {
+
+	s.mu.Lock()
+	s.nextCommit++
+	ctx := &commitCtx{id: s.nextCommit, done: env.NewFuture(),
+		dir: parent.ID, entryID: entry.ID}
+	s.commits[ctx.id] = ctx
+	s.mu.Unlock()
+
+	notice := &wire.CommitNotice{
+		Resp:     resp,
+		Client:   client,
+		CommitID: ctx.id,
+		MarkOnly: s.cfg.Tracker == TrackerOwner,
+	}
+	var dst env.NodeID
+	var pkt *wire.Packet
+	if s.cfg.Tracker == TrackerOwner {
+		// Owner-tracker variant: the parent's owner records the dirty state
+		// and multicasts completion — an extra server on the critical path
+		// (Fig. 16).
+		notice.Update = wire.DirLog{Dir: parent}
+		dst = s.ownerOfFP(parent.FP)
+		pkt = &wire.Packet{Dst: dst, Origin: s.cfg.ID, Body: notice}
+	} else {
+		// Snapshot the pending log for the overflow fallback: the switch
+		// rewrites the packet to the parent's owner, which applies the whole
+		// log synchronously (§5.2.1, §6.2).
+		parentLog.qmu.Lock()
+		notice.Update = wire.DirLog{Dir: parent, Entries: parentLog.log.Snapshot()}
+		parentLog.qmu.Unlock()
+		dst = s.cfg.SwitchFor(parent.FP)
+		pkt = &wire.Packet{
+			DS: &wire.DSHeader{Op: wire.DSInsert, FP: parent.FP,
+				AltDst: s.ownerOfFP(parent.FP)},
+			Dst:    dst,
+			Origin: s.cfg.ID,
+			Body:   notice,
+		}
+	}
+	for {
+		p.Send(dst, pkt)
+		v, ok := ctx.done.WaitTimeout(p, s.cfg.RetryTimeout)
+		if ok {
+			ack := v.(*wire.CommitAck)
+			s.mu.Lock()
+			delete(s.commits, ctx.id)
+			s.mu.Unlock()
+			if ack.Applied {
+				// Fallback applied the pending log remotely: mark applied
+				// and trim (§5.4.2 keeps recovery exactly-once).
+				s.Stats.Fallbacks++
+				maxID := uint64(0)
+				for _, e := range notice.Update.Entries {
+					if e.ID > maxID {
+						maxID = e.ID
+					}
+				}
+				s.ackEntries(parentLog, maxID)
+			} else {
+				s.Stats.AsyncCommits++
+			}
+			return
+		}
+		s.Stats.Retries++
+	}
+}
+
+// syncCommit is the Baseline path of Fig. 14: ship the single update to the
+// parent's owner and wait for it to apply before replying; all locks held.
+func (s *Server) syncCommit(p *env.Proc, req *wire.MutateReq, parentLog *dirLog,
+	entry core.LogEntry, lsn wal.LSN, kl *env.RWMutex, newDir core.DirID) {
+
+	s.mu.Lock()
+	s.nextCommit++
+	ctx := &commitCtx{id: s.nextCommit, done: env.NewFuture()}
+	s.commits[ctx.id] = ctx
+	s.mu.Unlock()
+
+	resp := &wire.MutateResp{RespCommon: s.respCommon(&req.ReqCommon, nil), Dir: newDir}
+	s.remember(req.Client, req.RPC, resp)
+	notice := &wire.CommitNotice{
+		Resp:     resp,
+		Client:   req.Client,
+		CommitID: ctx.id,
+		Update:   wire.DirLog{Dir: req.Parent, Entries: []core.LogEntry{entry}},
+	}
+	dst := s.ownerOfFP(req.Parent.FP)
+	pkt := &wire.Packet{Dst: dst, Origin: s.cfg.ID, Body: notice}
+	for {
+		p.Send(dst, pkt)
+		if v, ok := ctx.done.WaitTimeout(p, s.cfg.RetryTimeout); ok {
+			_ = v
+			break
+		}
+		s.Stats.Retries++
+	}
+	s.mu.Lock()
+	delete(s.commits, ctx.id)
+	s.mu.Unlock()
+	s.Stats.SyncCommits++
+	mustMark(s.wal, lsn)
+	kl.Unlock()
+	parentLog.lock.RUnlock()
+}
+
+// handleCommitAck completes a waiting commit context.
+func (s *Server) handleCommitAck(p *env.Proc, ack *wire.CommitAck) {
+	s.mu.Lock()
+	ctx := s.commits[ack.CommitID]
+	s.mu.Unlock()
+	if ctx != nil {
+		ctx.done.Complete(ack)
+	}
+}
+
+// handleFallback runs on the parent directory's owner when (a) a dirty-set
+// insert overflowed and the switch rewrote the packet here (§6.2), (b) the
+// server runs in Baseline mode, or (c) the owner-tracker variant marks state.
+func (s *Server) handleFallback(p *env.Proc, pkt *wire.Packet, cn *wire.CommitNotice) {
+	p.Compute(s.cfg.Costs.Parse)
+	if cn.MarkOnly {
+		s.mu.Lock()
+		s.ownerDirty[cn.Update.Dir.FP] = true
+		s.mu.Unlock()
+		p.Send(cn.Client, &wire.Packet{Dst: cn.Client, Origin: s.cfg.ID, Body: cn.Resp})
+		s.reply(p, pkt.Origin, &wire.CommitAck{CommitID: cn.CommitID})
+		return
+	}
+	dir := cn.Update.Dir
+	dl := s.lockOf(dir.Key)
+	dl.Lock(p)
+	s.applyEntries(p, pkt.Origin, cn.Update)
+	dl.Unlock()
+	p.Send(cn.Client, &wire.Packet{Dst: cn.Client, Origin: s.cfg.ID, Body: cn.Resp})
+	s.reply(p, pkt.Origin, &wire.CommitAck{CommitID: cn.CommitID, Applied: true})
+}
+
+// ackEntries marks entries ≤ maxID applied in the WAL and trims the log.
+func (s *Server) ackEntries(dl *dirLog, maxID uint64) {
+	dl.qmu.Lock()
+	for id, lsn := range dl.walLSN {
+		if id <= maxID {
+			mustMark(s.wal, lsn)
+			delete(dl.walLSN, id)
+		}
+	}
+	dl.log.AckThrough(maxID)
+	dl.qmu.Unlock()
+}
+
+// adjustNlink updates a hard-linked file's shared attribute object, possibly
+// on a remote server (§5.5). Returns ErrRetry on communication failure.
+func (s *Server) adjustNlink(p *env.Proc, id core.FileID, delta int32) error {
+	key := fileAttrKey(id)
+	owner := s.ownerOfFP(key.Fingerprint())
+	if owner == s.cfg.ID {
+		return s.applyNlink(p, key, delta)
+	}
+	txn := &wire.TxnPrepare{
+		Ops: []wire.TxnOp{{Kind: wire.TxnAdjustNlink, Key: key,
+			Entry: core.LogEntry{ID: uint64(int64(delta))}}},
+	}
+	return s.runRemoteTxn(p, []env.NodeID{owner}, [][]wire.TxnOp{txn.Ops}, nil)
+}

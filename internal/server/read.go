@@ -1,0 +1,145 @@
+package server
+
+import (
+	"switchfs/internal/core"
+	"switchfs/internal/env"
+	"switchfs/internal/wire"
+)
+
+// handleLookup resolves one path component to directory metadata — the
+// client cache-miss path (§5.2.1 step 1). Lookup takes the directory's read
+// lock, so a lookup racing an rmdir waits and observes the final state
+// (§5.2.3 "Discussion").
+func (s *Server) handleLookup(p *env.Proc, req *wire.LookupReq) {
+	c := &s.cfg.Costs
+	p.Compute(c.Parse)
+	key := core.Key{PID: req.Parent, Name: req.Name}
+	resp := &wire.LookupResp{}
+	err := s.checkAncestors(&req.ReqCommon)
+	if err == nil {
+		l := s.lockOf(key)
+		l.RLock(p)
+		p.Compute(c.KVGet)
+		raw, ok := s.kv.Get(key.Encode())
+		if !ok {
+			err = core.ErrNotExist
+		} else if in, derr := core.DecodeInode(raw); derr != nil {
+			err = core.ErrInvalid
+		} else if in.Type != core.TypeDir {
+			err = core.ErrNotDir
+		} else {
+			resp.Dir = in.ID
+			resp.Attr = in.Attr
+		}
+		l.RUnlock()
+	}
+	resp.RespCommon = s.respCommon(&req.ReqCommon, err)
+	s.reply(p, req.Client, resp)
+}
+
+// handleFile serves the synchronous single-inode file operations: stat,
+// open, close, chmod. They read or update the file inode in place, exactly
+// as in a traditional DFS (§5.2 "Single-inode operations").
+func (s *Server) handleFile(p *env.Proc, req *wire.FileReq) {
+	c := &s.cfg.Costs
+	p.Compute(c.Parse)
+	s.Stats.Ops++
+	key := core.Key{PID: req.Parent.ID, Name: req.Name}
+	resp := &wire.FileResp{}
+	err := s.checkAncestors(&req.ReqCommon)
+	if err == nil {
+		l := s.lockOf(key)
+		write := req.Op == core.OpChmod
+		if write {
+			l.Lock(p)
+		} else {
+			l.RLock(p)
+		}
+		p.Compute(c.KVGet)
+		raw, ok := s.kv.Get(key.Encode())
+		if !ok {
+			err = core.ErrNotExist
+		} else if in, derr := core.DecodeInode(raw); derr != nil {
+			err = core.ErrInvalid
+		} else {
+			switch req.Op {
+			case core.OpStat, core.OpOpen, core.OpClose:
+				resp.Attr = in.Attr
+				resp.DataLoc = in.DataLoc
+			case core.OpChmod:
+				in.Perm = req.Perm
+				in.Ctime = p.Now()
+				p.Compute(c.WALAppend + c.KVPut)
+				mustAppend(s.wal, recInode, append(key.Encode(), core.EncodeInode(in)...))
+				s.kv.Put(key.Encode(), core.EncodeInode(in))
+				resp.Attr = in.Attr
+			default:
+				err = core.ErrInvalid
+			}
+		}
+		if write {
+			l.Unlock()
+		} else {
+			l.RUnlock()
+		}
+	}
+	resp.RespCommon = s.respCommon(&req.ReqCommon, err)
+	s.reply(p, req.Client, resp)
+}
+
+// handleDirRead serves statdir and readdir (§5.2.2). The packet travelled
+// through the switch, which annotated the dirty-set query result; a
+// scattered directory triggers (or joins) a metadata aggregation before the
+// read returns.
+func (s *Server) handleDirRead(p *env.Proc, pkt *wire.Packet, req *wire.DirReadReq) {
+	c := &s.cfg.Costs
+	p.Compute(c.Parse)
+	s.Stats.Ops++
+	resp := &wire.DirReadResp{}
+	err := s.checkAncestors(&req.ReqCommon)
+	if err == nil {
+		scattered := false
+		switch s.cfg.Tracker {
+		case TrackerOwner:
+			s.mu.Lock()
+			scattered = s.ownerDirty[req.Dir.FP]
+			s.mu.Unlock()
+		default:
+			scattered = pkt.DS != nil && pkt.DS.Ret
+		}
+		if scattered {
+			// Aggregation blocks directory reads of the whole fingerprint
+			// group until the deferred updates are applied.
+			s.aggregateFP(p, req.Dir.FP, nil)
+		}
+		l := s.lockOf(req.Dir.Key)
+		l.RLock(p)
+		p.Compute(c.KVGet)
+		raw, ok := s.kv.Get(req.Dir.Key.Encode())
+		if !ok {
+			err = core.ErrNotExist
+		} else if in, derr := core.DecodeInode(raw); derr != nil {
+			err = core.ErrInvalid
+		} else if in.Type != core.TypeDir {
+			err = core.ErrNotDir
+		} else {
+			resp.Attr = in.Attr
+			if req.Op == core.OpReadDir {
+				prefix := core.EntryPrefix(in.ID)
+				n := 0
+				s.kv.Scan(prefix, func(k, v []byte) bool {
+					name := string(k[len(prefix):])
+					if de, e := core.DecodeDirEntry(name, v); e == nil {
+						resp.Entries = append(resp.Entries, de)
+					}
+					n++
+					return true
+				})
+				p.Compute(env.Duration(n) * c.KVScanEntry)
+			}
+		}
+		l.RUnlock()
+	}
+	resp.RespCommon = s.respCommon(&req.ReqCommon, err)
+	s.reply(p, req.Client, resp)
+}

@@ -1,0 +1,354 @@
+package server
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"switchfs/internal/core"
+	"switchfs/internal/env"
+	"switchfs/internal/wal"
+	"switchfs/internal/wire"
+)
+
+// Additional WAL kinds for dentry mutations performed outside the
+// aggregation path (entry-list migration during directory rename).
+const (
+	recDentry      uint8 = 5 // put/delete one dentry
+	recDelDentries uint8 = 6 // drop a directory's whole entry list
+)
+
+func encodeDentryRec(dir core.DirID, name string, put bool, t core.FileType, perm core.Perm) []byte {
+	b := make([]byte, 0, 48+len(name))
+	b = dir.AppendBinary(b)
+	if put {
+		b = append(b, 1)
+	} else {
+		b = append(b, 0)
+	}
+	b = append(b, byte(t))
+	b = binary.BigEndian.AppendUint16(b, uint16(perm))
+	b = append(b, name...)
+	return b
+}
+
+// Crash simulates a fail-stop: the node drops off the network and all
+// volatile state is lost. The WAL (stable storage) survives and is reused by
+// Restart.
+func (s *Server) Crash() {
+	s.serving = false
+	s.node.SetDown(true)
+}
+
+// Restart builds a fresh server over the surviving WAL and re-registers the
+// node. The caller then runs Recover on a process to replay and re-join.
+func Restart(e env.Env, cfg Config, log wal.Log) *Server {
+	cfg.WAL = log
+	return New(e, cfg)
+}
+
+// Recover implements §5.4.2 server recovery: (1) redo WAL records to rebuild
+// the key-value store and the not-yet-applied change-log entries, (2) push
+// the rebuilt change-logs and proactively aggregate every directory this
+// server owns, so aggregations interrupted by the crash run to completion,
+// (3) clone the invalidation list from a peer, then resume serving.
+func (s *Server) Recover(p *env.Proc) error {
+	s.serving = false
+	s.node.SetDown(false)
+
+	n := s.wal.Len()
+	if err := s.replayWAL(); err != nil {
+		return err
+	}
+	// Redo cost: recovery time is proportional to the records replayed
+	// (§7.7; checkpointing would shrink it, as the paper notes).
+	p.Compute(env.Duration(n) * s.cfg.Costs.WALReplay)
+
+	// Re-deliver rebuilt change-logs: their fingerprints may have been
+	// inserted before the crash (reads will aggregate) or may never have
+	// made it to the switch — pushing them to their owners restores
+	// visibility either way.
+	s.mu.Lock()
+	logs := make([]*dirLog, 0, len(s.clogs))
+	for _, dl := range s.clogs {
+		logs = append(logs, dl)
+	}
+	s.mu.Unlock()
+	for _, dl := range logs {
+		dl.qmu.Lock()
+		snap := dl.log.Snapshot()
+		dl.qmu.Unlock()
+		if len(snap) == 0 {
+			continue
+		}
+		s.pushLogFinal(p, dl, snap)
+	}
+
+	// Proactively aggregate every directory this server owns (§A.1): any
+	// aggregation it had issued before the crash completes now.
+	for _, fp := range s.ownedDirFingerprints() {
+		s.aggregateFP(p, fp, &aggOpts{force: true})
+	}
+
+	// Clone the invalidation list from the first reachable peer.
+	for _, peer := range s.cfg.Peers {
+		if peer == s.cfg.ID {
+			continue
+		}
+		v, err := s.ctlCall(p, peer, func(ctl uint64) wire.Msg {
+			return &wire.CloneInvalReq{Ctl: ctl, From: s.cfg.ID}
+		})
+		if err != nil {
+			continue
+		}
+		resp := v.(*wire.CloneInvalResp)
+		s.mu.Lock()
+		for _, e := range resp.Entries {
+			if _, ok := s.invalSet[e.Dir]; !ok {
+				s.invalSeq++
+				s.invalSet[e.Dir] = s.invalSeq
+				s.inval = append(s.inval, wire.InvalEntry{Seq: s.invalSeq, Dir: e.Dir})
+			}
+		}
+		s.mu.Unlock()
+		break
+	}
+
+	s.serving = true
+	return nil
+}
+
+// replayWAL redoes committed operations in commit order (§A.2.2: recovery
+// reproduces the pre-crash serialization).
+func (s *Server) replayWAL() error {
+	s.bootstrapRoot()
+	return s.wal.Replay(func(r wal.Record) error {
+		switch r.Kind {
+		case recCommit:
+			op, key, parent, entry, in, err := decodeCommit(r.Payload)
+			if err != nil {
+				return err
+			}
+			switch op {
+			case core.OpCreate, core.OpMkdir:
+				s.kv.Put(key.Encode(), core.EncodeInode(in))
+			case core.OpDelete, core.OpRmdir:
+				s.kv.Delete(key.Encode())
+			}
+			if entry.ID > s.nextEntry {
+				s.nextEntry = entry.ID
+			}
+			if !r.Applied {
+				dl := s.clogOf(parent)
+				dl.qmu.Lock()
+				dl.log.Append(entry)
+				dl.walLSN[entry.ID] = r.LSN
+				dl.qmu.Unlock()
+			}
+			if op == core.OpRmdir {
+				s.addInval(in.ID)
+			}
+		case recAggEntry:
+			src := env.NodeID(binary.BigEndian.Uint64(r.Payload))
+			dir, entry, _ := decodeEntry(r.Payload[8:])
+			s.redoAggEntry(src, dir, entry)
+		case recInode:
+			key, in, err := decodeInodeRec(r.Payload)
+			if err != nil {
+				return err
+			}
+			if in == nil {
+				s.kv.Delete(key.Encode())
+			} else {
+				s.kv.Put(key.Encode(), core.EncodeInode(in))
+			}
+		case recDentry:
+			dir := core.DirIDFromBytes(r.Payload)
+			put := r.Payload[32] == 1
+			t := core.FileType(r.Payload[33])
+			perm := core.Perm(binary.BigEndian.Uint16(r.Payload[34:]))
+			name := string(r.Payload[36:])
+			dk := append(core.EntryPrefix(dir), name...)
+			if put {
+				s.kv.Put(dk, core.EncodeDirEntry(core.DirEntry{Name: name, Type: t, Perm: perm}))
+			} else {
+				s.kv.Delete(dk)
+			}
+		case recDelDentries:
+			dir := core.DirIDFromBytes(r.Payload)
+			prefix := core.EntryPrefix(dir)
+			var keys [][]byte
+			s.kv.Scan(prefix, func(k, v []byte) bool {
+				keys = append(keys, append([]byte(nil), k...))
+				return true
+			})
+			for _, k := range keys {
+				s.kv.Delete(k)
+			}
+		default:
+			return fmt.Errorf("server: unknown WAL record kind %d", r.Kind)
+		}
+		return nil
+	})
+}
+
+// redoAggEntry re-applies one owner-side change-log application during
+// replay. The watermark check keeps the redo idempotent.
+func (s *Server) redoAggEntry(src env.NodeID, dir core.DirRef, e core.LogEntry) {
+	mark := s.applied[appliedKey{src: src, dir: dir.ID}]
+	if e.ID <= mark {
+		return
+	}
+	s.applied[appliedKey{src: src, dir: dir.ID}] = e.ID
+	ek := dir.Key.Encode()
+	raw, ok := s.kv.Get(ek)
+	if ok {
+		if in, err := core.DecodeInode(raw); err == nil {
+			one := core.Compact([]core.LogEntry{e})
+			one.ApplyToAttr(&in.Attr, e.Time)
+			s.kv.Put(ek, core.EncodeInode(in))
+			dk := append(core.EntryPrefix(in.ID), e.Name...)
+			switch e.Op {
+			case core.OpCreate, core.OpMkdir:
+				s.kv.Put(dk, core.EncodeDirEntry(core.DirEntry{Name: e.Name, Type: e.Type, Perm: e.Perm}))
+			case core.OpDelete, core.OpRmdir:
+				s.kv.Delete(dk)
+			}
+		}
+	}
+	if e.ID > s.nextTxnEntry && src&txnSrcFlag != 0 {
+		s.nextTxnEntry = e.ID
+	}
+}
+
+// ownedDirFingerprints scans the KV store for directory inodes this server
+// owns and returns their distinct fingerprints.
+func (s *Server) ownedDirFingerprints() []core.Fingerprint {
+	seen := make(map[core.Fingerprint]bool)
+	var out []core.Fingerprint
+	s.kv.Scan(nil, func(k, v []byte) bool {
+		key, err := core.DecodeKey(k)
+		if err != nil {
+			return true
+		}
+		in, err := core.DecodeInode(v)
+		if err != nil || in.Type != core.TypeDir {
+			return true
+		}
+		fp := key.Fingerprint()
+		if s.ownerOfFP(fp) != s.cfg.ID {
+			return true // a dentry record or a migrated leftover
+		}
+		if !seen[fp] {
+			seen[fp] = true
+			out = append(out, fp)
+		}
+		return true
+	})
+	return out
+}
+
+// pushLogFinal synchronously delivers a change-log to its owner (recovery
+// and flush-all); entries are marked applied on ack.
+func (s *Server) pushLogFinal(p *env.Proc, dl *dirLog, snap []core.LogEntry) {
+	owner := s.ownerOfFP(dl.ref.FP)
+	msg := &wire.ChangePush{From: s.cfg.ID, Log: wire.DirLog{Dir: dl.ref, Entries: snap}, Final: true}
+	fut := env.NewFuture()
+	s.mu.Lock()
+	s.pushWait[dl.ref.ID] = fut
+	s.mu.Unlock()
+	for try := 0; try < maxAggRetries; try++ {
+		s.reply(p, owner, msg)
+		if v, ok := fut.WaitTimeout(p, s.cfg.RetryTimeout); ok {
+			ack := v.(*wire.ChangePushAck)
+			s.ackEntries(dl, ack.MaxID)
+			break
+		}
+		s.Stats.Retries++
+	}
+	s.mu.Lock()
+	delete(s.pushWait, dl.ref.ID)
+	s.mu.Unlock()
+}
+
+// handleCloneInval serves a recovering peer (§5.4.2).
+func (s *Server) handleCloneInval(p *env.Proc, req *wire.CloneInvalReq) {
+	s.mu.Lock()
+	resp := &wire.CloneInvalResp{Ctl: req.Ctl, From: s.cfg.ID, Seq: s.invalSeq,
+		Entries: append([]wire.InvalEntry(nil), s.inval...)}
+	s.mu.Unlock()
+	s.reply(p, req.From, resp)
+}
+
+// FlushAll pushes every pending change-log entry to its owner; with the
+// dirty set reset, the filesystem returns to a consistent all-normal state
+// (switch recovery, §5.4.2; reconfiguration, §5.5). Serving stops during the
+// flush.
+func (s *Server) FlushAll(p *env.Proc) {
+	s.serving = false
+	s.mu.Lock()
+	logs := make([]*dirLog, 0, len(s.clogs))
+	for _, dl := range s.clogs {
+		logs = append(logs, dl)
+	}
+	s.mu.Unlock()
+	for _, dl := range logs {
+		dl.qmu.Lock()
+		snap := dl.log.Snapshot()
+		dl.qmu.Unlock()
+		if len(snap) > 0 {
+			s.pushLogFinal(p, dl, snap)
+		}
+	}
+	s.serving = true
+}
+
+// handleFlushAll runs FlushAll on a control request and confirms.
+func (s *Server) handleFlushAll(p *env.Proc, from env.NodeID, req *wire.FlushAllReq) {
+	s.FlushAll(p)
+	s.reply(p, from, &wire.FlushAllResp{Ctl: req.Ctl, From: s.cfg.ID})
+}
+
+// InjectInode installs an inode record directly (fixture loading); when log
+// is set the record is WAL-backed so it survives a simulated crash.
+func (s *Server) InjectInode(key core.Key, in *core.Inode, log bool) {
+	if log {
+		mustAppend(s.wal, recInode, encodeInodeRec(key, in))
+	}
+	s.kv.Put(key.Encode(), core.EncodeInode(in))
+}
+
+// InjectDentry installs a directory-entry record directly (fixture loading).
+func (s *Server) InjectDentry(dir core.DirID, e core.DirEntry, log bool) {
+	if log {
+		mustAppend(s.wal, recDentry, encodeDentryRec(dir, e.Name, true, e.Type, e.Perm))
+	}
+	dk := append(core.EntryPrefix(dir), e.Name...)
+	s.kv.Put(dk, core.EncodeDirEntry(e))
+}
+
+// Serving reports whether the server accepts normal requests.
+func (s *Server) Serving() bool { return s.serving }
+
+// SetServing toggles request serving (cluster reconfiguration).
+func (s *Server) SetServing(v bool) { s.serving = v }
+
+// PendingClogEntries counts not-yet-applied change-log entries across all
+// directories (diagnostics).
+func (s *Server) PendingClogEntries() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, dl := range s.clogs {
+		dl.qmu.Lock()
+		n += dl.log.Len()
+		dl.qmu.Unlock()
+	}
+	return n
+}
+
+// SetPeers replaces the peer set after cluster reconfiguration (§5.5).
+func (s *Server) SetPeers(peers []env.NodeID) {
+	s.mu.Lock()
+	s.cfg.Peers = append([]env.NodeID(nil), peers...)
+	s.mu.Unlock()
+}

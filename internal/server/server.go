@@ -1,0 +1,639 @@
+// Package server implements the SwitchFS metadata server (paper §4.2, §5):
+// asynchronous double-inode operations with per-directory change-logs,
+// directory reads with switch-coordinated aggregation, change-log compaction,
+// proactive aggregation, lazy client-cache invalidation, rename and hard-link
+// transactions, and WAL-based crash recovery.
+package server
+
+import (
+	"encoding/binary"
+	"sync"
+
+	"switchfs/internal/core"
+	"switchfs/internal/env"
+	"switchfs/internal/kv"
+	"switchfs/internal/wal"
+	"switchfs/internal/wire"
+)
+
+// TrackerMode selects where directory dirty state is tracked (§7.3.3).
+type TrackerMode uint8
+
+// Tracker modes.
+const (
+	// TrackerSwitch uses the in-network dirty set (the SwitchFS design).
+	TrackerSwitch TrackerMode = iota
+	// TrackerServer uses a dedicated server speaking the switch's packet
+	// protocol; the server code is unchanged (Fig. 15).
+	TrackerServer
+	// TrackerOwner tracks each directory's state on its owner server,
+	// doubling the packets on the update path (Fig. 16).
+	TrackerOwner
+)
+
+// Config parameterizes one metadata server.
+type Config struct {
+	ID        env.NodeID
+	Cores     int
+	Costs     env.Costs
+	Placement *core.Placement
+	// ServerOf maps a placement slot (uint32 server number) to a NodeID.
+	ServerOf func(uint32) env.NodeID
+	// Peers lists every metadata server NodeID (including this one).
+	Peers []env.NodeID
+	// SwitchFor returns the switch (or tracker) responsible for a
+	// fingerprint; multi-rack deployments range-partition fingerprints over
+	// switches (§6.4).
+	SwitchFor func(core.Fingerprint) env.NodeID
+	// Coordinator is the rename/reconfiguration coordinator's NodeID.
+	Coordinator env.NodeID
+	WAL         wal.Log
+	Tracker     TrackerMode
+
+	// Async enables asynchronous metadata updates; false degrades every
+	// double-inode op to the synchronous cross-server protocol ("Baseline"
+	// of Fig. 14).
+	Async bool
+	// Compaction enables change-log compaction before application (§5.3);
+	// false applies entries one by one ("+Async" of Fig. 14).
+	Compaction bool
+
+	// PushEntries is the MTU-fill threshold of proactive change-log pushes
+	// (the paper's implementation bounds per-server aggregation work to 29
+	// entries, §7.5).
+	PushEntries int
+	// PushIdle is the change-log idle interval that triggers a push.
+	PushIdle env.Duration
+	// OwnerQuiesce is how long the owner waits after the last push before
+	// proactively aggregating (§5.3).
+	OwnerQuiesce env.Duration
+	// RetryTimeout is the RPC retransmission timeout (§5.4.1).
+	RetryTimeout env.Duration
+}
+
+// Defaults fills zero fields.
+func (c *Config) Defaults() {
+	if c.Cores == 0 {
+		c.Cores = 4
+	}
+	if c.PushEntries == 0 {
+		c.PushEntries = 29
+	}
+	if c.PushIdle == 0 {
+		c.PushIdle = 200 * env.Microsecond
+	}
+	if c.OwnerQuiesce == 0 {
+		c.OwnerQuiesce = 300 * env.Microsecond
+	}
+	if c.RetryTimeout == 0 {
+		c.RetryTimeout = 2 * env.Millisecond
+	}
+}
+
+// dirLog is one remote directory's change-log plus its protocol lock.
+//
+// The protocol lock is a reader–writer lock: concurrent updates to the same
+// directory hold it SHARED (their appends commute — the contention-mitigation
+// point of §4.1/§5.3; per-name ordering is already serialized by the target
+// inode's exclusive lock), while an aggregation fetch holds it EXCLUSIVE so
+// it snapshots a stable log (§5.2.2 step 6). The short qmu mutex orders the
+// concurrent queue appends themselves and is never held across a park.
+type dirLog struct {
+	ref  core.DirRef
+	lock env.RWMutex
+	qmu  sync.Mutex
+	log  core.ChangeLog
+	// walLSN maps entry ID → WAL record, for applied-marking.
+	walLSN map[uint64]wal.LSN
+	// idle triggers proactive pushes (§5.3).
+	idle *env.Timer
+	// pushing guards against concurrent pushes of the same log.
+	pushing bool
+	// heldBy, when nonzero, is the aggregation currently holding the
+	// exclusive protocol lock pending the owner's ack (§5.2.2 step 9a).
+	heldBy uint64
+}
+
+// fpState serializes aggregations per fingerprint group and blocks directory
+// reads while one is in flight (§5.2.2 "Aggregation and reply").
+type fpState struct {
+	aggActive bool
+	// lastStart is the virtual time the most recent aggregation started
+	// (its remove was issued at or after this instant).
+	lastStart env.Time
+	cond      env.Cond
+	mu        env.Mutex
+}
+
+// commitCtx is a double-inode operation waiting for its switch leg.
+type commitCtx struct {
+	id      uint64
+	done    *env.Future // completed by CommitAck
+	lsn     wal.LSN
+	dir     core.DirID
+	entryID uint64
+}
+
+// aggCtx is an in-flight aggregation this server owns.
+type aggCtx struct {
+	id      uint64
+	fp      core.Fingerprint
+	expect  map[env.NodeID]bool // peers not yet replied
+	logs    []aggLog
+	done    *env.Future
+	retries int
+}
+
+// aggLog tags a collected change-log with the server that sent it, so acks
+// and exactly-once watermarks are per source.
+type aggLog struct {
+	from env.NodeID
+	log  wire.DirLog
+}
+
+// Server is one metadata server.
+type Server struct {
+	cfg  Config
+	env  env.Env
+	node *env.Node
+	kv   *kv.Store
+	wal  wal.Log
+
+	// mu guards the in-memory indexes below (never held across a park).
+	mu        sync.Mutex
+	locks     map[string]*env.RWMutex // per-inode locks, by encoded key
+	clogs     map[core.DirID]*dirLog
+	clogsByFP map[core.Fingerprint]map[core.DirID]*dirLog
+	fps       map[core.Fingerprint]*fpState
+
+	// Invalidation list (§5.2): append-only within a run.
+	invalSeq uint64
+	inval    []wire.InvalEntry
+	invalSet map[core.DirID]uint64
+
+	// Per-(source, directory) high-watermark of applied change-log entry
+	// ids: the exactly-once guard of §A.1.
+	applied map[appliedKey]uint64
+
+	// Pending protocol contexts.
+	commits    map[uint64]*commitCtx
+	aggs       map[uint64]*aggCtx
+	aggByFP    map[core.Fingerprint]*aggCtx
+	peerAggs   map[uint64]*peerAggState
+	doneAggs   map[uint64]map[env.NodeID]*wire.AggAck
+	doneAggLog []uint64
+	pushWait   map[core.DirID]*env.Future
+	dedup      map[dedupKey]wire.Msg
+	dedupLog   []dedupKey
+
+	// Owner-side quiesce timers for proactive aggregation.
+	quiesce map[core.Fingerprint]*env.Timer
+
+	// Owner-tracker mode: fingerprints dirtied on this owner (Fig. 16).
+	ownerDirty map[core.Fingerprint]bool
+
+	// Monotonic counters.
+	nextCommit   uint64
+	nextEntry    uint64
+	nextAgg      uint64
+	nextRemove   uint64
+	nextTxn      uint64
+	nextTxnEntry uint64
+	nextCtl      uint64
+
+	idgen *core.IDGen
+
+	// txns holds participant state for 2PC (rename, links, migration);
+	// txnVotes/txnDones hold coordinator-side collection state; renameMu
+	// serializes coordinated transactions cluster-wide (the centralized
+	// rename coordinator of §5.2).
+	txns       map[uint64]*txnState
+	txnVotes   map[uint64]*txnVotes
+	txnDones   map[uint64]*txnVotes
+	txnStarted map[uint64]bool
+	txnVoted   map[uint64]core.Errno
+	txnLog     []uint64
+	renameMu   env.Mutex
+
+	// ctlWait matches control-plane responses (ReadInode, ScanDir, AggNow,
+	// FlushAll, CloneInval) to their callers.
+	ctlWait map[uint64]*env.Future
+
+	serving bool
+
+	Stats Stats
+}
+
+type appliedKey struct {
+	src env.NodeID
+	dir core.DirID
+}
+
+type dedupKey struct {
+	client env.NodeID
+	rpc    uint64
+}
+
+// Stats counts server-side protocol activity.
+type Stats struct {
+	Ops          uint64
+	AsyncCommits uint64
+	SyncCommits  uint64
+	Fallbacks    uint64
+	Aggregations uint64
+	AggEntries   uint64
+	Pushes       uint64
+	Retries      uint64
+	Orphans      uint64
+}
+
+// New builds a server and registers its node with the environment.
+func New(e env.Env, cfg Config) *Server {
+	cfg.Defaults()
+	s := &Server{
+		cfg:        cfg,
+		env:        e,
+		kv:         kv.New(),
+		wal:        cfg.WAL,
+		locks:      make(map[string]*env.RWMutex),
+		clogs:      make(map[core.DirID]*dirLog),
+		clogsByFP:  make(map[core.Fingerprint]map[core.DirID]*dirLog),
+		fps:        make(map[core.Fingerprint]*fpState),
+		invalSet:   make(map[core.DirID]uint64),
+		applied:    make(map[appliedKey]uint64),
+		commits:    make(map[uint64]*commitCtx),
+		aggs:       make(map[uint64]*aggCtx),
+		aggByFP:    make(map[core.Fingerprint]*aggCtx),
+		dedup:      make(map[dedupKey]wire.Msg),
+		quiesce:    make(map[core.Fingerprint]*env.Timer),
+		ownerDirty: make(map[core.Fingerprint]bool),
+		txns:       make(map[uint64]*txnState),
+		txnVotes:   make(map[uint64]*txnVotes),
+		txnDones:   make(map[uint64]*txnVotes),
+		ctlWait:    make(map[uint64]*env.Future),
+		peerAggs:   make(map[uint64]*peerAggState),
+		doneAggs:   make(map[uint64]map[env.NodeID]*wire.AggAck),
+		pushWait:   make(map[core.DirID]*env.Future),
+		idgen:      core.NewIDGen(uint64(cfg.ID)),
+		serving:    true,
+	}
+	if s.wal == nil {
+		s.wal = wal.NewMem()
+	}
+	s.node = e.AddNode(cfg.ID, env.NodeConfig{Cores: cfg.Cores, Handler: s.handle})
+	s.bootstrapRoot()
+	return s
+}
+
+// bootstrapRoot creates the root directory inode on its owner.
+func (s *Server) bootstrapRoot() {
+	root := core.RootRef()
+	if s.ownerOfFP(root.FP) != s.cfg.ID {
+		return
+	}
+	in := &core.Inode{
+		Attr: core.Attr{Type: core.TypeDir, Perm: core.DefaultDirPerm, Nlink: 2},
+		ID:   core.RootDirID,
+	}
+	s.kv.Put(root.Key.Encode(), core.EncodeInode(in))
+}
+
+// KV exposes the store for tests and recovery verification.
+func (s *Server) KV() *kv.Store { return s.kv }
+
+// WAL exposes the log for crash orchestration.
+func (s *Server) WAL() wal.Log { return s.wal }
+
+// ID returns the server's node id.
+func (s *Server) ID() env.NodeID { return s.cfg.ID }
+
+// Node returns the env node.
+func (s *Server) Node() *env.Node { return s.node }
+
+// ownerOfFP maps a fingerprint to the owning server's NodeID.
+func (s *Server) ownerOfFP(fp core.Fingerprint) env.NodeID {
+	return s.cfg.ServerOf(s.cfg.Placement.OwnerOfFingerprint(fp))
+}
+
+// ownerOfKey maps an object key to its owner.
+func (s *Server) ownerOfKey(k core.Key) env.NodeID {
+	return s.ownerOfFP(k.Fingerprint())
+}
+
+// lockOf returns (creating on demand) the lock of an inode key.
+func (s *Server) lockOf(k core.Key) *env.RWMutex {
+	ek := string(k.Encode())
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	l := s.locks[ek]
+	if l == nil {
+		l = &env.RWMutex{}
+		s.locks[ek] = l
+	}
+	return l
+}
+
+// clogOf returns (creating on demand) the change-log of a remote directory.
+func (s *Server) clogOf(ref core.DirRef) *dirLog {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	dl := s.clogs[ref.ID]
+	if dl == nil {
+		dl = &dirLog{ref: ref, walLSN: make(map[uint64]wal.LSN)}
+		s.clogs[ref.ID] = dl
+		m := s.clogsByFP[ref.FP]
+		if m == nil {
+			m = make(map[core.DirID]*dirLog)
+			s.clogsByFP[ref.FP] = m
+		}
+		m[ref.ID] = dl
+	}
+	return dl
+}
+
+// fpOf returns (creating on demand) the per-fingerprint aggregation gate.
+func (s *Server) fpOf(fp core.Fingerprint) *fpState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.fps[fp]
+	if st == nil {
+		st = &fpState{}
+		s.fps[fp] = st
+	}
+	return st
+}
+
+// handle is the env message handler: it dispatches by body type.
+func (s *Server) handle(p *env.Proc, from env.NodeID, msg any) {
+	pkt, ok := msg.(*wire.Packet)
+	if !ok {
+		return
+	}
+	if !s.serving {
+		// A recovering server does not serve normal client requests
+		// (§5.4.2), but the recovery protocols themselves — aggregation
+		// fetches, change-log pushes, invalidation clones, transactions in
+		// flight — must keep flowing between servers.
+		switch pkt.Body.(type) {
+		case *wire.LookupReq, *wire.FileReq, *wire.DirReadReq, *wire.MutateReq,
+			*wire.RenameReq, *wire.LinkReq:
+			return
+		}
+	}
+	switch b := pkt.Body.(type) {
+	case *wire.LookupReq:
+		s.handleLookup(p, b)
+	case *wire.FileReq:
+		s.handleFile(p, b)
+	case *wire.DirReadReq:
+		s.handleDirRead(p, pkt, b)
+	case *wire.MutateReq:
+		s.handleMutate(p, b)
+	case *wire.CommitAck:
+		s.handleCommitAck(p, b)
+	case *wire.CommitNotice:
+		// Overflow fallback: the switch rewrote the insert packet to us —
+		// we own the parent directory and apply the update synchronously.
+		s.handleFallback(p, pkt, b)
+	case *wire.AggFetch:
+		s.handleAggFetch(p, b)
+	case *wire.AggEntries:
+		s.handleAggEntries(p, b)
+	case *wire.AggAck:
+		s.handleAggAck(p, b)
+	case *wire.ChangePush:
+		s.handleChangePush(p, from, b)
+	case *wire.ChangePushAck:
+		s.handleChangePushAck(p, b)
+	case *wire.InvalBroadcast:
+		s.handleInvalBroadcast(p, from, b)
+	case *wire.RenameReq:
+		s.handleRename(p, b)
+	case *wire.LinkReq:
+		s.handleLink(p, b)
+	case *wire.TxnPrepare:
+		s.handleTxnPrepare(p, b)
+	case *wire.TxnDecision:
+		s.handleTxnDecision(p, b)
+	case *wire.TxnVote:
+		s.handleTxnVote(b)
+	case *wire.TxnDone:
+		s.handleTxnDone(b)
+	case *wire.ReadInodeReq:
+		s.handleReadInode(p, b)
+	case *wire.ScanDirReq:
+		s.handleScanDir(p, b)
+	case *wire.AggNowReq:
+		s.handleAggNow(p, b)
+	case *wire.ReadInodeResp:
+		s.completeCtl(b.Ctl, b)
+	case *wire.ScanDirResp:
+		s.completeCtl(b.Ctl, b)
+	case *wire.AggNowResp:
+		s.completeCtl(b.Ctl, b)
+	case *wire.CloneInvalReq:
+		s.handleCloneInval(p, b)
+	case *wire.CloneInvalResp:
+		s.completeCtl(b.Ctl, b)
+	case *wire.FlushAllReq:
+		s.handleFlushAll(p, pkt.Origin, b)
+	}
+}
+
+// completeCtl finishes a pending control-plane call.
+func (s *Server) completeCtl(ctl uint64, v wire.Msg) {
+	s.mu.Lock()
+	fut := s.ctlWait[ctl]
+	s.mu.Unlock()
+	if fut != nil {
+		fut.Complete(v)
+	}
+}
+
+// ctlCall performs a retried control-plane round trip to a peer.
+func (s *Server) ctlCall(p *env.Proc, to env.NodeID, build func(ctl uint64) wire.Msg) (wire.Msg, error) {
+	s.mu.Lock()
+	s.nextCtl++
+	ctl := uint64(s.cfg.ID)<<40 | s.nextCtl
+	fut := env.NewFuture()
+	s.ctlWait[ctl] = fut
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.ctlWait, ctl)
+		s.mu.Unlock()
+	}()
+	msg := build(ctl)
+	for try := 0; try < maxAggRetries; try++ {
+		s.reply(p, to, msg)
+		if v, ok := fut.WaitTimeout(p, s.cfg.RetryTimeout); ok {
+			return v.(wire.Msg), nil
+		}
+		s.Stats.Retries++
+	}
+	return nil, core.ErrTimeout
+}
+
+// reply sends a response packet straight to the client (L2 path).
+func (s *Server) reply(p *env.Proc, to env.NodeID, body wire.Msg) {
+	p.Send(to, &wire.Packet{Dst: to, Origin: s.cfg.ID, Body: body})
+}
+
+// respCommon stamps a response with the error and fresh invalidation
+// entries (lazy invalidation piggyback, §5.2).
+func (s *Server) respCommon(req *wire.ReqCommon, err error) wire.RespCommon {
+	rc := wire.RespCommon{RPC: req.RPC, Err: core.ErrnoOf(err)}
+	s.mu.Lock()
+	rc.InvalSeqHigh = s.invalSeq
+	if req.InvalSeq < s.invalSeq {
+		for i := len(s.inval) - 1; i >= 0 && s.inval[i].Seq > req.InvalSeq; i-- {
+			rc.Inval = append(rc.Inval, s.inval[i])
+		}
+	}
+	s.mu.Unlock()
+	return rc
+}
+
+// checkAncestors validates the request's cached path components against the
+// invalidation list (§5.2.1 step 3). Only entries the client has not yet
+// consumed (sequence above the request's InvalSeq) are stale: once the
+// client refreshed its cache past an entry, re-resolved components are
+// current even if the directory id matches an old entry (a failed rmdir,
+// for example, plants entries for a directory that still exists).
+func (s *Server) checkAncestors(req *wire.ReqCommon) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, d := range req.Ancestors {
+		if seq, bad := s.invalSet[d]; bad && seq > req.InvalSeq {
+			return core.ErrStaleCache
+		}
+	}
+	return nil
+}
+
+// remember caches a response for client-RPC deduplication: retransmitted
+// requests replay the response instead of re-executing (§5.4.1).
+const dedupWindow = 4096
+
+func (s *Server) remember(client env.NodeID, rpc uint64, resp wire.Msg) {
+	k := dedupKey{client: client, rpc: rpc}
+	s.mu.Lock()
+	if _, exists := s.dedup[k]; !exists {
+		s.dedup[k] = resp
+		s.dedupLog = append(s.dedupLog, k)
+		if len(s.dedupLog) > dedupWindow {
+			old := s.dedupLog[0]
+			s.dedupLog = s.dedupLog[1:]
+			delete(s.dedup, old)
+		}
+	} else {
+		s.dedup[k] = resp
+	}
+	s.mu.Unlock()
+}
+
+// replayIfDuplicate replies with the cached response when (client, rpc) was
+// already executed. inFlight reports an execution still in progress, in
+// which case the duplicate is dropped (the original will answer).
+func (s *Server) replayIfDuplicate(p *env.Proc, req *wire.ReqCommon) bool {
+	k := dedupKey{client: req.Client, rpc: req.RPC}
+	s.mu.Lock()
+	resp, ok := s.dedup[k]
+	s.mu.Unlock()
+	if !ok {
+		return false
+	}
+	if resp != nil {
+		s.reply(p, req.Client, resp)
+	}
+	return true
+}
+
+// begin marks (client, rpc) as in progress so retransmissions do not
+// re-execute a mutation concurrently.
+func (s *Server) begin(req *wire.ReqCommon) bool {
+	k := dedupKey{client: req.Client, rpc: req.RPC}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.dedup[k]; ok {
+		return false
+	}
+	s.dedup[k] = nil
+	s.dedupLog = append(s.dedupLog, k)
+	if len(s.dedupLog) > dedupWindow {
+		old := s.dedupLog[0]
+		s.dedupLog = s.dedupLog[1:]
+		delete(s.dedup, old)
+	}
+	return true
+}
+
+// appliedMark returns the exactly-once watermark for (src, dir).
+func (s *Server) appliedMark(src env.NodeID, dir core.DirID) uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.applied[appliedKey{src: src, dir: dir}]
+}
+
+func (s *Server) setAppliedMark(src env.NodeID, dir core.DirID, id uint64) {
+	s.mu.Lock()
+	if s.applied[appliedKey{src: src, dir: dir}] < id {
+		s.applied[appliedKey{src: src, dir: dir}] = id
+	}
+	s.mu.Unlock()
+}
+
+// --- WAL record encoding ----------------------------------------------------
+
+// WAL record kinds.
+const (
+	recCommit   uint8 = 1 // double-inode commit: inode mutation + clog entry
+	recAggEntry uint8 = 2 // change-log entry applied at the directory owner
+	recInode    uint8 = 3 // direct inode put/delete (sync ops, txns, mkdir)
+	recDirAttr  uint8 = 4 // direct directory attribute overwrite
+)
+
+func u64(b []byte, v uint64) []byte { return binary.BigEndian.AppendUint64(b, v) }
+
+func encodeEntry(b []byte, dir core.DirRef, e core.LogEntry) []byte {
+	b = dir.ID.AppendBinary(b)
+	b = dir.Key.PID.AppendBinary(b)
+	b = u64(b, uint64(len(dir.Key.Name)))
+	b = append(b, dir.Key.Name...)
+	b = u64(b, uint64(dir.FP))
+	b = u64(b, e.ID)
+	b = u64(b, uint64(e.Time))
+	b = append(b, byte(e.Op), byte(e.Type))
+	b = binary.BigEndian.AppendUint16(b, uint16(e.Perm))
+	b = u64(b, uint64(len(e.Name)))
+	b = append(b, e.Name...)
+	return b
+}
+
+func decodeEntry(b []byte) (core.DirRef, core.LogEntry, []byte) {
+	var ref core.DirRef
+	var e core.LogEntry
+	ref.ID = core.DirIDFromBytes(b)
+	b = b[32:]
+	ref.Key.PID = core.DirIDFromBytes(b)
+	b = b[32:]
+	n := binary.BigEndian.Uint64(b)
+	b = b[8:]
+	ref.Key.Name = string(b[:n])
+	b = b[n:]
+	ref.FP = core.Fingerprint(binary.BigEndian.Uint64(b))
+	b = b[8:]
+	e.ID = binary.BigEndian.Uint64(b)
+	b = b[8:]
+	e.Time = int64(binary.BigEndian.Uint64(b))
+	b = b[8:]
+	e.Op = core.Op(b[0])
+	e.Type = core.FileType(b[1])
+	e.Perm = core.Perm(binary.BigEndian.Uint16(b[2:]))
+	b = b[4:]
+	n = binary.BigEndian.Uint64(b)
+	b = b[8:]
+	e.Name = string(b[:n])
+	b = b[n:]
+	return ref, e, b
+}

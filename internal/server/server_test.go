@@ -1,0 +1,221 @@
+package server
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"switchfs/internal/core"
+	"switchfs/internal/env"
+	"switchfs/internal/wire"
+)
+
+// newTestServer builds a minimal single-node server for white-box tests.
+func newTestServer(t *testing.T) (*env.Sim, *Server) {
+	t.Helper()
+	sim := env.NewSim(3)
+	t.Cleanup(sim.Shutdown)
+	pl := core.NewPlacement([]uint32{0}, 0)
+	s := New(sim, Config{
+		ID:        100,
+		Placement: pl,
+		ServerOf:  func(slot uint32) env.NodeID { return 100 },
+		Peers:     []env.NodeID{100},
+		SwitchFor: func(core.Fingerprint) env.NodeID { return 1 },
+		Async:     true, Compaction: true,
+	})
+	return sim, s
+}
+
+func TestCommitRecordRoundTrip(t *testing.T) {
+	_, s := newTestServer(t)
+	parent := core.DirRef{ID: core.DirID{1, 2, 3, 4},
+		Key: core.Key{PID: core.RootDirID, Name: "p"}}
+	parent.FP = parent.Key.Fingerprint()
+	entry := core.LogEntry{ID: 7, Time: 99, Op: core.OpCreate, Name: "f", Type: core.TypeRegular, Perm: 0o644}
+	in := &core.Inode{Attr: core.Attr{Type: core.TypeRegular, Perm: 0o644, Nlink: 1}}
+	key := core.Key{PID: parent.ID, Name: "f"}
+
+	payload := s.encodeCommit(core.OpCreate, key, parent, entry, in)
+	op, gotKey, gotParent, gotEntry, gotIn, err := decodeCommit(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if op != core.OpCreate || gotKey != key || gotParent != parent || gotEntry != entry {
+		t.Fatalf("round trip mismatch: op=%v key=%v parent=%v entry=%+v", op, gotKey, gotParent, gotEntry)
+	}
+	if gotIn.Attr != in.Attr {
+		t.Fatalf("inode attr mismatch: %+v", gotIn.Attr)
+	}
+}
+
+func TestCommitRecordRejectsGarbage(t *testing.T) {
+	if _, _, _, _, _, err := decodeCommit([]byte{1, 2}); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestEntryRecordRoundTrip(t *testing.T) {
+	f := func(id, tm uint64, name string) bool {
+		if len(name) > 32 {
+			name = name[:32]
+		}
+		ref := core.DirRef{ID: core.DirID{id, tm, 1, 2},
+			Key: core.Key{PID: core.RootDirID, Name: "d"},
+			FP:  core.FingerprintOf(core.RootDirID, "d")}
+		e := core.LogEntry{ID: id, Time: int64(tm % (1 << 60)), Op: core.OpDelete,
+			Name: name, Type: core.TypeRegular, Perm: 0o600}
+		b := encodeEntry(nil, ref, e)
+		gotRef, gotE, rest := decodeEntry(b)
+		return gotRef == ref && gotE == e && len(rest) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInodeRecordRoundTrip(t *testing.T) {
+	key := core.Key{PID: core.DirID{5, 6, 7, 8}, Name: "x"}
+	in := &core.Inode{Attr: core.Attr{Type: core.TypeDir, Perm: 0o700, Nlink: 2},
+		ID: core.DirID{1, 1, 2, 3}}
+	k2, in2, err := decodeInodeRec(encodeInodeRec(key, in))
+	if err != nil || k2 != key || in2.Attr != in.Attr || in2.ID != in.ID {
+		t.Fatalf("put record: key=%v err=%v", k2, err)
+	}
+	// Deletion marker.
+	k3, in3, err := decodeInodeRec(encodeInodeRec(key, nil))
+	if err != nil || k3 != key || in3 != nil {
+		t.Fatalf("delete record: key=%v inode=%v err=%v", k3, in3, err)
+	}
+}
+
+func TestDedupWindow(t *testing.T) {
+	_, s := newTestServer(t)
+	req := &wire.ReqCommon{RPC: 1, Client: 9000}
+	if !s.begin(req) {
+		t.Fatal("first begin refused")
+	}
+	if s.begin(req) {
+		t.Fatal("second begin of the same rpc accepted")
+	}
+	resp := &wire.MutateResp{RespCommon: wire.RespCommon{RPC: 1}}
+	s.remember(req.Client, req.RPC, resp)
+	// The window evicts oldest entries.
+	for i := 2; i < dedupWindow+10; i++ {
+		s.begin(&wire.ReqCommon{RPC: uint64(i), Client: 9000})
+	}
+	s.mu.Lock()
+	_, still := s.dedup[dedupKey{client: 9000, rpc: 1}]
+	n := len(s.dedup)
+	s.mu.Unlock()
+	if still {
+		t.Fatal("oldest entry not evicted")
+	}
+	if n > dedupWindow {
+		t.Fatalf("dedup map grew to %d (window %d)", n, dedupWindow)
+	}
+}
+
+func TestInvalListSeqSemantics(t *testing.T) {
+	_, s := newTestServer(t)
+	d := core.DirID{1, 2, 3, 4}
+	s.addInval(d)
+	// A request that has not consumed the entry is stale.
+	if err := s.checkAncestors(&wire.ReqCommon{Ancestors: []core.DirID{d}}); err == nil {
+		t.Fatal("stale ancestor accepted")
+	}
+	// A request that consumed up to the current sequence passes.
+	s.mu.Lock()
+	seq := s.invalSeq
+	s.mu.Unlock()
+	if err := s.checkAncestors(&wire.ReqCommon{InvalSeq: seq, Ancestors: []core.DirID{d}}); err != nil {
+		t.Fatalf("refreshed ancestor rejected: %v", err)
+	}
+	// Re-invalidation bumps the sequence past the consumed point.
+	s.addInval(d)
+	if err := s.checkAncestors(&wire.ReqCommon{InvalSeq: seq, Ancestors: []core.DirID{d}}); err == nil {
+		t.Fatal("re-invalidated ancestor accepted")
+	}
+}
+
+func TestRespCommonPiggybacksInval(t *testing.T) {
+	_, s := newTestServer(t)
+	for i := 0; i < 5; i++ {
+		s.addInval(core.DirID{uint64(i), 1, 2, 3})
+	}
+	rc := s.respCommon(&wire.ReqCommon{InvalSeq: 2}, nil)
+	if rc.InvalSeqHigh != 5 {
+		t.Fatalf("high=%d", rc.InvalSeqHigh)
+	}
+	if len(rc.Inval) != 3 {
+		t.Fatalf("piggybacked %d entries, want 3 (seq 3..5)", len(rc.Inval))
+	}
+	for _, e := range rc.Inval {
+		if e.Seq <= 2 {
+			t.Fatalf("stale entry seq %d piggybacked", e.Seq)
+		}
+	}
+}
+
+func TestAppliedWatermark(t *testing.T) {
+	_, s := newTestServer(t)
+	d := core.DirID{9, 9, 9, 9}
+	if got := s.appliedMark(200, d); got != 0 {
+		t.Fatalf("fresh mark %d", got)
+	}
+	s.setAppliedMark(200, d, 5)
+	s.setAppliedMark(200, d, 3) // regressions ignored
+	if got := s.appliedMark(200, d); got != 5 {
+		t.Fatalf("mark=%d, want 5", got)
+	}
+	// Distinct sources and directories are independent.
+	if got := s.appliedMark(201, d); got != 0 {
+		t.Fatalf("other source shares mark: %d", got)
+	}
+}
+
+func TestLockTableReuse(t *testing.T) {
+	_, s := newTestServer(t)
+	k := core.Key{PID: core.RootDirID, Name: "f"}
+	if s.lockOf(k) != s.lockOf(k) {
+		t.Fatal("lockOf returned distinct locks for one key")
+	}
+	k2 := core.Key{PID: core.RootDirID, Name: "g"}
+	if s.lockOf(k) == s.lockOf(k2) {
+		t.Fatal("distinct keys share a lock")
+	}
+}
+
+func TestClogIndexByFingerprint(t *testing.T) {
+	_, s := newTestServer(t)
+	mk := func(name string) core.DirRef {
+		k := core.Key{PID: core.RootDirID, Name: name}
+		return core.DirRef{ID: core.DirID{1, 2, 3, uint64(len(name))}, Key: k, FP: k.Fingerprint()}
+	}
+	a := mk("a")
+	dl := s.clogOf(a)
+	if s.clogOf(a) != dl {
+		t.Fatal("clogOf not idempotent")
+	}
+	s.mu.Lock()
+	byFP := s.clogsByFP[a.FP]
+	s.mu.Unlock()
+	if byFP[a.ID] != dl {
+		t.Fatal("fingerprint index missing the log")
+	}
+}
+
+func TestFileAttrKeyIsolated(t *testing.T) {
+	// The hard-link attribute namespace must not collide with real parents.
+	k := fileAttrKey(core.FileID(1234))
+	if _, err := core.DecodeKey(k.Encode()); err != nil {
+		t.Fatalf("attr key not a valid inode key: %v", err)
+	}
+	if k.PID == core.RootDirID {
+		t.Fatal("attr key parent collides with root")
+	}
+	if fileAttrKey(1) == fileAttrKey(2) {
+		t.Fatal("attr keys not unique per file id")
+	}
+	_ = fmt.Sprint(k)
+}

@@ -1,0 +1,580 @@
+package server
+
+import (
+	"bytes"
+	"sort"
+
+	"switchfs/internal/core"
+	"switchfs/internal/env"
+	"switchfs/internal/wire"
+)
+
+// Rename and hard links are the synchronous, multi-inode operations of the
+// protocol (§5.2 "Rename", §5.5 "Support of hard links"). They run as
+// two-phase-commit transactions; renames (and links) are serialized through
+// the centralized coordinator, which both prevents distributed deadlock and
+// provides the orphaned-loop check of §5.2.
+
+// txnState is the participant-side context of a prepared transaction.
+type txnState struct {
+	id    uint64
+	locks []*env.RWMutex
+	ops   []wire.TxnOp
+	done  *env.Future
+}
+
+// coordMutex serializes coordinator-side transactions. Stored per server but
+// only the coordinator's is used.
+var _ = sort.Ints // keep sort imported together with its use below
+
+// handleRename coordinates a rename (§5.2): up to four inodes across up to
+// four servers change together. If the source is a directory, its pending
+// updates are aggregated first and its entry list migrates to the
+// destination owner (the directory's placement follows its key).
+func (s *Server) handleRename(p *env.Proc, req *wire.RenameReq) {
+	c := &s.cfg.Costs
+	p.Compute(c.Parse)
+	if s.replayIfDuplicate(p, &req.ReqCommon) {
+		return
+	}
+	if !s.begin(&req.ReqCommon) {
+		return
+	}
+	s.Stats.Ops++
+	err := s.doRename(p, req)
+	resp := &wire.RenameResp{RespCommon: s.respCommon(&req.ReqCommon, err)}
+	s.remember(req.Client, req.RPC, resp)
+	s.reply(p, req.Client, resp)
+}
+
+func (s *Server) doRename(p *env.Proc, req *wire.RenameReq) error {
+	if err := s.checkAncestors(&req.ReqCommon); err != nil {
+		return err
+	}
+	srcKey := core.Key{PID: req.SrcParent.ID, Name: req.SrcName}
+	dstKey := core.Key{PID: req.DstParent.ID, Name: req.DstName}
+	if srcKey == dstKey {
+		return nil
+	}
+
+	// Aggregate both parents first (outside the serialized section — these
+	// overlap across concurrent renames): the rename's direct directory
+	// updates must serialize after every already-committed deferred update
+	// to those directories, otherwise a later aggregation would re-order a
+	// pending create after the rename's entry-list change.
+	if err := s.remoteAggregate(p, s.ownerOfFP(req.SrcParent.FP), req.SrcParent.FP); err != nil {
+		return err
+	}
+	if req.DstParent.FP != req.SrcParent.FP {
+		if err := s.remoteAggregate(p, s.ownerOfFP(req.DstParent.FP), req.DstParent.FP); err != nil {
+			return err
+		}
+	}
+
+	// Read the source inode to learn its type; if it is a directory,
+	// aggregate it first so the migrated state is complete (§5.2: "if the
+	// source is a directory, SwitchFS initiates an aggregation at the
+	// beginning of rename").
+	srcOwner := s.ownerOfKey(srcKey)
+	raw, err := s.readRemoteInode(p, srcOwner, srcKey)
+	if err != nil {
+		return err
+	}
+	in, derr := core.DecodeInode(raw)
+	if derr != nil {
+		return core.ErrInvalid
+	}
+	isDir := in.Type == core.TypeDir
+
+	// Serialize the transaction phase at the coordinator (§5.2: centralized
+	// rename coordinator). Serialization both orders directory renames for
+	// the loop check and excludes distributed lock-order cycles between
+	// concurrent rename transactions.
+	s.renameMu.Lock(p)
+	defer s.renameMu.Unlock()
+	var dentries []wire.TxnOp
+	if isDir {
+		// Orphaned-loop check: moving a directory under its own descendant
+		// would disconnect the subtree (§5.2). The client supplied the
+		// destination's ancestor chain during resolution.
+		for _, a := range req.Ancestors {
+			if a == in.ID {
+				return core.ErrLoop
+			}
+		}
+		if err := s.remoteAggregate(p, srcOwner, srcKey.Fingerprint()); err != nil {
+			return err
+		}
+		raw, err = s.readRemoteInode(p, srcOwner, srcKey)
+		if err != nil {
+			return err
+		}
+		if in, derr = core.DecodeInode(raw); derr != nil {
+			return core.ErrInvalid
+		}
+		// The entry list migrates with the inode: collect it for replay at
+		// the destination owner.
+		dentries, err = s.collectDentries(p, srcOwner, in.ID)
+		if err != nil {
+			return err
+		}
+	}
+
+	// Participants and their prepare-phase checks/ops.
+	now := p.Now()
+	dstOwner := s.ownerOfKey(dstKey)
+	type part struct {
+		ops    []wire.TxnOp
+		checks []wire.TxnCheck
+	}
+	parts := map[env.NodeID]*part{}
+	add := func(n env.NodeID) *part {
+		if parts[n] == nil {
+			parts[n] = &part{}
+		}
+		return parts[n]
+	}
+	et := in.Type
+	// Source owner: delete the source inode (and its dentries if a dir).
+	sp := add(srcOwner)
+	sp.checks = append(sp.checks, wire.TxnCheck{Key: srcKey, MustExist: true})
+	sp.ops = append(sp.ops, wire.TxnOp{Kind: wire.TxnDelInode, Key: srcKey})
+	if isDir {
+		sp.ops = append(sp.ops, wire.TxnOp{Kind: wire.TxnDelDentries,
+			Dir: core.DirRef{ID: in.ID}})
+	}
+	// Destination owner: create the destination inode with the same body.
+	moved := *in
+	dp := add(dstOwner)
+	dp.checks = append(dp.checks, wire.TxnCheck{Key: dstKey, MustNotExist: true})
+	dp.ops = append(dp.ops, wire.TxnOp{Kind: wire.TxnPutInode, Key: dstKey,
+		Inode: core.EncodeInode(&moved)})
+	dp.ops = append(dp.ops, dentries...)
+	// Parent owners: synchronous entry-list/attribute updates.
+	spo := add(s.ownerOfFP(req.SrcParent.FP))
+	spo.ops = append(spo.ops, wire.TxnOp{Kind: wire.TxnDirUpdate, Dir: req.SrcParent,
+		Entry: core.LogEntry{ID: s.nextTxnEntryID(), Time: now, Op: core.OpDelete,
+			Name: req.SrcName, Type: et}})
+	dpo := add(s.ownerOfFP(req.DstParent.FP))
+	dpo.ops = append(dpo.ops, wire.TxnOp{Kind: wire.TxnDirUpdate, Dir: req.DstParent,
+		Entry: core.LogEntry{ID: s.nextTxnEntryID(), Time: now, Op: core.OpCreate,
+			Name: req.DstName, Type: et, Perm: in.Perm}})
+
+	var ids []env.NodeID
+	for n := range parts {
+		ids = append(ids, n)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	sorted := make([][]wire.TxnOp, len(ids))
+	sortedChecks := make([][]wire.TxnCheck, len(ids))
+	for i, n := range ids {
+		sorted[i] = parts[n].ops
+		sortedChecks[i] = parts[n].checks
+	}
+	if err := s.runTxn(p, ids, sorted, sortedChecks, false); err != nil {
+		return err
+	}
+	if isDir {
+		// Clients may hold cached metadata for the renamed directory under
+		// its old path: invalidate everywhere (§5.2).
+		s.broadcastInval(p, []core.DirID{in.ID})
+	}
+	return nil
+}
+
+// handleLink coordinates hard-link creation (§5.5): split the source file
+// into reference + attribute objects if needed, bump the link count, create
+// the new reference, and update the destination parent.
+func (s *Server) handleLink(p *env.Proc, req *wire.LinkReq) {
+	p.Compute(s.cfg.Costs.Parse)
+	if s.replayIfDuplicate(p, &req.ReqCommon) {
+		return
+	}
+	if !s.begin(&req.ReqCommon) {
+		return
+	}
+	s.Stats.Ops++
+	err := s.doLink(p, req)
+	resp := &wire.LinkResp{RespCommon: s.respCommon(&req.ReqCommon, err)}
+	s.remember(req.Client, req.RPC, resp)
+	s.reply(p, req.Client, resp)
+}
+
+func (s *Server) doLink(p *env.Proc, req *wire.LinkReq) error {
+	if err := s.checkAncestors(&req.ReqCommon); err != nil {
+		return err
+	}
+	srcKey := core.Key{PID: req.SrcParent.ID, Name: req.SrcName}
+	dstKey := core.Key{PID: req.DstParent.ID, Name: req.DstName}
+	// As in rename, the destination parent's deferred updates must apply
+	// before the link's direct entry-list insertion (outside the serialized
+	// section).
+	if err := s.remoteAggregate(p, s.ownerOfFP(req.DstParent.FP), req.DstParent.FP); err != nil {
+		return err
+	}
+	s.renameMu.Lock(p)
+	defer s.renameMu.Unlock()
+
+	srcOwner := s.ownerOfKey(srcKey)
+	raw, err := s.readRemoteInode(p, srcOwner, srcKey)
+	if err != nil {
+		return err
+	}
+	in, derr := core.DecodeInode(raw)
+	if derr != nil {
+		return core.ErrInvalid
+	}
+	if in.Type == core.TypeDir {
+		return core.ErrIsDir
+	}
+
+	now := p.Now()
+	fid := in.File
+	parts := map[env.NodeID]*struct {
+		ops    []wire.TxnOp
+		checks []wire.TxnCheck
+	}{}
+	add := func(n env.NodeID) *struct {
+		ops    []wire.TxnOp
+		checks []wire.TxnCheck
+	} {
+		if parts[n] == nil {
+			parts[n] = &struct {
+				ops    []wire.TxnOp
+				checks []wire.TxnCheck
+			}{}
+		}
+		return parts[n]
+	}
+
+	if fid == 0 {
+		// First link: split the file into a reference and a shared
+		// attribute object (§5.5).
+		fid = core.FileID(core.Hash64(srcKey.PID, srcKey.Name) | 1)
+		attrKey := fileAttrKey(fid)
+		attr := *in
+		attr.File = fid
+		attr.Nlink = 2
+		ref := *in
+		ref.File = fid
+		sp := add(srcOwner)
+		sp.checks = append(sp.checks, wire.TxnCheck{Key: srcKey, MustExist: true})
+		sp.ops = append(sp.ops, wire.TxnOp{Kind: wire.TxnPutInode, Key: srcKey,
+			Inode: core.EncodeInode(&ref)})
+		ao := add(s.ownerOfKey(attrKey))
+		ao.ops = append(ao.ops, wire.TxnOp{Kind: wire.TxnPutInode, Key: attrKey,
+			Inode: core.EncodeInode(&attr)})
+	} else {
+		attrKey := fileAttrKey(fid)
+		ao := add(s.ownerOfKey(attrKey))
+		ao.ops = append(ao.ops, wire.TxnOp{Kind: wire.TxnAdjustNlink, Key: attrKey,
+			Entry: core.LogEntry{ID: 1}})
+	}
+	newRef := *in
+	newRef.File = fid
+	do := add(s.ownerOfKey(dstKey))
+	do.checks = append(do.checks, wire.TxnCheck{Key: dstKey, MustNotExist: true})
+	do.ops = append(do.ops, wire.TxnOp{Kind: wire.TxnPutInode, Key: dstKey,
+		Inode: core.EncodeInode(&newRef)})
+	po := add(s.ownerOfFP(req.DstParent.FP))
+	po.ops = append(po.ops, wire.TxnOp{Kind: wire.TxnDirUpdate, Dir: req.DstParent,
+		Entry: core.LogEntry{ID: s.nextTxnEntryID(), Time: now, Op: core.OpCreate,
+			Name: req.DstName, Type: in.Type, Perm: in.Perm}})
+
+	var ids []env.NodeID
+	for n := range parts {
+		ids = append(ids, n)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	ops := make([][]wire.TxnOp, len(ids))
+	checks := make([][]wire.TxnCheck, len(ids))
+	for i, n := range ids {
+		ops[i] = parts[n].ops
+		checks[i] = parts[n].checks
+	}
+	return s.runTxn(p, ids, ops, checks, false)
+}
+
+// runTxn drives two-phase commit over the participants. auto skips the
+// prepare phase for commutative single-participant updates.
+func (s *Server) runTxn(p *env.Proc, parts []env.NodeID, ops [][]wire.TxnOp,
+	checks [][]wire.TxnCheck, auto bool) error {
+
+	s.mu.Lock()
+	s.nextTxn++
+	id := uint64(s.cfg.ID)<<40 | s.nextTxn
+	if s.txnVotes == nil {
+		s.txnVotes = make(map[uint64]*txnVotes)
+	}
+	tv := &txnVotes{expect: make(map[env.NodeID]bool), done: env.NewFuture()}
+	for _, n := range parts {
+		tv.expect[n] = true
+	}
+	s.txnVotes[id] = tv
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.txnVotes, id)
+		s.mu.Unlock()
+	}()
+
+	// Prepare.
+	for try := 0; ; try++ {
+		for i, n := range parts {
+			var ck []wire.TxnCheck
+			if checks != nil {
+				ck = checks[i]
+			}
+			s.reply(p, n, &wire.TxnPrepare{Txn: id, From: s.cfg.ID, Ops: ops[i], Check: ck})
+		}
+		if _, ok := tv.done.WaitTimeout(p, s.cfg.RetryTimeout); ok {
+			break
+		}
+		s.Stats.Retries++
+		if try >= maxAggRetries {
+			return core.ErrRetry
+		}
+	}
+	commit := tv.err == nil
+	if auto {
+		return tv.err
+	}
+
+	// Decision.
+	s.mu.Lock()
+	td := &txnVotes{expect: make(map[env.NodeID]bool), done: env.NewFuture()}
+	for _, n := range parts {
+		td.expect[n] = true
+	}
+	s.txnDones[id] = td
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.txnDones, id)
+		s.mu.Unlock()
+	}()
+	for try := 0; ; try++ {
+		for _, n := range parts {
+			s.reply(p, n, &wire.TxnDecision{Txn: id, Commit: commit})
+		}
+		if _, ok := td.done.WaitTimeout(p, s.cfg.RetryTimeout); ok {
+			break
+		}
+		s.Stats.Retries++
+		if try >= maxAggRetries {
+			break
+		}
+	}
+	return tv.err
+}
+
+// runRemoteTxn is the commutative single-shot variant used by adjustNlink.
+func (s *Server) runRemoteTxn(p *env.Proc, parts []env.NodeID, ops [][]wire.TxnOp,
+	checks [][]wire.TxnCheck) error {
+	return s.runTxn(p, parts, ops, checks, true)
+}
+
+// recordVote remembers the prepare outcome for retransmission replay.
+func (s *Server) recordVote(txn uint64, errno core.Errno) {
+	s.mu.Lock()
+	if s.txnVoted == nil {
+		s.txnVoted = make(map[uint64]core.Errno)
+	}
+	s.txnVoted[txn] = errno
+	s.mu.Unlock()
+}
+
+// txnVotes collects prepare votes (or decision acks).
+type txnVotes struct {
+	expect map[env.NodeID]bool
+	err    error
+	done   *env.Future
+}
+
+// handleTxnPrepare is the participant side of phase one: lock keys in global
+// order, run checks, vote.
+func (s *Server) handleTxnPrepare(p *env.Proc, tp *wire.TxnPrepare) {
+	c := &s.cfg.Costs
+	p.Compute(c.Parse + c.TxnOverhead)
+	// Retransmission dedup: the first prepare may block acquiring locks, so
+	// a duplicate must never run a second lock acquisition — the zombie
+	// would hold the keys forever after the decision released the original.
+	s.mu.Lock()
+	if s.txnVoted == nil {
+		s.txnVoted = make(map[uint64]core.Errno)
+		s.txnStarted = make(map[uint64]bool)
+	}
+	if errno, voted := s.txnVoted[tp.Txn]; voted {
+		// Replay the recorded vote.
+		s.mu.Unlock()
+		s.reply(p, tp.From, &wire.TxnVote{Txn: tp.Txn, From: s.cfg.ID, Err: errno})
+		return
+	}
+	if s.txnStarted[tp.Txn] {
+		// Original still acquiring locks; it will vote. Drop the duplicate.
+		s.mu.Unlock()
+		return
+	}
+	s.txnStarted[tp.Txn] = true
+	s.txnLog = append(s.txnLog, tp.Txn)
+	if len(s.txnLog) > dedupWindow {
+		old := s.txnLog[0]
+		s.txnLog = s.txnLog[1:]
+		delete(s.txnStarted, old)
+		delete(s.txnVoted, old)
+	}
+	s.mu.Unlock()
+
+	// One-shot commutative application (adjustNlink).
+	autoOnly := true
+	for _, op := range tp.Ops {
+		if op.Kind != wire.TxnAdjustNlink {
+			autoOnly = false
+		}
+	}
+	if autoOnly && len(tp.Check) == 0 {
+		var err error
+		for _, op := range tp.Ops {
+			delta := int32(int64(op.Entry.ID))
+			if e := s.applyNlink(p, op.Key, delta); e != nil && err == nil {
+				err = e
+			}
+		}
+		s.recordVote(tp.Txn, core.ErrnoOf(err))
+		s.reply(p, tp.From, &wire.TxnVote{Txn: tp.Txn, From: s.cfg.ID, Err: core.ErrnoOf(err)})
+		return
+	}
+
+	// Collect and sort the lock set (global order avoids deadlock between
+	// a transaction and local operations? — local ops take single locks, so
+	// ordering only matters between transactions, which the coordinator
+	// already serializes; sorting is defense in depth).
+	type lk struct {
+		key  core.Key
+		lock *env.RWMutex
+	}
+	var lks []lk
+	seen := map[string]bool{}
+	addKey := func(k core.Key) {
+		ek := string(k.Encode())
+		if !seen[ek] {
+			seen[ek] = true
+			lks = append(lks, lk{key: k, lock: s.lockOf(k)})
+		}
+	}
+	for _, op := range tp.Ops {
+		switch op.Kind {
+		case wire.TxnPutInode, wire.TxnDelInode, wire.TxnAdjustNlink:
+			addKey(op.Key)
+		case wire.TxnDirUpdate:
+			addKey(op.Dir.Key)
+		}
+	}
+	for _, ck := range tp.Check {
+		addKey(ck.Key)
+	}
+	sort.Slice(lks, func(i, j int) bool {
+		return bytes.Compare(lks[i].key.Encode(), lks[j].key.Encode()) < 0
+	})
+	st := &txnState{id: tp.Txn, ops: tp.Ops}
+	for _, l := range lks {
+		l.lock.Lock(p)
+		st.locks = append(st.locks, l.lock)
+	}
+
+	var err error
+	for _, ck := range tp.Check {
+		p.Compute(c.KVGet)
+		raw, ok := s.kv.Get(ck.Key.Encode())
+		switch {
+		case ck.MustExist && !ok:
+			err = core.ErrNotExist
+		case ck.MustNotExist && ok:
+			err = core.ErrExist
+		case ck.MustExist && ck.IsDir:
+			if in, derr := core.DecodeInode(raw); derr != nil || in.Type != core.TypeDir {
+				err = core.ErrNotDir
+			}
+		}
+		if err != nil {
+			break
+		}
+	}
+	if err != nil {
+		for _, l := range st.locks {
+			l.Unlock()
+		}
+		s.recordVote(tp.Txn, core.ErrnoOf(err))
+		s.reply(p, tp.From, &wire.TxnVote{Txn: tp.Txn, From: s.cfg.ID, Err: core.ErrnoOf(err)})
+		return
+	}
+	s.mu.Lock()
+	s.txns[tp.Txn] = st
+	s.mu.Unlock()
+	s.recordVote(tp.Txn, core.ErrnoOK)
+	s.reply(p, tp.From, &wire.TxnVote{Txn: tp.Txn, From: s.cfg.ID})
+}
+
+// handleTxnDecision is the participant side of phase two.
+func (s *Server) handleTxnDecision(p *env.Proc, td *wire.TxnDecision) {
+	c := &s.cfg.Costs
+	s.mu.Lock()
+	st := s.txns[td.Txn]
+	delete(s.txns, td.Txn)
+	s.mu.Unlock()
+	if st == nil {
+		// Duplicate decision: ack again.
+		s.reply(p, s.cfg.Coordinator, &wire.TxnDone{Txn: td.Txn, From: s.cfg.ID})
+		return
+	}
+	if td.Commit {
+		for _, op := range st.ops {
+			switch op.Kind {
+			case wire.TxnPutInode:
+				p.Compute(c.WALAppend + c.KVPut)
+				in, err := core.DecodeInode(op.Inode)
+				if err == nil {
+					mustAppend(s.wal, recInode, encodeInodeRec(op.Key, in))
+					s.kv.Put(op.Key.Encode(), op.Inode)
+				}
+			case wire.TxnDelInode:
+				p.Compute(c.WALAppend + c.KVDel)
+				mustAppend(s.wal, recInode, encodeInodeRec(op.Key, nil))
+				s.kv.Delete(op.Key.Encode())
+			case wire.TxnDirUpdate:
+				// Synchronous single-entry directory update, logged like an
+				// aggregation application for recovery. The pseudo-source
+				// keeps the exactly-once watermark separate from the
+				// coordinator's own change-log entries.
+				s.applyEntries(p, s.cfg.Coordinator|txnSrcFlag, wire.DirLog{
+					Dir: op.Dir, Entries: []core.LogEntry{op.Entry}})
+			case wire.TxnAdjustNlink:
+				s.applyNlink(p, op.Key, int32(int64(op.Entry.ID)))
+			case wire.TxnPutDentry:
+				p.Compute(c.WALAppend + c.KVPut)
+				mustAppend(s.wal, recDentry,
+					encodeDentryRec(op.Dir.ID, op.Entry.Name, true, op.Entry.Type, op.Entry.Perm))
+				dk := append(core.EntryPrefix(op.Dir.ID), op.Entry.Name...)
+				s.kv.Put(dk, core.EncodeDirEntry(core.DirEntry{
+					Name: op.Entry.Name, Type: op.Entry.Type, Perm: op.Entry.Perm}))
+			case wire.TxnDelDentries:
+				p.Compute(c.WALAppend)
+				mustAppend(s.wal, recDelDentries, op.Dir.ID.AppendBinary(nil))
+				prefix := core.EntryPrefix(op.Dir.ID)
+				var keys [][]byte
+				s.kv.Scan(prefix, func(k, v []byte) bool {
+					keys = append(keys, append([]byte(nil), k...))
+					return true
+				})
+				p.Compute(env.Duration(len(keys)) * c.KVDel)
+				for _, k := range keys {
+					s.kv.Delete(k)
+				}
+			}
+		}
+	}
+	for _, l := range st.locks {
+		l.Unlock()
+	}
+	s.reply(p, s.cfg.Coordinator, &wire.TxnDone{Txn: td.Txn, From: s.cfg.ID})
+}

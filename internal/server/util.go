@@ -1,0 +1,151 @@
+package server
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"switchfs/internal/core"
+	"switchfs/internal/env"
+	"switchfs/internal/wal"
+)
+
+// mustAppend wraps WAL appends: in-memory logs cannot fail, and a file log
+// that cannot persist leaves the server unable to honor its durability
+// contract — crash loudly rather than acknowledge unlogged operations.
+func mustAppend(l wal.Log, kind uint8, payload []byte) wal.LSN {
+	lsn, err := l.Append(kind, payload)
+	if err != nil {
+		panic(fmt.Sprintf("server: WAL append failed: %v", err))
+	}
+	return lsn
+}
+
+// mustMark wraps applied-marking, same contract as mustAppend.
+func mustMark(l wal.Log, lsn wal.LSN) {
+	if err := l.MarkApplied(lsn); err != nil {
+		panic(fmt.Sprintf("server: WAL mark failed: %v", err))
+	}
+}
+
+// fileAttrKey derives the storage key of a hard-linked file's shared
+// attribute object (§5.5): a reserved parent id namespace keyed by FileID.
+func fileAttrKey(id core.FileID) core.Key {
+	return core.Key{
+		PID:  core.DirID{^uint64(0), ^uint64(0), 0, uint64(id)},
+		Name: "#attr",
+	}
+}
+
+// applyNlink atomically adjusts a local attribute object's link count,
+// deleting the object when it reaches zero. Link-count deltas commute, so no
+// cross-server locking is needed (the same argument as §5.3's type (a)
+// actions).
+func (s *Server) applyNlink(p *env.Proc, key core.Key, delta int32) error {
+	c := &s.cfg.Costs
+	l := s.lockOf(key)
+	l.Lock(p)
+	defer l.Unlock()
+	p.Compute(c.KVGet)
+	raw, ok := s.kv.Get(key.Encode())
+	if !ok {
+		return core.ErrNotExist
+	}
+	in, err := core.DecodeInode(raw)
+	if err != nil {
+		return core.ErrInvalid
+	}
+	n := int64(in.Nlink) + int64(delta)
+	p.Compute(c.WALAppend + c.KVPut)
+	if n <= 0 {
+		mustAppend(s.wal, recInode, encodeInodeRec(key, nil))
+		s.kv.Delete(key.Encode())
+		return nil
+	}
+	in.Nlink = uint32(n)
+	mustAppend(s.wal, recInode, encodeInodeRec(key, in))
+	s.kv.Put(key.Encode(), core.EncodeInode(in))
+	return nil
+}
+
+// encodeCommit serializes a recCommit WAL record: the committed double-inode
+// operation, its inode image, and the deferred parent update (§5.2.1 step 4).
+func (s *Server) encodeCommit(op core.Op, key core.Key, parent core.DirRef,
+	entry core.LogEntry, in *core.Inode) []byte {
+
+	b := []byte{byte(op)}
+	b = key.PID.AppendBinary(b)
+	b = u64(b, uint64(len(key.Name)))
+	b = append(b, key.Name...)
+	enc := core.EncodeInode(in)
+	b = u64(b, uint64(len(enc)))
+	b = append(b, enc...)
+	b = encodeEntry(b, parent, entry)
+	return b
+}
+
+// decodeCommit parses a recCommit record.
+func decodeCommit(b []byte) (op core.Op, key core.Key, parent core.DirRef,
+	entry core.LogEntry, in *core.Inode, err error) {
+
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("server: corrupt commit record: %v", r)
+		}
+	}()
+	op = core.Op(b[0])
+	b = b[1:]
+	key.PID = core.DirIDFromBytes(b)
+	b = b[32:]
+	n := binary.BigEndian.Uint64(b)
+	b = b[8:]
+	key.Name = string(b[:n])
+	b = b[n:]
+	n = binary.BigEndian.Uint64(b)
+	b = b[8:]
+	in, err = core.DecodeInode(b[:n])
+	if err != nil {
+		return
+	}
+	b = b[n:]
+	parent, entry, _ = decodeEntry(b)
+	return
+}
+
+// encodeInodeRec serializes a recInode record: a direct inode put (nil inode
+// means delete).
+func encodeInodeRec(key core.Key, in *core.Inode) []byte {
+	var b []byte
+	if in == nil {
+		b = []byte{0}
+	} else {
+		b = []byte{1}
+	}
+	b = key.PID.AppendBinary(b)
+	b = u64(b, uint64(len(key.Name)))
+	b = append(b, key.Name...)
+	if in != nil {
+		b = append(b, core.EncodeInode(in)...)
+	}
+	return b
+}
+
+// decodeInodeRec parses a recInode record.
+func decodeInodeRec(b []byte) (key core.Key, in *core.Inode, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("server: corrupt inode record: %v", r)
+		}
+	}()
+	put := b[0] == 1
+	b = b[1:]
+	key.PID = core.DirIDFromBytes(b)
+	b = b[32:]
+	n := binary.BigEndian.Uint64(b)
+	b = b[8:]
+	key.Name = string(b[:n])
+	b = b[n:]
+	if put {
+		in, err = core.DecodeInode(b)
+	}
+	return
+}

@@ -1,0 +1,72 @@
+// Package stats provides the latency histograms and throughput accounting
+// used by the figure harnesses.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Hist is a latency recorder with exact percentiles (samples are retained;
+// figure runs record at most a few hundred thousand points).
+type Hist struct {
+	samples []float64
+	sum     float64
+	sorted  bool
+}
+
+// Add records one sample.
+func (h *Hist) Add(v float64) {
+	h.samples = append(h.samples, v)
+	h.sum += v
+	h.sorted = false
+}
+
+// N returns the sample count.
+func (h *Hist) N() int { return len(h.samples) }
+
+// Mean returns the average, or 0 with no samples.
+func (h *Hist) Mean() float64 {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	return h.sum / float64(len(h.samples))
+}
+
+// Percentile returns the q-quantile (q in [0,1]) by nearest-rank.
+func (h *Hist) Percentile(q float64) float64 {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	if !h.sorted {
+		sort.Float64s(h.samples)
+		h.sorted = true
+	}
+	i := int(math.Ceil(q*float64(len(h.samples)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(h.samples) {
+		i = len(h.samples) - 1
+	}
+	return h.samples[i]
+}
+
+// Max returns the largest sample.
+func (h *Hist) Max() float64 { return h.Percentile(1) }
+
+// Merge folds another histogram into this one.
+func (h *Hist) Merge(o *Hist) {
+	h.samples = append(h.samples, o.samples...)
+	h.sum += o.sum
+	h.sorted = false
+}
+
+// Summary renders mean/p50/p90/p99 in microseconds for latency histograms
+// holding nanosecond samples.
+func (h *Hist) Summary() string {
+	const us = 1000.0
+	return fmt.Sprintf("mean=%.1fµs p50=%.1fµs p90=%.1fµs p99=%.1fµs (n=%d)",
+		h.Mean()/us, h.Percentile(0.50)/us, h.Percentile(0.90)/us, h.Percentile(0.99)/us, h.N())
+}

@@ -1,0 +1,501 @@
+// Package wire defines the SwitchFS packet format (paper §6.1): an optional
+// dirty-set operation header parsed by the programmable switch, followed by a
+// DFS request or response processed by servers. Packets travel as Go values
+// over the env network (the switch model parses the header fields exactly as
+// the P4 parser would); the UDP daemons serialize them with the codec in
+// marshal.go.
+package wire
+
+import (
+	"switchfs/internal/core"
+	"switchfs/internal/env"
+)
+
+// DSOp selects the dirty-set operation encapsulated in a packet (§6.3).
+type DSOp uint8
+
+// Dirty-set operations.
+const (
+	// DSNone marks a regular packet (no dirty-set header); the switch
+	// forwards it by destination MAC only.
+	DSNone DSOp = iota
+	// DSQuery asks whether the fingerprint is in the set; the switch writes
+	// the answer into RET and forwards the packet to its destination.
+	DSQuery
+	// DSInsert adds the fingerprint; on success the switch multicasts the
+	// packet to the client and the origin server, on overflow it rewrites
+	// the destination to AltDst for synchronous fallback (§5.2.1).
+	DSInsert
+	// DSRemove deletes the fingerprint and multicasts the packet body to
+	// every metadata server except the origin (aggregation fetch, §5.2.2).
+	DSRemove
+)
+
+// DSHeader is the dirty-set operation header (Fig. 9: OP, RET, SEQ /
+// alternative MAC, fingerprint).
+type DSHeader struct {
+	Op DSOp
+	FP core.Fingerprint
+	// Seq deduplicates retransmitted removes: the switch tracks the highest
+	// Seq per origin and ignores stale removes (§5.4.1).
+	Seq uint64
+	// Ret carries the query result (or insert success) back in the packet.
+	Ret bool
+	// AltDst is the fallback L2 address used when an insert overflows.
+	AltDst env.NodeID
+}
+
+// Packet is one SwitchFS datagram.
+type Packet struct {
+	// DS is the optional dirty-set header.
+	DS *DSHeader
+	// Dst is the final destination the switch forwards to (for DSQuery) —
+	// the "router by MAC" path. Multicast destinations for DSInsert and
+	// DSRemove are derived from the body and switch configuration.
+	Dst env.NodeID
+	// Origin is the node that built the packet.
+	Origin env.NodeID
+	// Body is the DFS request/response.
+	Body Msg
+}
+
+// Msg is implemented by every request/response body.
+type Msg interface{ msg() }
+
+// ReqCommon carries the fields every client request shares.
+type ReqCommon struct {
+	// RPC matches responses to requests and deduplicates retransmissions:
+	// servers remember recently-executed (client, RPC) pairs.
+	RPC uint64
+	// Client is the reply address.
+	Client env.NodeID
+	// InvalSeq is the highest invalidation-list sequence number (per
+	// contacted server) the client has consumed; the response piggybacks
+	// newer entries (lazy invalidation, §5.2).
+	InvalSeq uint64
+	// Ancestors are the directory ids of every cached path component used
+	// to route this request; the server validates them against its
+	// invalidation list (§5.2.1 step 3).
+	Ancestors []core.DirID
+}
+
+// RespCommon carries the fields every response shares.
+type RespCommon struct {
+	RPC uint64
+	Err core.Errno
+	// Inval are invalidation-list entries newer than the request's
+	// InvalSeq; the client drops the named directories from its cache.
+	Inval []InvalEntry
+	// InvalSeqHigh is the server's current invalidation sequence.
+	InvalSeqHigh uint64
+}
+
+// InvalEntry names a directory whose client-side cache entries are stale.
+type InvalEntry struct {
+	Seq uint64
+	Dir core.DirID
+}
+
+// --- Path resolution -------------------------------------------------------
+
+// LookupReq resolves one path component to directory metadata (cache miss
+// path of §5.2.1 step 1).
+type LookupReq struct {
+	ReqCommon
+	Parent core.DirID
+	Name   string
+}
+
+// LookupResp returns the directory's metadata.
+type LookupResp struct {
+	RespCommon
+	Dir  core.DirID
+	Attr core.Attr
+}
+
+// --- Double-inode operations ------------------------------------------------
+
+// MutateReq covers create, delete, mkdir, rmdir: the asynchronous
+// double-inode operations (§5.2.1, §5.2.3). The request is addressed to the
+// owner of the *target* inode.
+type MutateReq struct {
+	ReqCommon
+	Op     core.Op
+	Parent core.DirRef // the directory receiving the deferred update
+	Name   string
+	Perm   core.Perm
+}
+
+// MutateResp completes a double-inode operation. For asynchronous commits it
+// is forwarded to the client by the switch (multicast leg 7a of Fig. 4).
+type MutateResp struct {
+	RespCommon
+	// Dir is the id of a newly created directory (mkdir).
+	Dir core.DirID
+}
+
+// --- Single-inode operations -------------------------------------------------
+
+// FileReq covers stat, open, close, chmod on regular files — synchronous
+// single-inode operations.
+type FileReq struct {
+	ReqCommon
+	Op     core.Op
+	Parent core.DirRef
+	Name   string
+	Perm   core.Perm // chmod
+}
+
+// FileResp returns file metadata.
+type FileResp struct {
+	RespCommon
+	Attr    core.Attr
+	DataLoc []uint32
+}
+
+// DirReadReq covers statdir and readdir (§5.2.2). It travels through the
+// switch with a DSQuery header so the server learns the directory state
+// without an extra round trip.
+type DirReadReq struct {
+	ReqCommon
+	Op  core.Op
+	Dir core.DirRef
+}
+
+// DirReadResp returns directory attributes and, for readdir, the entry list.
+type DirReadResp struct {
+	RespCommon
+	Attr    core.Attr
+	Entries []core.DirEntry
+}
+
+// --- Switch-mediated commit -----------------------------------------------
+
+// CommitNotice is the body of a DSInsert packet. On success the switch
+// multicasts it: the client leg completes the operation; the origin leg
+// releases the server's locks (Fig. 4 steps 7a/7b). On overflow the switch
+// rewrites the destination to the parent directory owner's address, which
+// applies Update synchronously (§5.2.1 "If the insertion fails").
+type CommitNotice struct {
+	// Resp is delivered to the client on success.
+	Resp *MutateResp
+	// Client is the completion destination.
+	Client env.NodeID
+	// CommitID identifies the waiting commit context on the origin server.
+	CommitID uint64
+	// Update carries the directory's pending change-log for the synchronous
+	// fallback path: flushing the whole log (not just the newest entry)
+	// preserves per-name FIFO order and entry-count accounting.
+	Update DirLog
+	// MarkOnly is the owner-tracker variant (Fig. 16): the owner records
+	// the directory as dirty instead of applying Update.
+	MarkOnly bool
+}
+
+// CommitAck tells the origin server that commit CommitID finished its
+// switch leg (success multicast or fallback application) and locks may be
+// released. Applied reports the fallback path, in which case the origin marks
+// the change-log entry applied instead of keeping it pending.
+type CommitAck struct {
+	CommitID uint64
+	Applied  bool
+}
+
+// SyncApplyResp is unused on the fast path; the fallback owner acks with
+// CommitAck and answers the client with Resp directly.
+
+// --- Aggregation -------------------------------------------------------------
+
+// AggFetch is the body of a DSRemove packet: the switch multicasts it to
+// every other metadata server, asking for all change-log entries of the
+// fingerprint group (§5.2.2 step 5).
+type AggFetch struct {
+	AggID uint64
+	FP    core.Fingerprint
+	Owner env.NodeID
+	// Rmdir marks rmdir-triggered aggregations: receivers additionally
+	// append the directory to their invalidation lists before replying
+	// (§5.2.3 step 5).
+	Rmdir bool
+	Dir   core.DirID
+}
+
+// DirLog is one directory's pending entries in an aggregation reply or a
+// proactive push.
+type DirLog struct {
+	Dir     core.DirRef
+	Entries []core.LogEntry
+}
+
+// AggEntries is a server's reply to AggFetch: every pending change-log entry
+// it holds for the fingerprint group.
+type AggEntries struct {
+	AggID uint64
+	FP    core.Fingerprint
+	From  env.NodeID
+	Logs  []DirLog
+}
+
+// AggAck is the owner's multicast acknowledgment: senders mark the entries
+// (up to MaxID per directory) applied in their WALs and drop them from their
+// change-logs (§5.2.2 steps 9a/9b).
+type AggAck struct {
+	AggID uint64
+	FP    core.Fingerprint
+	// MaxIDs holds, per directory id, the largest entry ID applied.
+	MaxIDs map[core.DirID]uint64
+}
+
+// --- Proactive aggregation ----------------------------------------------------
+
+// ChangePush proactively ships a change-log to the directory owner when it
+// fills an MTU or goes idle (§5.3). The owner buffers the entries and starts
+// its quiesce timer.
+type ChangePush struct {
+	From env.NodeID
+	Log  DirLog
+	// Final marks pushes sent during server shutdown/recovery flushes.
+	Final bool
+}
+
+// ChangePushAck lets the pushing server mark entries applied.
+type ChangePushAck struct {
+	Dir   core.DirID
+	MaxID uint64
+}
+
+// --- Invalidation ---------------------------------------------------------
+
+// InvalBroadcast tells every server to append directories to its
+// invalidation list (rmdir, directory rename, chmod — §5.2).
+type InvalBroadcast struct {
+	From env.NodeID
+	Dirs []core.DirID
+}
+
+// InvalAck acknowledges an invalidation broadcast.
+type InvalAck struct {
+	From env.NodeID
+}
+
+// --- Rename / hard links (2PC) ----------------------------------------------
+
+// TxnOp is a participant-side action in a distributed transaction.
+type TxnOp struct {
+	// Kind selects the mutation.
+	Kind TxnKind
+	Key  core.Key
+	// Inode is the value for puts.
+	Inode []byte
+	// Dir and Entry adjust a directory's attributes/entry list.
+	Dir   core.DirRef
+	Entry core.LogEntry
+}
+
+// TxnKind enumerates transaction mutations.
+type TxnKind uint8
+
+// Transaction mutation kinds.
+const (
+	// TxnPutInode writes an inode record.
+	TxnPutInode TxnKind = iota + 1
+	// TxnDelInode deletes an inode record.
+	TxnDelInode
+	// TxnDirUpdate applies a directory update (dentry + attrs) directly.
+	TxnDirUpdate
+	// TxnAdjustNlink adds Delta to a file attribute object's link count and
+	// deletes it at zero.
+	TxnAdjustNlink
+	// TxnPutDentry writes one entry-list record of directory Dir (entry-list
+	// migration during directory rename).
+	TxnPutDentry
+	// TxnDelDentries drops the whole entry list of directory Dir.
+	TxnDelDentries
+)
+
+// ReadInodeReq reads a raw inode record (coordinator-side resolution during
+// rename/link).
+type ReadInodeReq struct {
+	Ctl  uint64
+	From env.NodeID
+	Key  core.Key
+}
+
+// ReadInodeResp returns the record.
+type ReadInodeResp struct {
+	Ctl uint64
+	Err core.Errno
+	Raw []byte
+}
+
+// ScanDirReq reads a directory's entry list (entry-list migration).
+type ScanDirReq struct {
+	Ctl  uint64
+	From env.NodeID
+	Dir  core.DirID
+}
+
+// ScanDirResp returns the entries.
+type ScanDirResp struct {
+	Ctl     uint64
+	Entries []core.DirEntry
+}
+
+// AggNowReq asks a directory owner to aggregate a fingerprint group now
+// (directory rename pre-aggregation, §5.2).
+type AggNowReq struct {
+	Ctl  uint64
+	From env.NodeID
+	FP   core.Fingerprint
+}
+
+// AggNowResp confirms the aggregation completed.
+type AggNowResp struct {
+	Ctl uint64
+}
+
+// TxnPrepare asks a participant to lock and validate its ops.
+type TxnPrepare struct {
+	Txn   uint64
+	From  env.NodeID
+	Ops   []TxnOp
+	Check []TxnCheck
+}
+
+// TxnCheck is a validation predicate evaluated under the participant's locks.
+type TxnCheck struct {
+	Key core.Key
+	// MustExist / MustNotExist validate presence.
+	MustExist    bool
+	MustNotExist bool
+	// IsDir, when MustExist, additionally validates the object type.
+	IsDir bool
+}
+
+// TxnVote is the participant's prepare answer.
+type TxnVote struct {
+	Txn  uint64
+	From env.NodeID
+	Err  core.Errno
+}
+
+// TxnDecision commits or aborts.
+type TxnDecision struct {
+	Txn    uint64
+	Commit bool
+}
+
+// TxnDone acknowledges a decision.
+type TxnDone struct {
+	Txn  uint64
+	From env.NodeID
+}
+
+// RenameReq is routed to the rename coordinator (§5.2 "Rename").
+type RenameReq struct {
+	ReqCommon
+	SrcParent core.DirRef
+	SrcName   string
+	DstParent core.DirRef
+	DstName   string
+}
+
+// RenameResp completes a rename.
+type RenameResp struct {
+	RespCommon
+}
+
+// LinkReq creates a hard link (§5.5).
+type LinkReq struct {
+	ReqCommon
+	SrcParent core.DirRef
+	SrcName   string
+	DstParent core.DirRef
+	DstName   string
+}
+
+// LinkResp completes a link.
+type LinkResp struct {
+	RespCommon
+}
+
+// --- Recovery ----------------------------------------------------------------
+
+// CloneInvalReq asks a peer for its invalidation list (server recovery,
+// §5.4.2).
+type CloneInvalReq struct {
+	Ctl  uint64
+	From env.NodeID
+}
+
+// CloneInvalResp returns the peer's invalidation list.
+type CloneInvalResp struct {
+	Ctl     uint64
+	From    env.NodeID
+	Seq     uint64
+	Entries []InvalEntry
+}
+
+// FlushAllReq orders a server to aggregate every directory it owns (switch
+// recovery and reconfiguration, §5.4.2/§5.5).
+type FlushAllReq struct {
+	Ctl uint64
+}
+
+// FlushAllResp confirms all aggregations completed.
+type FlushAllResp struct {
+	Ctl  uint64
+	From env.NodeID
+}
+
+// --- Data access (end-to-end workloads, §7.6) -------------------------------
+
+// DataReq reads or writes file content on a data node.
+type DataReq struct {
+	ReqCommon
+	Op    core.Op // OpRead or OpWrite
+	Bytes int64
+}
+
+// DataResp completes a data access.
+type DataResp struct {
+	RespCommon
+}
+
+func (*LookupReq) msg()      {}
+func (*LookupResp) msg()     {}
+func (*MutateReq) msg()      {}
+func (*MutateResp) msg()     {}
+func (*FileReq) msg()        {}
+func (*FileResp) msg()       {}
+func (*DirReadReq) msg()     {}
+func (*DirReadResp) msg()    {}
+func (*CommitNotice) msg()   {}
+func (*CommitAck) msg()      {}
+func (*AggFetch) msg()       {}
+func (*AggEntries) msg()     {}
+func (*AggAck) msg()         {}
+func (*ChangePush) msg()     {}
+func (*ChangePushAck) msg()  {}
+func (*InvalBroadcast) msg() {}
+func (*InvalAck) msg()       {}
+func (*TxnPrepare) msg()     {}
+func (*TxnVote) msg()        {}
+func (*TxnDecision) msg()    {}
+func (*TxnDone) msg()        {}
+func (*RenameReq) msg()      {}
+func (*RenameResp) msg()     {}
+func (*LinkReq) msg()        {}
+func (*LinkResp) msg()       {}
+func (*CloneInvalReq) msg()  {}
+func (*CloneInvalResp) msg() {}
+func (*FlushAllReq) msg()    {}
+func (*FlushAllResp) msg()   {}
+func (*ReadInodeReq) msg()   {}
+func (*ReadInodeResp) msg()  {}
+func (*ScanDirReq) msg()     {}
+func (*ScanDirResp) msg()    {}
+func (*AggNowReq) msg()      {}
+func (*AggNowResp) msg()     {}
+func (*DataReq) msg()        {}
+func (*DataResp) msg()       {}

@@ -1,0 +1,320 @@
+// Package workload generates the namespaces, operation mixes, skew patterns
+// and bursts of the paper's evaluation (§7), and drives them against any
+// system implementing fsapi.System under the simulated environment.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"switchfs/internal/core"
+	"switchfs/internal/env"
+	"switchfs/internal/fsapi"
+	"switchfs/internal/stats"
+)
+
+// OpCall is one generated operation.
+type OpCall struct {
+	Op    core.Op
+	Path  string
+	Path2 string // rename destination
+	// Data, when nonzero, follows the metadata op with a data access of this
+	// many bytes (end-to-end workloads, §7.6).
+	Data      int64
+	DataWrite bool
+	// Shard spreads data accesses over the data nodes.
+	Shard int
+}
+
+// Gen produces the i-th operation of a worker.
+type Gen func(rnd *rand.Rand, worker, i int) OpCall
+
+// RunCfg configures a closed-loop run.
+type RunCfg struct {
+	// Workers is the number of concurrent in-flight requests (the paper
+	// stresses servers with up to 512).
+	Workers int
+	// OpsPerWorker bounds each worker's operation count.
+	OpsPerWorker int
+	// Clients is the client-node pool to spread workers over.
+	Clients int
+	// Seed makes generation deterministic.
+	Seed int64
+	Gen  Gen
+}
+
+// Result aggregates a run.
+type Result struct {
+	Ops  int
+	Errs int
+	// Elapsed is the closed-loop window (first issue to last completion);
+	// Drained additionally covers background work the operations deferred
+	// (change-log pushes and aggregations). Sustained throughput uses
+	// Drained: deferred work is still work the servers must absorb.
+	Elapsed env.Duration
+	Drained env.Duration
+	// Lat holds per-op-class latency histograms (nanoseconds).
+	Lat map[core.Op]*stats.Hist
+	// All merges every class.
+	All *stats.Hist
+}
+
+// ThroughputOps returns sustained ops/second of virtual time: completed
+// operations over the drained window, so systems cannot look fast by letting
+// deferred work pile up unapplied.
+func (r Result) ThroughputOps() float64 {
+	d := r.Drained
+	if d < r.Elapsed {
+		d = r.Elapsed
+	}
+	if d <= 0 {
+		return 0
+	}
+	return float64(r.Ops) / (float64(d) / 1e9)
+}
+
+// PeakOps returns ops/second over the closed-loop window only.
+func (r Result) PeakOps() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Ops) / (float64(r.Elapsed) / 1e9)
+}
+
+// Run executes the workload to completion on the simulator and returns
+// aggregate results. The caller owns cluster construction and preloading.
+func Run(sim *env.Sim, sys fsapi.System, cfg RunCfg) Result {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	if cfg.Clients <= 0 {
+		cfg.Clients = 1
+	}
+	res := Result{Lat: make(map[core.Op]*stats.Hist), All: &stats.Hist{}}
+	start := sim.Now()
+	var end, drainedAt env.Time
+	done := 0
+	allDone := env.NewFuture()
+	for w := 0; w < cfg.Workers; w++ {
+		w := w
+		fs := sys.ClientFS(w % cfg.Clients)
+		rnd := rand.New(rand.NewSource(cfg.Seed + int64(w)*7919))
+		// Spawn on the owning client's node: the adapter knows its node via
+		// the FS implementation; workers piggyback on client node ids by
+		// running on the simulator's registered nodes through the FS calls.
+		spawnOn(sim, sys, w%cfg.Clients, func(p *env.Proc) {
+			for i := 0; i < cfg.OpsPerWorker; i++ {
+				call := cfg.Gen(rnd, w, i)
+				t0 := p.Now()
+				err := Apply(p, fs, call)
+				dt := float64(p.Now() - t0)
+				h := res.Lat[call.Op]
+				if h == nil {
+					h = &stats.Hist{}
+					res.Lat[call.Op] = h
+				}
+				h.Add(dt)
+				res.All.Add(dt)
+				res.Ops++
+				if err != nil {
+					res.Errs++
+				}
+			}
+			done++
+			if t := p.Now(); t > end {
+				end = t
+			}
+			if done == cfg.Workers {
+				allDone.Complete(nil)
+			}
+		})
+	}
+	// The drainer immediately flushes deferred work when the load ends, so
+	// the sustained window excludes timer dead-air but includes the backlog.
+	spawnOn(sim, sys, 0, func(p *env.Proc) {
+		allDone.Wait(p)
+		sys.Drain(p)
+		drainedAt = p.Now()
+	})
+	sim.Run()
+	if done != cfg.Workers {
+		panic(fmt.Sprintf("workload: only %d/%d workers finished (simulation deadlock?)", done, cfg.Workers))
+	}
+	res.Elapsed = end - start
+	res.Drained = drainedAt - start
+	return res
+}
+
+// Apply executes one OpCall against an FS.
+func Apply(p *env.Proc, fs fsapi.FS, call OpCall) error {
+	var err error
+	switch call.Op {
+	case core.OpCreate:
+		err = fs.Create(p, call.Path)
+	case core.OpDelete:
+		err = fs.Delete(p, call.Path)
+	case core.OpMkdir:
+		err = fs.Mkdir(p, call.Path)
+	case core.OpRmdir:
+		err = fs.Rmdir(p, call.Path)
+	case core.OpStat:
+		err = fs.Stat(p, call.Path)
+	case core.OpOpen:
+		err = fs.Open(p, call.Path)
+	case core.OpClose:
+		err = fs.Close(p, call.Path)
+	case core.OpChmod:
+		err = fs.Chmod(p, call.Path, 0o644)
+	case core.OpStatDir:
+		err = fs.StatDir(p, call.Path)
+	case core.OpReadDir:
+		err = fs.ReadDir(p, call.Path)
+	case core.OpRename:
+		err = fs.Rename(p, call.Path, call.Path2)
+	case core.OpRead:
+		if call.Data > 0 {
+			err = fs.Data(p, call.Shard, false, call.Data)
+		}
+	case core.OpWrite:
+		if call.Data > 0 {
+			err = fs.Data(p, call.Shard, true, call.Data)
+		}
+	default:
+		err = core.ErrInvalid
+	}
+	if call.Data > 0 && call.Op != core.OpRead && call.Op != core.OpWrite {
+		if derr := fs.Data(p, call.Shard, call.DataWrite, call.Data); derr != nil && err == nil {
+			err = derr
+		}
+	}
+	return err
+}
+
+// spawnOn starts a worker process on client i's env node. Cluster adapters
+// register client nodes; we locate them via the system-specific hook.
+func spawnOn(sim *env.Sim, sys fsapi.System, i int, fn func(p *env.Proc)) {
+	type spawner interface {
+		SpawnClient(i int, fn func(p *env.Proc))
+	}
+	if sp, ok := sys.(spawner); ok {
+		sp.SpawnClient(i, fn)
+		return
+	}
+	panic("workload: system does not expose SpawnClient")
+}
+
+// --- namespaces ---------------------------------------------------------------
+
+// Namespace describes the preloaded directory tree.
+type Namespace struct {
+	Dirs        []string
+	FilesPerDir int
+}
+
+// SingleDir is the "a single very large directory" namespace (§7.2.1): files
+// in one shared directory.
+func SingleDir(files int) Namespace {
+	return Namespace{Dirs: []string{"/shared"}, FilesPerDir: files}
+}
+
+// MultiDir is the "multiple directories" namespace: files uniformly spread
+// over n directories.
+func MultiDir(n, filesPerDir int) Namespace {
+	dirs := make([]string, n)
+	for i := range dirs {
+		dirs[i] = fmt.Sprintf("/dir%04d", i)
+	}
+	return Namespace{Dirs: dirs, FilesPerDir: filesPerDir}
+}
+
+// Preload installs the namespace into a system.
+func (ns Namespace) Preload(sys fsapi.System) {
+	sys.Preload(ns.Dirs, ns.FilesPerDir)
+}
+
+// UniformFiles generates op over uniformly random existing files.
+func (ns Namespace) UniformFiles(op core.Op) Gen {
+	return func(rnd *rand.Rand, w, i int) OpCall {
+		d := ns.Dirs[rnd.Intn(len(ns.Dirs))]
+		f := rnd.Intn(ns.FilesPerDir)
+		return OpCall{Op: op, Path: fmt.Sprintf("%s/f%d", d, f)}
+	}
+}
+
+// FreshFiles generates create (or delete of previously created) paths with
+// per-worker-unique names, spread uniformly over the namespace's directories.
+func (ns Namespace) FreshFiles(op core.Op) Gen {
+	return func(rnd *rand.Rand, w, i int) OpCall {
+		d := ns.Dirs[rnd.Intn(len(ns.Dirs))]
+		return OpCall{Op: op, Path: fmt.Sprintf("%s/w%d-n%d", d, w, i)}
+	}
+}
+
+// CreateThenDelete alternates create and delete of per-worker names so the
+// namespace does not grow (used for sustained delete throughput).
+func (ns Namespace) CreateThenDelete() Gen {
+	return func(rnd *rand.Rand, w, i int) OpCall {
+		d := ns.Dirs[w%len(ns.Dirs)]
+		path := fmt.Sprintf("%s/w%d-n%d", d, w, i/2)
+		if i%2 == 0 {
+			return OpCall{Op: core.OpCreate, Path: path}
+		}
+		return OpCall{Op: core.OpDelete, Path: path}
+	}
+}
+
+// FreshDirs generates mkdir (or rmdir alternation) of per-worker names.
+func (ns Namespace) FreshDirs(op core.Op) Gen {
+	return func(rnd *rand.Rand, w, i int) OpCall {
+		d := ns.Dirs[rnd.Intn(len(ns.Dirs))]
+		return OpCall{Op: op, Path: fmt.Sprintf("%s/sub-w%d-n%d", d, w, i)}
+	}
+}
+
+// MkdirThenRmdir alternates mkdir/rmdir so directories do not accumulate.
+func (ns Namespace) MkdirThenRmdir() Gen {
+	return func(rnd *rand.Rand, w, i int) OpCall {
+		d := ns.Dirs[w%len(ns.Dirs)]
+		path := fmt.Sprintf("%s/sub-w%d-n%d", d, w, i/2)
+		if i%2 == 0 {
+			return OpCall{Op: core.OpMkdir, Path: path}
+		}
+		return OpCall{Op: core.OpRmdir, Path: path}
+	}
+}
+
+// StatDirs generates statdir over the namespace's directories.
+func (ns Namespace) StatDirs() Gen {
+	return func(rnd *rand.Rand, w, i int) OpCall {
+		return OpCall{Op: core.OpStatDir, Path: ns.Dirs[rnd.Intn(len(ns.Dirs))]}
+	}
+}
+
+// Bursts generates runs of `burst` creates in one directory before moving to
+// the next — the temporal-load-imbalance model of §7.4. The whole client
+// population (workers in-flight requests) advances through a shared burst
+// sequence, so a burst larger than the in-flight level concentrates every
+// outstanding request on one directory at a time.
+func (ns Namespace) Bursts(burst, workers int) Gen {
+	if workers <= 0 {
+		workers = 1
+	}
+	return func(rnd *rand.Rand, w, i int) OpCall {
+		global := i*workers + w
+		dirIdx := (global / burst) % len(ns.Dirs)
+		return OpCall{Op: core.OpCreate, Path: fmt.Sprintf("%s/b-w%d-n%d", ns.Dirs[dirIdx], w, i)}
+	}
+}
+
+// Zipfian picks directories with an 80/20-style skew (§7.6: 80% of the
+// operations in 20% of the directories).
+func (ns Namespace) zipfDir(rnd *rand.Rand) string {
+	if rnd.Float64() < 0.8 {
+		hot := len(ns.Dirs) / 5
+		if hot == 0 {
+			hot = 1
+		}
+		return ns.Dirs[rnd.Intn(hot)]
+	}
+	return ns.Dirs[rnd.Intn(len(ns.Dirs))]
+}

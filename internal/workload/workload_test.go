@@ -1,0 +1,200 @@
+package workload
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"switchfs/internal/cluster"
+	"switchfs/internal/core"
+	"switchfs/internal/env"
+	"switchfs/internal/stats"
+)
+
+func TestNamespaces(t *testing.T) {
+	ns := MultiDir(4, 10)
+	if len(ns.Dirs) != 4 || ns.Dirs[0] != "/dir0000" {
+		t.Fatalf("dirs %v", ns.Dirs)
+	}
+	one := SingleDir(100)
+	if len(one.Dirs) != 1 || one.FilesPerDir != 100 {
+		t.Fatalf("single dir: %+v", one)
+	}
+}
+
+func TestUniformFilesTargetsExisting(t *testing.T) {
+	ns := MultiDir(4, 8)
+	gen := ns.UniformFiles(core.OpStat)
+	rnd := rand.New(rand.NewSource(1))
+	for i := 0; i < 100; i++ {
+		call := gen(rnd, 0, i)
+		if call.Op != core.OpStat {
+			t.Fatalf("op %v", call.Op)
+		}
+		if !strings.HasPrefix(call.Path, "/dir") || !strings.Contains(call.Path, "/f") {
+			t.Fatalf("path %q", call.Path)
+		}
+	}
+}
+
+func TestFreshFilesUnique(t *testing.T) {
+	ns := MultiDir(2, 1)
+	gen := ns.FreshFiles(core.OpCreate)
+	rnd := rand.New(rand.NewSource(1))
+	seen := map[string]bool{}
+	for w := 0; w < 3; w++ {
+		for i := 0; i < 50; i++ {
+			p := gen(rnd, w, i).Path
+			if seen[p] {
+				t.Fatalf("duplicate fresh path %q", p)
+			}
+			seen[p] = true
+		}
+	}
+}
+
+func TestCreateThenDeletePairs(t *testing.T) {
+	ns := MultiDir(2, 1)
+	gen := ns.CreateThenDelete()
+	rnd := rand.New(rand.NewSource(1))
+	for i := 0; i < 20; i += 2 {
+		c := gen(rnd, 1, i)
+		d := gen(rnd, 1, i+1)
+		if c.Op != core.OpCreate || d.Op != core.OpDelete || c.Path != d.Path {
+			t.Fatalf("pair mismatch: %+v %+v", c, d)
+		}
+	}
+}
+
+func TestBurstsConcentrate(t *testing.T) {
+	ns := MultiDir(8, 1)
+	const workers = 16
+	gen := ns.Bursts(64, workers)
+	rnd := rand.New(rand.NewSource(1))
+	// Within one burst window every worker targets the same directory.
+	dirOf := func(path string) string { return path[:strings.LastIndex(path, "/")] }
+	d0 := dirOf(gen(rnd, 0, 0).Path)
+	for w := 1; w < workers; w++ {
+		if d := dirOf(gen(rnd, w, 0).Path); d != d0 {
+			t.Fatalf("burst not concentrated: worker %d in %s, worker 0 in %s", w, d, d0)
+		}
+	}
+	// Later windows move on (worker 0 at i=4 → global op 64, next window).
+	if d := dirOf(gen(rnd, 0, 4).Path); d == d0 {
+		t.Fatal("burst never advanced to the next directory")
+	}
+}
+
+func TestMixRatios(t *testing.T) {
+	ns := MultiDir(8, 16)
+	gen := PanguMix().Gen(ns, false)
+	rnd := rand.New(rand.NewSource(2))
+	counts := map[core.Op]int{}
+	const n = 20000
+	for i := 0; i < n; i++ {
+		counts[gen(rnd, 0, i).Op]++
+	}
+	frac := func(op core.Op) float64 { return float64(counts[op]) / n }
+	// open+close ≈ 52.6%; create+delete+rename ≈ 30.8% (deletes/renames can
+	// degrade to creates during warm-up, so compare the sum).
+	if f := frac(core.OpOpen) + frac(core.OpClose); f < 0.45 || f > 0.60 {
+		t.Errorf("open+close fraction %.3f", f)
+	}
+	if f := frac(core.OpCreate) + frac(core.OpDelete) + frac(core.OpRename); f < 0.24 || f > 0.38 {
+		t.Errorf("update fraction %.3f", f)
+	}
+	if counts[core.OpReadDir] == 0 || counts[core.OpStat] == 0 {
+		t.Error("mix missing readdir/stat")
+	}
+}
+
+func TestMixDeleteTargetsOwnCreates(t *testing.T) {
+	ns := MultiDir(2, 4)
+	gen := CNNTrainingMix(0).Gen(ns, false)
+	rnd := rand.New(rand.NewSource(3))
+	created := map[string]bool{}
+	for i := 0; i < 5000; i++ {
+		call := gen(rnd, 0, i)
+		switch call.Op {
+		case core.OpCreate:
+			created[call.Path] = true
+		case core.OpDelete:
+			if !created[call.Path] {
+				t.Fatalf("delete of never-created path %q", call.Path)
+			}
+			delete(created, call.Path)
+		}
+	}
+}
+
+func TestSkewConcentrates(t *testing.T) {
+	ns := MultiDir(10, 4)
+	gen := PanguMix().Gen(ns, true)
+	rnd := rand.New(rand.NewSource(4))
+	hot := 0
+	total := 0
+	for i := 0; i < 10000; i++ {
+		call := gen(rnd, 0, i)
+		if !strings.HasPrefix(call.Path, "/dir") {
+			continue
+		}
+		total++
+		// hottest 20%: dirs 0 and 1 of 10
+		if strings.HasPrefix(call.Path, "/dir0000") || strings.HasPrefix(call.Path, "/dir0001") {
+			hot++
+		}
+	}
+	if f := float64(hot) / float64(total); f < 0.6 {
+		t.Errorf("hot-directory fraction %.2f, want ≥ 0.6 (80/20 skew)", f)
+	}
+}
+
+func TestRunCollectsLatencies(t *testing.T) {
+	sim := env.NewSim(5)
+	defer sim.Shutdown()
+	c := cluster.New(sim, cluster.Options{Servers: 4, Clients: 2,
+		Costs: env.DefaultCosts(), SwitchIndexBits: 10})
+	ns := MultiDir(4, 8)
+	ns.Preload(c)
+	res := Run(sim, c, RunCfg{
+		Workers:      8,
+		OpsPerWorker: 10,
+		Clients:      2,
+		Seed:         1,
+		Gen:          ns.UniformFiles(core.OpStat),
+	})
+	if res.Ops != 80 || res.Errs != 0 {
+		t.Fatalf("ops=%d errs=%d", res.Ops, res.Errs)
+	}
+	if res.All.N() != 80 {
+		t.Fatalf("latency samples %d", res.All.N())
+	}
+	if res.ThroughputOps() <= 0 || res.Elapsed <= 0 {
+		t.Fatal("throughput/elapsed not recorded")
+	}
+	if res.Drained < res.Elapsed {
+		t.Fatalf("drained %d < elapsed %d", res.Drained, res.Elapsed)
+	}
+	if res.Lat[core.OpStat] == nil || res.Lat[core.OpStat].N() != 80 {
+		t.Fatal("per-op histogram missing")
+	}
+}
+
+func TestHistPercentiles(t *testing.T) {
+	var h stats.Hist
+	for i := 1; i <= 100; i++ {
+		h.Add(float64(i))
+	}
+	if h.Percentile(0.5) != 50 || h.Percentile(0.99) != 99 || h.Max() != 100 {
+		t.Fatalf("p50=%v p99=%v max=%v", h.Percentile(0.5), h.Percentile(0.99), h.Max())
+	}
+	if h.Mean() != 50.5 {
+		t.Fatalf("mean=%v", h.Mean())
+	}
+	var h2 stats.Hist
+	h2.Add(1000)
+	h.Merge(&h2)
+	if h.Max() != 1000 || h.N() != 101 {
+		t.Fatal("merge failed")
+	}
+}

@@ -1,0 +1,129 @@
+// Package switchfs is a reproduction of "SwitchFS: Asynchronous Metadata
+// Updates for Distributed Filesystems with In-Network Coordination"
+// (EuroSys 2026): a POSIX-style distributed filesystem metadata service that
+// defers directory updates into per-server change-logs and coordinates their
+// visibility through an in-network dirty set hosted on a programmable-switch
+// model.
+//
+// The package exposes a deployment facade over the internal machinery:
+//
+//	env := switchfs.NewSimEnv(42)                   // deterministic simulator
+//	fs, err := switchfs.New(env, switchfs.Config{Servers: 8})
+//	fs.RunClient(0, func(p *switchfs.Proc, c *switchfs.Client) {
+//	    c.Mkdir(p, "/data", 0)
+//	    c.Create(p, "/data/hello", 0)
+//	})
+//
+// Under env.NewReal() the same protocol code runs on goroutines and the wall
+// clock. See DESIGN.md for the architecture and EXPERIMENTS.md for the
+// paper-reproduction results.
+package switchfs
+
+import (
+	"switchfs/internal/client"
+	"switchfs/internal/cluster"
+	"switchfs/internal/core"
+	"switchfs/internal/env"
+	"switchfs/internal/server"
+)
+
+// Re-exported types so applications need only this package.
+type (
+	// Proc is the execution context of filesystem operations.
+	Proc = env.Proc
+	// Client is the LibFS handle.
+	Client = client.Client
+	// Env is the runtime (simulated or real).
+	Env = env.Env
+	// Attr is a file or directory attribute block.
+	Attr = core.Attr
+	// DirEntry is one directory-listing entry.
+	DirEntry = core.DirEntry
+	// Perm is a POSIX permission word.
+	Perm = core.Perm
+)
+
+// Filesystem errors (aliases of internal/core's values).
+var (
+	ErrExist    = core.ErrExist
+	ErrNotExist = core.ErrNotExist
+	ErrNotEmpty = core.ErrNotEmpty
+	ErrNotDir   = core.ErrNotDir
+	ErrIsDir    = core.ErrIsDir
+	ErrInvalid  = core.ErrInvalid
+	ErrLoop     = core.ErrLoop
+	ErrTimeout  = core.ErrTimeout
+)
+
+// Config sizes a SwitchFS deployment.
+type Config struct {
+	// Servers is the metadata server count (default 8, the paper's setup).
+	Servers int
+	// CoresPerServer models each server's CPU (default 4).
+	CoresPerServer int
+	// Clients is the LibFS pool size (default 1).
+	Clients int
+	// Switches range-partitions fingerprints over multiple spine switches
+	// (default 1).
+	Switches int
+	// DataNodes adds data servers for end-to-end workloads (default 0).
+	DataNodes int
+}
+
+// FS is a deployed SwitchFS cluster.
+type FS struct {
+	c *cluster.Cluster
+}
+
+// NewSimEnv builds the deterministic discrete-event runtime used by tests
+// and benchmarks; identical seeds give identical executions.
+func NewSimEnv(seed int64) *env.Sim { return env.NewSim(seed) }
+
+// NewRealEnv builds the goroutine/wall-clock runtime used by the examples
+// and daemons.
+func NewRealEnv() *env.Real { return env.NewReal() }
+
+// New deploys a cluster (servers, switch(es), clients) on the environment.
+func New(e Env, cfg Config) (*FS, error) {
+	opts := cluster.Options{
+		Servers:        cfg.Servers,
+		CoresPerServer: cfg.CoresPerServer,
+		Clients:        cfg.Clients,
+		Switches:       cfg.Switches,
+		DataNodes:      cfg.DataNodes,
+	}
+	if _, isSim := e.(*env.Sim); isSim {
+		opts.Costs = env.DefaultCosts()
+	} else {
+		opts.Costs = env.ZeroCosts()
+	}
+	return &FS{c: cluster.New(e, opts)}, nil
+}
+
+// Client returns the i-th LibFS client.
+func (f *FS) Client(i int) *Client { return f.c.Client(i) }
+
+// RunClient runs fn as a process bound to client i. Under the simulated
+// environment it drives the simulation until fn completes; under the real
+// environment it returns after spawning (synchronize within fn).
+func (f *FS) RunClient(i int, fn func(p *Proc, c *Client)) {
+	f.c.Run(i, fn)
+}
+
+// CrashServer fail-stops metadata server i (its WAL survives).
+func (f *FS) CrashServer(i int) { f.c.CrashServer(i) }
+
+// RecoverServer restarts server i from its WAL and runs §5.4.2 recovery.
+func (f *FS) RecoverServer(i int) { f.c.RecoverServer(i) }
+
+// CrashSwitch clears all in-network state; RecoverSwitch restores
+// consistency by flushing every change-log (§5.4.2).
+func (f *FS) CrashSwitch()   { f.c.CrashSwitch() }
+func (f *FS) RecoverSwitch() { f.c.RecoverSwitch() }
+
+// Cluster exposes the underlying deployment for advanced use (fault
+// injection, statistics, preloading).
+func (f *FS) Cluster() *cluster.Cluster { return f.c }
+
+// Servers returns the deployed metadata servers (statistics access).
+func (f *FS) Servers() []*server.Server { return f.c.Servers }

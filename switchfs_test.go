@@ -1,0 +1,93 @@
+package switchfs
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestFacadeLifecycle(t *testing.T) {
+	e := NewSimEnv(1)
+	defer e.Shutdown()
+	fs, err := New(e, Config{Servers: 4, Clients: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs.RunClient(0, func(p *Proc, c *Client) {
+		if err := c.Mkdir(p, "/a", 0); err != nil {
+			t.Errorf("mkdir: %v", err)
+			return
+		}
+		for i := 0; i < 5; i++ {
+			if err := c.Create(p, fmt.Sprintf("/a/f%d", i), 0); err != nil {
+				t.Errorf("create: %v", err)
+				return
+			}
+		}
+		attr, err := c.StatDir(p, "/a")
+		if err != nil || attr.Size != 5 {
+			t.Errorf("statdir size=%d err=%v", attr.Size, err)
+		}
+		if err := c.Create(p, "/a/f0", 0); !errors.Is(err, ErrExist) {
+			t.Errorf("duplicate create: %v", err)
+		}
+	})
+	// The second client observes the first client's namespace.
+	fs.RunClient(1, func(p *Proc, c *Client) {
+		es, err := c.ReadDir(p, "/a")
+		if err != nil || len(es) != 5 {
+			t.Errorf("client 1 readdir: %d entries err=%v", len(es), err)
+		}
+	})
+}
+
+func TestFacadeCrashRecovery(t *testing.T) {
+	e := NewSimEnv(2)
+	defer e.Shutdown()
+	fs, err := New(e, Config{Servers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs.RunClient(0, func(p *Proc, c *Client) {
+		c.Mkdir(p, "/x", 0)
+		for i := 0; i < 10; i++ {
+			c.Create(p, fmt.Sprintf("/x/f%d", i), 0)
+		}
+	})
+	fs.CrashServer(1)
+	fs.RecoverServer(1)
+	e.Run()
+	fs.RunClient(0, func(p *Proc, c *Client) {
+		attr, err := c.StatDir(p, "/x")
+		if err != nil || attr.Size != 10 {
+			t.Errorf("after recovery: size=%d err=%v", attr.Size, err)
+		}
+	})
+}
+
+func TestFacadeRealEnv(t *testing.T) {
+	e := NewRealEnv()
+	fs, err := New(e, Config{Servers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	fs.RunClient(0, func(p *Proc, c *Client) {
+		if err := c.Mkdir(p, "/real", 0); err != nil {
+			done <- err
+			return
+		}
+		if err := c.Create(p, "/real/f", 0); err != nil {
+			done <- err
+			return
+		}
+		attr, err := c.StatDir(p, "/real")
+		if err == nil && attr.Size != 1 {
+			err = fmt.Errorf("size=%d", attr.Size)
+		}
+		done <- err
+	})
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
