@@ -1,0 +1,26 @@
+# Developer entry points. `make verify` is the tier-1 gate CI runs.
+
+GO ?= go
+
+.PHONY: verify fmt vet build test bench figures
+
+verify: fmt vet build test
+
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+bench:
+	$(GO) test -bench=. -benchmem
+
+figures:
+	$(GO) run ./cmd/fsbench -fig all -scale quick

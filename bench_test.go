@@ -96,21 +96,21 @@ func BenchmarkRecovery(b *testing.B) { benchFigure(b, figures.Recovery) }
 // metric).
 func BenchmarkCreateOps(b *testing.B) {
 	e := NewSimEnv(1)
-	fs, err := New(e, Config{Servers: 8, Clients: 1})
+	fs, err := New(e, WithServers(8), WithClients(1))
 	if err != nil {
 		b.Fatal(err)
 	}
 	defer e.Shutdown()
-	fs.RunClient(0, func(p *Proc, c *Client) {
-		if err := c.Mkdir(p, "/bench", 0); err != nil {
+	fs.RunSession(0, func(s *Session) {
+		if err := s.Mkdir("/bench", 0); err != nil {
 			b.Fatal(err)
 		}
 	})
 	b.ResetTimer()
 	n := b.N
-	fs.RunClient(0, func(p *Proc, c *Client) {
+	fs.RunSession(0, func(s *Session) {
 		for i := 0; i < n; i++ {
-			if err := c.Create(p, fmt.Sprintf("/bench/f%d", i), 0); err != nil {
+			if err := s.Create(fmt.Sprintf("/bench/f%d", i), 0); err != nil {
 				b.Fatal(err)
 			}
 		}

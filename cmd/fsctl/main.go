@@ -6,13 +6,15 @@
 //
 //	fsctl -servers 8 'mkdir /a' 'create /a/f' 'ls /a' 'statdir /a' 'rm /a/f'
 //
-// Commands: mkdir, rmdir, create, rm, stat, statdir, ls, mv, ln, chmod.
+// Commands: mkdir, rmdir, create, rm, stat, statdir, ls, mv, ln, chmod,
+// open, read, write.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"switchfs"
@@ -20,6 +22,7 @@ import (
 
 func main() {
 	servers := flag.Int("servers", 4, "metadata server count")
+	dataNodes := flag.Int("datanodes", 0, "data node count (open/read/write)")
 	flag.Parse()
 	if flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "fsctl: no commands; try 'mkdir /a' 'create /a/f' 'ls /a'")
@@ -27,71 +30,95 @@ func main() {
 	}
 
 	e := switchfs.NewRealEnv()
-	fs, err := switchfs.New(e, switchfs.Config{Servers: *servers})
+	fs, err := switchfs.New(e,
+		switchfs.WithServers(*servers),
+		switchfs.WithDataNodes(*dataNodes))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fsctl:", err)
 		os.Exit(1)
 	}
 
-	done := make(chan struct{})
-	fs.RunClient(0, func(p *switchfs.Proc, c *switchfs.Client) {
-		defer close(done)
-		for _, raw := range flag.Args() {
-			fields := strings.Fields(raw)
-			if len(fields) == 0 {
-				continue
-			}
-			cmd := fields[0]
-			arg := func(i int) string {
-				if i < len(fields)-1 {
-					return fields[i+1]
-				}
-				return ""
-			}
-			var err error
-			switch cmd {
-			case "mkdir":
-				err = c.Mkdir(p, arg(0), 0)
-			case "rmdir":
-				err = c.Rmdir(p, arg(0))
-			case "create":
-				err = c.Create(p, arg(0), 0)
-			case "rm":
-				err = c.Delete(p, arg(0))
-			case "stat":
-				var a switchfs.Attr
-				a, err = c.Stat(p, arg(0))
-				if err == nil {
-					fmt.Printf("%s: %v mode=%o size=%d nlink=%d\n",
-						arg(0), a.Type, a.Perm, a.Size, a.Nlink)
-				}
-			case "statdir":
-				var a switchfs.Attr
-				a, err = c.StatDir(p, arg(0))
-				if err == nil {
-					fmt.Printf("%s: dir mode=%o entries=%d\n", arg(0), a.Perm, a.Size)
-				}
-			case "ls":
-				var es []switchfs.DirEntry
-				es, err = c.ReadDir(p, arg(0))
-				for _, e := range es {
-					fmt.Printf("%v\t%s\n", e.Type, e.Name)
-				}
-			case "mv":
-				err = c.Rename(p, arg(0), arg(1))
-			case "ln":
-				err = c.Link(p, arg(0), arg(1))
-			case "chmod":
-				err = c.Chmod(p, arg(0), 0o600)
-			default:
-				err = fmt.Errorf("unknown command %q", cmd)
-			}
-			if err != nil {
-				fmt.Printf("%s: %v\n", raw, err)
-			} else if cmd != "stat" && cmd != "statdir" && cmd != "ls" {
-				fmt.Printf("%s: ok\n", raw)
-			}
+	// An unbound session: each command dispatches on the client's node and
+	// blocks this goroutine until it completes.
+	s := fs.Session(0)
+	for _, raw := range flag.Args() {
+		fields := strings.Fields(raw)
+		if len(fields) == 0 {
+			continue
 		}
-	})
-	<-done
+		cmd := fields[0]
+		arg := func(i int) string {
+			if i < len(fields)-1 {
+				return fields[i+1]
+			}
+			return ""
+		}
+		var err error
+		switch cmd {
+		case "mkdir":
+			err = s.Mkdir(arg(0), 0)
+		case "rmdir":
+			err = s.Rmdir(arg(0))
+		case "create":
+			err = s.Create(arg(0), 0)
+		case "rm":
+			err = s.Remove(arg(0))
+		case "stat":
+			var a switchfs.Attr
+			a, err = s.Stat(arg(0))
+			if err == nil {
+				fmt.Printf("%s: %v mode=%o size=%d nlink=%d\n",
+					arg(0), a.Type, a.Perm, a.Size, a.Nlink)
+			}
+		case "statdir":
+			var a switchfs.Attr
+			a, err = s.StatDir(arg(0))
+			if err == nil {
+				fmt.Printf("%s: dir mode=%o entries=%d\n", arg(0), a.Perm, a.Size)
+			}
+		case "ls":
+			var es []switchfs.DirEntry
+			es, err = s.ReadDir(arg(0))
+			for _, e := range es {
+				fmt.Printf("%v\t%s\n", e.Type, e.Name)
+			}
+		case "mv":
+			err = s.Rename(arg(0), arg(1))
+		case "ln":
+			err = s.Link(arg(0), arg(1))
+		case "chmod":
+			err = s.Chmod(arg(0), 0o600)
+		case "open":
+			var f *switchfs.File
+			f, err = s.Open(arg(0))
+			if err == nil {
+				fmt.Printf("%s: opened, type=%v\n", f.Name(), f.Attr().Type)
+				err = f.Close()
+			}
+		case "read", "write":
+			n := int64(4096)
+			if v, perr := strconv.ParseInt(arg(1), 10, 64); perr == nil {
+				n = v
+			}
+			var f *switchfs.File
+			f, err = s.Open(arg(0))
+			if err == nil {
+				if cmd == "read" {
+					err = f.Read(n)
+				} else {
+					err = f.Write(n)
+				}
+				if cerr := f.Close(); err == nil {
+					err = cerr
+				}
+			}
+		default:
+			err = fmt.Errorf("unknown command %q", cmd)
+		}
+		if err != nil {
+			fmt.Printf("%s: %v\n", raw, err)
+		} else if cmd != "stat" && cmd != "statdir" && cmd != "ls" && cmd != "open" {
+			fmt.Printf("%s: ok\n", raw)
+		}
+	}
 }

@@ -1,0 +1,63 @@
+package switchfs
+
+import "switchfs/internal/core"
+
+// Filesystem sentinel errors (aliases of internal/core's values). Public
+// operations never return these bare: they arrive wrapped in a *PathError or
+// *LinkError, so match with errors.Is.
+var (
+	ErrExist    = core.ErrExist
+	ErrNotExist = core.ErrNotExist
+	ErrNotEmpty = core.ErrNotEmpty
+	ErrNotDir   = core.ErrNotDir
+	ErrIsDir    = core.ErrIsDir
+	ErrInvalid  = core.ErrInvalid
+	ErrLoop     = core.ErrLoop
+	ErrTimeout  = core.ErrTimeout
+	ErrClosed   = core.ErrClosed
+)
+
+// PathError records an error and the operation and file path that caused it,
+// mirroring io/fs.PathError so session errors read like package os errors.
+type PathError struct {
+	Op   string
+	Path string
+	Err  error
+}
+
+func (e *PathError) Error() string { return e.Op + " " + e.Path + ": " + e.Err.Error() }
+
+// Unwrap exposes the sentinel for errors.Is / errors.As.
+func (e *PathError) Unwrap() error { return e.Err }
+
+// LinkError records an error from a two-path operation (rename, link) and
+// both paths involved, mirroring os.LinkError.
+type LinkError struct {
+	Op  string
+	Old string
+	New string
+	Err error
+}
+
+func (e *LinkError) Error() string {
+	return e.Op + " " + e.Old + " " + e.New + ": " + e.Err.Error()
+}
+
+// Unwrap exposes the sentinel for errors.Is / errors.As.
+func (e *LinkError) Unwrap() error { return e.Err }
+
+// wrapPath boxes err into a *PathError unless it is nil.
+func wrapPath(op, path string, err error) error {
+	if err == nil {
+		return nil
+	}
+	return &PathError{Op: op, Path: path, Err: err}
+}
+
+// wrapLink boxes err into a *LinkError unless it is nil.
+func wrapLink(op, oldp, newp string, err error) error {
+	if err == nil {
+		return nil
+	}
+	return &LinkError{Op: op, Old: oldp, New: newp, Err: err}
+}

@@ -7,9 +7,9 @@ package main
 
 import (
 	"fmt"
+	"log"
 
-	"switchfs/internal/cluster"
-	"switchfs/internal/env"
+	"switchfs"
 	"switchfs/internal/workload"
 )
 
@@ -22,15 +22,16 @@ func main() {
 		imageSizeKB = 128
 	)
 
-	sim := env.NewSim(2026)
+	sim := switchfs.NewSimEnv(2026)
 	defer sim.Shutdown()
-	c := cluster.New(sim, cluster.Options{
-		Servers:         8,
-		Clients:         8,
-		DataNodes:       8,
-		Costs:           env.DefaultCosts(),
-		SwitchIndexBits: 14,
-	})
+	fs, err := switchfs.New(sim,
+		switchfs.WithServers(8),
+		switchfs.WithClients(8),
+		switchfs.WithDataNodes(8))
+	if err != nil {
+		log.Fatal(err)
+	}
+	c := fs.Cluster()
 
 	ns := workload.MultiDir(classes, imagesEach)
 	ns.Preload(c)

@@ -15,16 +15,16 @@ import (
 func main() {
 	env := switchfs.NewSimEnv(7)
 	defer env.Shutdown()
-	fs, err := switchfs.New(env, switchfs.Config{Servers: 8})
+	fs, err := switchfs.New(env, switchfs.WithServers(8))
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	// Build a namespace with deferred updates outstanding.
-	fs.RunClient(0, func(p *switchfs.Proc, c *switchfs.Client) {
-		must(c.Mkdir(p, "/srv", 0))
+	fs.RunSession(0, func(s *switchfs.Session) {
+		must(s.Mkdir("/srv", 0))
 		for i := 0; i < 40; i++ {
-			must(c.Create(p, fmt.Sprintf("/srv/log%02d", i), 0))
+			must(s.Create(fmt.Sprintf("/srv/log%02d", i), 0))
 		}
 	})
 	fmt.Println("created /srv with 40 files (asynchronous directory updates pending)")
@@ -38,14 +38,14 @@ func main() {
 	fmt.Println("server 2 recovered: WAL replayed, change-logs re-delivered,",
 		"owned directories aggregated, invalidation list cloned")
 
-	fs.RunClient(0, func(p *switchfs.Proc, c *switchfs.Client) {
-		attr, err := c.StatDir(p, "/srv")
+	fs.RunSession(0, func(s *switchfs.Session) {
+		attr, err := s.StatDir("/srv")
 		must(err)
 		fmt.Printf("post-recovery statdir /srv: %d entries (want 40)\n", attr.Size)
 		if attr.Size != 40 {
 			log.Fatal("metadata lost!")
 		}
-		must(c.Create(p, "/srv/after-crash", 0))
+		must(s.Create("/srv/after-crash", 0))
 	})
 
 	// Now reboot the switch: the whole dirty set disappears.
@@ -54,8 +54,8 @@ func main() {
 	env.Run()
 	fmt.Println("switch rebooted: dirty set reset, every server flushed its change-logs")
 
-	fs.RunClient(0, func(p *switchfs.Proc, c *switchfs.Client) {
-		attr, err := c.StatDir(p, "/srv")
+	fs.RunSession(0, func(s *switchfs.Session) {
+		attr, err := s.StatDir("/srv")
 		must(err)
 		fmt.Printf("post-switch-recovery statdir /srv: %d entries (want 41)\n", attr.Size)
 		if attr.Size != 41 {

@@ -1,9 +1,11 @@
 // Quickstart: deploy a SwitchFS cluster on the deterministic simulator,
-// create a small namespace, and observe the asynchronous-update machinery —
-// directory updates commit locally, and directory reads aggregate them.
+// create a small namespace through a bound session, and observe the
+// asynchronous-update machinery — directory updates commit locally, and
+// directory reads aggregate them.
 package main
 
 import (
+	"errors"
 	"fmt"
 	"log"
 
@@ -12,47 +14,53 @@ import (
 
 func main() {
 	env := switchfs.NewSimEnv(42)
-	fs, err := switchfs.New(env, switchfs.Config{Servers: 8, Clients: 1})
+	fs, err := switchfs.New(env, switchfs.WithServers(8), switchfs.WithClients(1))
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer env.Shutdown()
 
-	fs.RunClient(0, func(p *switchfs.Proc, c *switchfs.Client) {
-		must(c.Mkdir(p, "/projects", 0))
-		must(c.Mkdir(p, "/projects/switchfs", 0))
+	fs.RunSession(0, func(s *switchfs.Session) {
+		must(s.Mkdir("/projects", 0))
+		must(s.Mkdir("/projects/switchfs", 0))
 		for i := 0; i < 10; i++ {
-			must(c.Create(p, fmt.Sprintf("/projects/switchfs/src%d.go", i), 0o644))
+			must(s.Create(fmt.Sprintf("/projects/switchfs/src%d.go", i), 0o644))
 		}
 
 		// The ten creates returned after a single round trip each; their
 		// directory updates are sitting in change-logs. This statdir finds
 		// the directory "scattered" in the switch's dirty set, aggregates
 		// the deferred updates, and returns the up-to-date attributes.
-		attr, err := c.StatDir(p, "/projects/switchfs")
+		attr, err := s.StatDir("/projects/switchfs")
 		must(err)
 		fmt.Printf("statdir /projects/switchfs: %d entries (aggregated), mode %o\n",
 			attr.Size, attr.Perm)
 
-		entries, err := c.ReadDir(p, "/projects/switchfs")
+		entries, err := s.ReadDir("/projects/switchfs")
 		must(err)
 		fmt.Printf("readdir: %d entries, first=%s\n", len(entries), entries[0].Name)
 
-		must(c.Rename(p, "/projects/switchfs/src0.go", "/projects/switchfs/main.go"))
-		a, err := c.Stat(p, "/projects/switchfs/main.go")
+		must(s.Rename("/projects/switchfs/src0.go", "/projects/switchfs/main.go"))
+		f, err := s.Open("/projects/switchfs/main.go")
 		must(err)
-		fmt.Printf("renamed file: type=%v nlink=%d\n", a.Type, a.Nlink)
+		fmt.Printf("renamed file: type=%v nlink=%d\n", f.Attr().Type, f.Attr().Nlink)
+		must(f.Close())
 
-		must(c.Delete(p, "/projects/switchfs/main.go"))
-		attr, _ = c.StatDir(p, "/projects/switchfs")
-		fmt.Printf("after delete: %d entries\n", attr.Size)
+		// Errors arrive as *switchfs.PathError wrapping the sentinels.
+		if err := s.Create("/projects/switchfs/src1.go", 0o644); errors.Is(err, switchfs.ErrExist) {
+			fmt.Printf("duplicate create: %v\n", err)
+		}
+
+		must(s.Remove("/projects/switchfs/main.go"))
+		attr, _ = s.StatDir("/projects/switchfs")
+		fmt.Printf("after remove: %d entries\n", attr.Size)
 	})
 
 	// Observe the protocol counters.
 	var async, aggs uint64
-	for _, s := range fs.Servers() {
-		async += s.Stats.AsyncCommits
-		aggs += s.Stats.Aggregations
+	for _, srv := range fs.Servers() {
+		async += srv.Stats.AsyncCommits
+		aggs += srv.Stats.Aggregations
 	}
 	fmt.Printf("asynchronous commits: %d, aggregations: %d\n", async, aggs)
 }

@@ -7,9 +7,10 @@ package main
 
 import (
 	"fmt"
+	"log"
 
+	"switchfs"
 	"switchfs/internal/baseline"
-	"switchfs/internal/cluster"
 	"switchfs/internal/core"
 	"switchfs/internal/env"
 	"switchfs/internal/fsapi"
@@ -41,9 +42,11 @@ func main() {
 	fmt.Printf("%d metadata servers × 4 cores\n\n", servers)
 
 	sim := env.NewSim(1)
-	run("SwitchFS", cluster.New(sim, cluster.Options{
-		Servers: servers, Clients: 8, Costs: env.DefaultCosts(), SwitchIndexBits: 14,
-	}), sim)
+	fs, err := switchfs.New(sim, switchfs.WithServers(servers), switchfs.WithClients(8))
+	if err != nil {
+		log.Fatal(err)
+	}
+	run("SwitchFS", fs.Cluster(), sim)
 	sim.Shutdown()
 
 	for _, mode := range []baseline.Mode{baseline.InfiniFS, baseline.CFS} {

@@ -1,0 +1,3 @@
+module switchfs
+
+go 1.22

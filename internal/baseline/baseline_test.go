@@ -41,16 +41,19 @@ func testBasicOps(t *testing.T, mode Mode) {
 		if err := fs.Create(p, "/d/f0"); !errors.Is(err, core.ErrExist) {
 			t.Errorf("%v duplicate create: %v", mode, err)
 		}
-		if err := fs.Stat(p, "/d/f3"); err != nil {
-			t.Errorf("%v stat: %v", mode, err)
+		if a, err := fs.Stat(p, "/d/f3"); err != nil || a.Type != core.TypeRegular {
+			t.Errorf("%v stat: attr=%+v err=%v", mode, a, err)
 		}
-		if err := fs.StatDir(p, "/d"); err != nil {
-			t.Errorf("%v statdir: %v", mode, err)
+		if a, err := fs.StatDir(p, "/d"); err != nil || a.Size != 8 {
+			t.Errorf("%v statdir: size=%d err=%v, want 8", mode, a.Size, err)
+		}
+		if es, err := fs.ReadDir(p, "/d"); err != nil || len(es) != 8 {
+			t.Errorf("%v readdir: %d entries err=%v, want 8", mode, len(es), err)
 		}
 		if err := fs.Delete(p, "/d/f3"); err != nil {
 			t.Errorf("%v delete: %v", mode, err)
 		}
-		if err := fs.Stat(p, "/d/f3"); !errors.Is(err, core.ErrNotExist) {
+		if _, err := fs.Stat(p, "/d/f3"); !errors.Is(err, core.ErrNotExist) {
 			t.Errorf("%v stat after delete: %v", mode, err)
 		}
 	})
@@ -70,10 +73,9 @@ func TestDirSizeTracking(t *testing.T) {
 				fs.Create(p, fmt.Sprintf("/d/f%d", i))
 			}
 			fs.Delete(p, "/d/f0")
-			cl := fs.(*bclient)
-			resp, err := cl.do(p, core.OpStatDir, "/d")
-			if err != nil || resp.Size != 4 {
-				t.Errorf("%v: size=%d err=%v, want 4", mode, resp.Size, err)
+			a, err := fs.StatDir(p, "/d")
+			if err != nil || a.Size != 4 {
+				t.Errorf("%v: size=%d err=%v, want 4", mode, a.Size, err)
 			}
 		})
 	}
@@ -117,10 +119,10 @@ func TestRenameMovesFile(t *testing.T) {
 				t.Errorf("%v rename: %v", mode, err)
 				return
 			}
-			if err := fs.Stat(p, "/a/f"); !errors.Is(err, core.ErrNotExist) {
+			if _, err := fs.Stat(p, "/a/f"); !errors.Is(err, core.ErrNotExist) {
 				t.Errorf("%v src survived rename: %v", mode, err)
 			}
-			if err := fs.Stat(p, "/b/g"); err != nil {
+			if _, err := fs.Stat(p, "/b/g"); err != nil {
 				t.Errorf("%v dst missing: %v", mode, err)
 			}
 		})
@@ -132,13 +134,12 @@ func TestPreloadVisibleToClients(t *testing.T) {
 		sim, c := deployTest(t, mode)
 		c.Preload([]string{"/data/a", "/data/b"}, 20)
 		run(sim, c, func(p *env.Proc, fs fsapi.FS) {
-			if err := fs.Stat(p, "/data/a/f7"); err != nil {
+			if _, err := fs.Stat(p, "/data/a/f7"); err != nil {
 				t.Errorf("%v stat preloaded: %v", mode, err)
 			}
-			cl := fs.(*bclient)
-			resp, err := cl.do(p, core.OpStatDir, "/data/b")
-			if err != nil || resp.Size != 20 {
-				t.Errorf("%v statdir preloaded: size=%d err=%v", mode, resp.Size, err)
+			a, err := fs.StatDir(p, "/data/b")
+			if err != nil || a.Size != 20 {
+				t.Errorf("%v statdir preloaded: size=%d err=%v", mode, a.Size, err)
 			}
 		})
 	}

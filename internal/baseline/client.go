@@ -208,14 +208,35 @@ func (cl *bclient) Rmdir(p *env.Proc, path string) error {
 	return err
 }
 
-func (cl *bclient) Stat(p *env.Proc, path string) error {
-	_, err := cl.do(p, core.OpStat, path)
-	return err
+// statAttr builds the attribute block for a stat/open response from the
+// type the server read off the store. The baseline stores record only
+// existence and type, so the mode is the type's default (enough for
+// harness assertions).
+func statAttr(resp *bresp) core.Attr {
+	a := core.Attr{Type: resp.Type, Perm: core.DefaultFilePerm, Nlink: 1}
+	if a.Type == 0 {
+		a.Type = core.TypeRegular
+	}
+	if a.Type == core.TypeDir {
+		a.Perm = core.DefaultDirPerm
+	}
+	return a
 }
 
-func (cl *bclient) Open(p *env.Proc, path string) error {
-	_, err := cl.do(p, core.OpOpen, path)
-	return err
+func (cl *bclient) Stat(p *env.Proc, path string) (core.Attr, error) {
+	resp, err := cl.do(p, core.OpStat, path)
+	if err != nil {
+		return core.Attr{}, err
+	}
+	return statAttr(resp), nil
+}
+
+func (cl *bclient) Open(p *env.Proc, path string) (core.Attr, error) {
+	resp, err := cl.do(p, core.OpOpen, path)
+	if err != nil {
+		return core.Attr{}, err
+	}
+	return statAttr(resp), nil
 }
 
 func (cl *bclient) Close(p *env.Proc, path string) error {
@@ -228,14 +249,20 @@ func (cl *bclient) Chmod(p *env.Proc, path string, perm core.Perm) error {
 	return err
 }
 
-func (cl *bclient) StatDir(p *env.Proc, path string) error {
-	_, err := cl.do(p, core.OpStatDir, path)
-	return err
+func (cl *bclient) StatDir(p *env.Proc, path string) (core.Attr, error) {
+	resp, err := cl.do(p, core.OpStatDir, path)
+	if err != nil {
+		return core.Attr{}, err
+	}
+	return core.Attr{Type: core.TypeDir, Perm: resp.Perm, Size: resp.Size}, nil
 }
 
-func (cl *bclient) ReadDir(p *env.Proc, path string) error {
-	_, err := cl.do(p, core.OpReadDir, path)
-	return err
+func (cl *bclient) ReadDir(p *env.Proc, path string) ([]core.DirEntry, error) {
+	resp, err := cl.do(p, core.OpReadDir, path)
+	if err != nil {
+		return nil, err
+	}
+	return resp.Entries, nil
 }
 
 func (cl *bclient) Rename(p *env.Proc, src, dst string) error {

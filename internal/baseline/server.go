@@ -32,6 +32,12 @@ type bresp struct {
 	Err  core.Errno
 	Dir  core.DirID
 	Size int64
+	Perm core.Perm
+	// Type is the target's file type for stat/open responses (the stores
+	// record it as the value's marker byte).
+	Type core.FileType
+	// Entries carries the listing for readdir responses.
+	Entries []core.DirEntry
 }
 
 // bsub is a server-to-server sub-operation of a synchronous multi-server
@@ -176,11 +182,15 @@ func (s *bserver) handleReq(p *env.Proc, m *breq) {
 		l := s.lockOf(m.Dir)
 		l.RLock(p)
 		p.Compute(c.KVGet)
-		_, ok := s.kv.Get(fileKey(m.Dir, m.Name))
+		raw, ok := s.kv.Get(fileKey(m.Dir, m.Name))
 		l.RUnlock()
 		if !ok {
 			fail(core.ErrnoNotExist)
 			return
+		}
+		resp.Type = core.TypeRegular
+		if len(raw) > 0 {
+			resp.Type = core.FileType(raw[0])
 		}
 		p.Send(m.From, resp)
 
@@ -204,17 +214,26 @@ func (s *bserver) handleReq(p *env.Proc, m *breq) {
 		l.RLock(p)
 		p.Compute(c.KVGet)
 		raw, ok := s.kv.Get(dirKey(m.Dir))
-		var n int
 		if ok && m.Op == core.OpReadDir {
-			s.kv.Scan(entKey(m.Dir, ""), func(k, v []byte) bool { n++; return true })
-			p.Compute(env.Duration(n) * c.KVScanEntry)
+			prefix := entKey(m.Dir, "")
+			s.kv.Scan(prefix, func(k, v []byte) bool {
+				e := core.DirEntry{Name: string(k[len(prefix):]), Type: core.TypeRegular}
+				if len(v) > 0 {
+					e.Type = core.FileType(v[0])
+				}
+				resp.Entries = append(resp.Entries, e)
+				return true
+			})
+			p.Compute(env.Duration(len(resp.Entries)) * c.KVScanEntry)
 		}
 		l.RUnlock()
 		if !ok {
 			fail(core.ErrnoNotExist)
 			return
 		}
-		resp.Size = decodeDir(raw).Size
+		rec := decodeDir(raw)
+		resp.Size = rec.Size
+		resp.Perm = rec.Perm
 		p.Send(m.From, resp)
 
 	case core.OpCreate, core.OpDelete:

@@ -40,14 +40,13 @@ func (a *fsAdapter) Delete(p *env.Proc, path string) error { return a.cl.Delete(
 func (a *fsAdapter) Mkdir(p *env.Proc, path string) error  { return a.cl.Mkdir(p, path, 0) }
 func (a *fsAdapter) Rmdir(p *env.Proc, path string) error  { return a.cl.Rmdir(p, path) }
 
-func (a *fsAdapter) Stat(p *env.Proc, path string) error {
-	_, err := a.cl.Stat(p, path)
-	return err
+func (a *fsAdapter) Stat(p *env.Proc, path string) (core.Attr, error) {
+	return a.cl.Stat(p, path)
 }
 
-func (a *fsAdapter) Open(p *env.Proc, path string) error {
-	_, _, err := a.cl.Open(p, path)
-	return err
+func (a *fsAdapter) Open(p *env.Proc, path string) (core.Attr, error) {
+	attr, _, err := a.cl.Open(p, path)
+	return attr, err
 }
 
 func (a *fsAdapter) Close(p *env.Proc, path string) error { return a.cl.Close(p, path) }
@@ -56,14 +55,12 @@ func (a *fsAdapter) Chmod(p *env.Proc, path string, perm core.Perm) error {
 	return a.cl.Chmod(p, path, perm)
 }
 
-func (a *fsAdapter) StatDir(p *env.Proc, path string) error {
-	_, err := a.cl.StatDir(p, path)
-	return err
+func (a *fsAdapter) StatDir(p *env.Proc, path string) (core.Attr, error) {
+	return a.cl.StatDir(p, path)
 }
 
-func (a *fsAdapter) ReadDir(p *env.Proc, path string) error {
-	_, err := a.cl.ReadDir(p, path)
-	return err
+func (a *fsAdapter) ReadDir(p *env.Proc, path string) ([]core.DirEntry, error) {
+	return a.cl.ReadDir(p, path)
 }
 
 func (a *fsAdapter) Rename(p *env.Proc, src, dst string) error { return a.cl.Rename(p, src, dst) }

@@ -32,6 +32,9 @@ var (
 	ErrLoop = errors.New("rename would create a directory loop")
 	// ErrTimeout: the operation exceeded its retry budget.
 	ErrTimeout = errors.New("operation timed out")
+	// ErrClosed: the operation used an already-closed file handle (EBADF).
+	// Client-side only; never crosses the wire.
+	ErrClosed = errors.New("file already closed")
 )
 
 // Errno is the compact wire representation of the error set above.

@@ -83,7 +83,7 @@ func statdirAfterCreates(seed int64, servers, k int) float64 {
 				fs.Create(p, fmt.Sprintf("%s/f%d", dirs[r], i))
 			}
 			t0 := p.Now()
-			fs.StatDir(p, dirs[r])
+			_, _ = fs.StatDir(p, dirs[r])
 			total += float64(p.Now() - t0)
 		}
 	})

@@ -10,18 +10,25 @@ import (
 )
 
 // FS is one client's view of a filesystem under test. Operations block the
-// calling process until completion.
+// calling process until completion. Read-style operations return typed
+// results so harnesses can verify what the evaluation actually reads back,
+// not just that the call completed.
 type FS interface {
 	Create(p *env.Proc, path string) error
 	Delete(p *env.Proc, path string) error
 	Mkdir(p *env.Proc, path string) error
 	Rmdir(p *env.Proc, path string) error
-	Stat(p *env.Proc, path string) error
-	Open(p *env.Proc, path string) error
+	// Stat returns the file's attribute block.
+	Stat(p *env.Proc, path string) (core.Attr, error)
+	// Open returns the file's attribute block captured at open time.
+	Open(p *env.Proc, path string) (core.Attr, error)
 	Close(p *env.Proc, path string) error
 	Chmod(p *env.Proc, path string, perm core.Perm) error
-	StatDir(p *env.Proc, path string) error
-	ReadDir(p *env.Proc, path string) error
+	// StatDir returns the directory's attributes; Attr.Size is the entry
+	// count after aggregating deferred updates.
+	StatDir(p *env.Proc, path string) (core.Attr, error)
+	// ReadDir returns the directory's entry list.
+	ReadDir(p *env.Proc, path string) ([]core.DirEntry, error)
 	Rename(p *env.Proc, src, dst string) error
 	// Data models a small-file content access on a data node (§7.6).
 	Data(p *env.Proc, shard int, write bool, bytes int64) error

@@ -158,17 +158,17 @@ func Apply(p *env.Proc, fs fsapi.FS, call OpCall) error {
 	case core.OpRmdir:
 		err = fs.Rmdir(p, call.Path)
 	case core.OpStat:
-		err = fs.Stat(p, call.Path)
+		_, err = fs.Stat(p, call.Path)
 	case core.OpOpen:
-		err = fs.Open(p, call.Path)
+		_, err = fs.Open(p, call.Path)
 	case core.OpClose:
 		err = fs.Close(p, call.Path)
 	case core.OpChmod:
 		err = fs.Chmod(p, call.Path, 0o644)
 	case core.OpStatDir:
-		err = fs.StatDir(p, call.Path)
+		_, err = fs.StatDir(p, call.Path)
 	case core.OpReadDir:
-		err = fs.ReadDir(p, call.Path)
+		_, err = fs.ReadDir(p, call.Path)
 	case core.OpRename:
 		err = fs.Rename(p, call.Path, call.Path2)
 	case core.OpRead:

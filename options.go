@@ -1,0 +1,75 @@
+package switchfs
+
+import (
+	"fmt"
+
+	"switchfs/internal/env"
+)
+
+// config collects the deployment knobs set by Options. Zero fields take the
+// paper's evaluation defaults in defaultConfig.
+type config struct {
+	servers        int
+	coresPerServer int
+	clients        int
+	switches       int
+	dataNodes      int
+	retryTimeout   env.Duration
+}
+
+func defaultConfig() config {
+	return config{
+		servers:        8,
+		coresPerServer: 4,
+		clients:        1,
+		switches:       1,
+		dataNodes:      0,
+	}
+}
+
+func (c config) validate() error {
+	if c.retryTimeout < 0 {
+		return fmt.Errorf("switchfs: retry timeout must be >= 0, got %v", c.retryTimeout)
+	}
+	for _, f := range []struct {
+		name string
+		v    int
+		min  int
+	}{
+		{"servers", c.servers, 1},
+		{"cores per server", c.coresPerServer, 1},
+		{"clients", c.clients, 1},
+		{"switches", c.switches, 1},
+		{"data nodes", c.dataNodes, 0},
+	} {
+		if f.v < f.min {
+			return fmt.Errorf("switchfs: %s must be >= %d, got %d", f.name, f.min, f.v)
+		}
+	}
+	return nil
+}
+
+// Option customizes a deployment built by New.
+type Option func(*config)
+
+// WithServers sets the metadata server count (default 8, the paper's setup).
+func WithServers(n int) Option { return func(c *config) { c.servers = n } }
+
+// WithCoresPerServer models each metadata server's CPU (default 4).
+func WithCoresPerServer(n int) Option { return func(c *config) { c.coresPerServer = n } }
+
+// WithClients sets the LibFS pool size (default 1). Sessions bind to clients
+// modulo this pool.
+func WithClients(n int) Option { return func(c *config) { c.clients = n } }
+
+// WithSwitches range-partitions fingerprints over multiple spine switches
+// (§6.4; default 1).
+func WithSwitches(n int) Option { return func(c *config) { c.switches = n } }
+
+// WithDataNodes adds data servers for end-to-end workloads (§7.6; default 0).
+// File.Read and File.Write are charged against these nodes.
+func WithDataNodes(n int) Option { return func(c *config) { c.dataNodes = n } }
+
+// WithRetryTimeout bounds client request retransmission (default 2ms of
+// virtual time).
+func WithRetryTimeout(d env.Duration) Option { return func(c *config) { c.retryTimeout = d } }

@@ -5,18 +5,30 @@
 // visibility through an in-network dirty set hosted on a programmable-switch
 // model.
 //
-// The package exposes a deployment facade over the internal machinery:
+// The package exposes an os-style deployment facade over the internal
+// machinery. A deployment is sized with functional options and driven
+// through bound sessions:
 //
 //	env := switchfs.NewSimEnv(42)                   // deterministic simulator
-//	fs, err := switchfs.New(env, switchfs.Config{Servers: 8})
-//	fs.RunClient(0, func(p *switchfs.Proc, c *switchfs.Client) {
-//	    c.Mkdir(p, "/data", 0)
-//	    c.Create(p, "/data/hello", 0)
+//	fs, err := switchfs.New(env, switchfs.WithServers(8), switchfs.WithClients(4))
+//	fs.RunSession(0, func(s *switchfs.Session) {
+//	    s.Mkdir("/data", 0)
+//	    s.Create("/data/hello", 0)
+//	    attr, _ := s.StatDir("/data")
+//	    _ = attr.Size // 2 — deferred updates aggregated on read
 //	})
 //
+// Every operation returns a *PathError (or *LinkError for two-path
+// operations) wrapping one of the package's sentinel errors, so callers
+// dispatch with errors.Is(err, switchfs.ErrNotExist) exactly as they would
+// against package os. Content access goes through a *File handle returned by
+// Session.Open, which routes reads and writes to the deployment's data
+// nodes.
+//
 // Under env.NewReal() the same protocol code runs on goroutines and the wall
-// clock. See DESIGN.md for the architecture and EXPERIMENTS.md for the
-// paper-reproduction results.
+// clock; Session.Open and friends block the calling goroutine. See DESIGN.md
+// for the architecture and EXPERIMENTS.md for the paper-reproduction
+// results.
 package switchfs
 
 import (
@@ -29,9 +41,11 @@ import (
 
 // Re-exported types so applications need only this package.
 type (
-	// Proc is the execution context of filesystem operations.
+	// Proc is the execution context of filesystem operations. Applications
+	// normally never see it: sessions bind one internally. It remains
+	// exported for advanced harnesses that drive internal packages.
 	Proc = env.Proc
-	// Client is the LibFS handle.
+	// Client is the raw LibFS handle (advanced use; sessions wrap it).
 	Client = client.Client
 	// Env is the runtime (simulated or real).
 	Env = env.Env
@@ -41,34 +55,16 @@ type (
 	DirEntry = core.DirEntry
 	// Perm is a POSIX permission word.
 	Perm = core.Perm
+	// FileType distinguishes files, directories and symlinks.
+	FileType = core.FileType
 )
 
-// Filesystem errors (aliases of internal/core's values).
-var (
-	ErrExist    = core.ErrExist
-	ErrNotExist = core.ErrNotExist
-	ErrNotEmpty = core.ErrNotEmpty
-	ErrNotDir   = core.ErrNotDir
-	ErrIsDir    = core.ErrIsDir
-	ErrInvalid  = core.ErrInvalid
-	ErrLoop     = core.ErrLoop
-	ErrTimeout  = core.ErrTimeout
+// File types (aliases of internal/core's values).
+const (
+	TypeRegular = core.TypeRegular
+	TypeDir     = core.TypeDir
+	TypeSymlink = core.TypeSymlink
 )
-
-// Config sizes a SwitchFS deployment.
-type Config struct {
-	// Servers is the metadata server count (default 8, the paper's setup).
-	Servers int
-	// CoresPerServer models each server's CPU (default 4).
-	CoresPerServer int
-	// Clients is the LibFS pool size (default 1).
-	Clients int
-	// Switches range-partitions fingerprints over multiple spine switches
-	// (default 1).
-	Switches int
-	// DataNodes adds data servers for end-to-end workloads (default 0).
-	DataNodes int
-}
 
 // FS is a deployed SwitchFS cluster.
 type FS struct {
@@ -83,31 +79,63 @@ func NewSimEnv(seed int64) *env.Sim { return env.NewSim(seed) }
 // and daemons.
 func NewRealEnv() *env.Real { return env.NewReal() }
 
-// New deploys a cluster (servers, switch(es), clients) on the environment.
-func New(e Env, cfg Config) (*FS, error) {
-	opts := cluster.Options{
-		Servers:        cfg.Servers,
-		CoresPerServer: cfg.CoresPerServer,
-		Clients:        cfg.Clients,
-		Switches:       cfg.Switches,
-		DataNodes:      cfg.DataNodes,
+// New deploys a cluster (servers, switch(es), clients, data nodes) on the
+// environment. Options override the paper's evaluation defaults (§7.1):
+// eight 4-core metadata servers, one switch, one client, no data nodes.
+func New(e Env, opts ...Option) (*FS, error) {
+	cfg := defaultConfig()
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	copts := cluster.Options{
+		Servers:        cfg.servers,
+		CoresPerServer: cfg.coresPerServer,
+		Clients:        cfg.clients,
+		Switches:       cfg.switches,
+		DataNodes:      cfg.dataNodes,
+		RetryTimeout:   cfg.retryTimeout,
 	}
 	if _, isSim := e.(*env.Sim); isSim {
-		opts.Costs = env.DefaultCosts()
+		copts.Costs = env.DefaultCosts()
 	} else {
-		opts.Costs = env.ZeroCosts()
+		copts.Costs = env.ZeroCosts()
 	}
-	return &FS{c: cluster.New(e, opts)}, nil
+	return &FS{c: cluster.New(e, copts)}, nil
 }
 
-// Client returns the i-th LibFS client.
-func (f *FS) Client(i int) *Client { return f.c.Client(i) }
+// Session returns an unbound session for client i (mod the client pool).
+// Each operation dispatches its own process on the client's node and blocks
+// until completion — under the simulated environment it drives the
+// simulation, under the real environment it waits on the spawned goroutine.
+// Use RunSession to amortize that dispatch over many operations.
+func (f *FS) Session(i int) *Session {
+	return &Session{fs: f, cl: f.c.Client(i)}
+}
 
-// RunClient runs fn as a process bound to client i. Under the simulated
-// environment it drives the simulation until fn completes; under the real
-// environment it returns after spawning (synchronize within fn).
-func (f *FS) RunClient(i int, fn func(p *Proc, c *Client)) {
-	f.c.Run(i, fn)
+// RunSession runs fn with a session bound to client i: fn executes as one
+// process on the client's node, and every operation on the session runs in
+// that process. Under the simulated environment RunSession drives the
+// simulation until fn completes; under the real environment it blocks the
+// caller until fn returns.
+func (f *FS) RunSession(i int, fn func(s *Session)) {
+	done := make(chan struct{})
+	f.c.Env.Spawn(f.c.Client(i).ID(), func(p *env.Proc) {
+		fn(&Session{fs: f, cl: f.c.Client(i), p: p})
+		close(done)
+	})
+	if s, ok := f.c.Env.(*env.Sim); ok {
+		s.Run()
+		select {
+		case <-done:
+		default:
+			panic("switchfs: simulation drained before the session finished (deadlock?)")
+		}
+		return
+	}
+	<-done
 }
 
 // CrashServer fail-stops metadata server i (its WAL survives).
@@ -122,7 +150,7 @@ func (f *FS) CrashSwitch()   { f.c.CrashSwitch() }
 func (f *FS) RecoverSwitch() { f.c.RecoverSwitch() }
 
 // Cluster exposes the underlying deployment for advanced use (fault
-// injection, statistics, preloading).
+// injection, statistics, preloading, workload harnesses).
 func (f *FS) Cluster() *cluster.Cluster { return f.c }
 
 // Servers returns the deployed metadata servers (statistics access).
