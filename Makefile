@@ -2,9 +2,26 @@
 
 GO ?= go
 
-.PHONY: verify fmt vet build test bench figures
+.PHONY: verify fmt vet build test bench figures lint race bench-json
 
 verify: fmt vet build test
+
+# lint runs vet plus staticcheck when available (CI installs it; locally it
+# is optional).
+lint: vet
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; ran go vet only"; \
+	fi
+
+race:
+	$(GO) test -race ./...
+
+# bench-json regenerates the CI smoke artifact locally.
+bench-json:
+	$(GO) run ./cmd/fsbench -fig 12a,14 -scale tiny -format json -out bench.json
+	$(GO) run ./cmd/fsbench -validate bench.json
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \

@@ -5,18 +5,29 @@
 //
 //	fsbench -fig all -scale quick
 //	fsbench -fig 12a,13,14 -scale paper
+//	fsbench -fig 12a,14 -scale tiny -format json -out BENCH_12a_14.json
+//	fsbench -fig 12a,14 -scale tiny -compare BENCH_12a_14.json
+//	fsbench -validate BENCH_12a_14.json
 //
 // Figure ids: 2a 2b 2c 2d 12a 12b 13 14 overflow 15a 15b 16 17 18a 18b 19
 // recovery. Scales: tiny, quick, paper (paper takes minutes per figure).
+//
+// -format json emits the versioned internal/bench schema (figure cells,
+// per-row op/packet counters, wall time); -compare re-runs the selected
+// figures and diffs them against a previous JSON result, exiting non-zero
+// on per-cell regressions; -validate checks a result file against the
+// schema without running anything.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
+	"switchfs/internal/bench"
 	"switchfs/internal/figures"
 )
 
@@ -43,10 +54,34 @@ var registry = []struct {
 	{"recovery", figures.Recovery},
 }
 
+func usageRegistry(w *os.File) {
+	ids := make([]string, len(registry))
+	for i, e := range registry {
+		ids[i] = e.id
+	}
+	fmt.Fprintf(w, "known figure ids: %s\n", strings.Join(ids, " "))
+}
+
 func main() {
 	figFlag := flag.String("fig", "all", "comma-separated figure ids, or 'all'")
 	scaleFlag := flag.String("scale", "quick", "tiny | quick | paper")
+	formatFlag := flag.String("format", "text", "text | json")
+	outFlag := flag.String("out", "", "write results to this file (json format)")
+	compareFlag := flag.String("compare", "", "diff results against a previous json result file")
+	thresholdFlag := flag.Float64("threshold", 10, "regression threshold in percent for -compare")
+	validateFlag := flag.String("validate", "", "validate a json result file against the schema and exit")
 	flag.Parse()
+
+	if *validateFlag != "" {
+		r, err := bench.Load(*validateFlag)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fsbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s: valid (schema %d, scale %s, %d figures)\n",
+			*validateFlag, r.Schema, r.Scale, len(r.Figures))
+		return
+	}
 
 	var sc figures.Scale
 	switch *scaleFlag {
@@ -61,25 +96,141 @@ func main() {
 		fmt.Fprintf(os.Stderr, "fsbench: unknown scale %q\n", *scaleFlag)
 		os.Exit(2)
 	}
+	if *formatFlag != "text" && *formatFlag != "json" {
+		fmt.Fprintf(os.Stderr, "fsbench: unknown format %q\n", *formatFlag)
+		os.Exit(2)
+	}
 
+	// Resolve the figure selection up front: an unknown id is an error (it
+	// used to silently run nothing and exit 0).
+	known := map[string]bool{}
+	for _, e := range registry {
+		known[e.id] = true
+	}
 	want := map[string]bool{}
 	all := *figFlag == "all"
-	for _, id := range strings.Split(*figFlag, ",") {
-		want[strings.TrimSpace(id)] = true
+	if !all {
+		for _, id := range strings.Split(*figFlag, ",") {
+			id = strings.TrimSpace(id)
+			if id == "" {
+				continue
+			}
+			if !known[id] {
+				fmt.Fprintf(os.Stderr, "fsbench: unknown figure id %q\n", id)
+				usageRegistry(os.Stderr)
+				os.Exit(2)
+			}
+			want[id] = true
+		}
+		if len(want) == 0 {
+			fmt.Fprintf(os.Stderr, "fsbench: no figure selected by -fig %q\n", *figFlag)
+			usageRegistry(os.Stderr)
+			os.Exit(2)
+		}
 	}
-	ran := 0
+
+	// Validate flag combinations and the comparison baseline BEFORE the
+	// figures run: a paper-scale generation takes minutes per figure, and a
+	// late flag error would throw the whole run away.
+	if *outFlag != "" && *formatFlag != "json" {
+		fmt.Fprintf(os.Stderr, "fsbench: -out requires -format json\n")
+		os.Exit(2)
+	}
+	var baseline *bench.Result
+	if *compareFlag != "" {
+		var err error
+		baseline, err = bench.Load(*compareFlag)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fsbench: %v\n", err)
+			os.Exit(1)
+		}
+		if baseline.Scale != *scaleFlag {
+			fmt.Fprintf(os.Stderr,
+				"fsbench: baseline %s was recorded at -scale %s, this run is -scale %s — comparing different configurations cell-by-cell is meaningless\n",
+				*compareFlag, baseline.Scale, *scaleFlag)
+			os.Exit(2)
+		}
+	}
+
+	result := &bench.Result{
+		Schema:    bench.SchemaVersion,
+		Tool:      "fsbench",
+		Scale:     *scaleFlag,
+		GoVersion: runtime.Version(),
+		CreatedAt: time.Now().UTC().Format(time.RFC3339),
+	}
 	for _, entry := range registry {
 		if !all && !want[entry.id] {
 			continue
 		}
 		start := time.Now()
 		tab := entry.fn(sc)
-		fmt.Println(tab.String())
-		fmt.Printf("(generated in %.1fs wall time)\n\n", time.Since(start).Seconds())
-		ran++
+		wall := time.Since(start).Seconds()
+		if *formatFlag == "text" && *compareFlag == "" {
+			fmt.Println(tab.String())
+			fmt.Printf("(generated in %.1fs wall time)\n\n", wall)
+		}
+		result.Figures = append(result.Figures, bench.Figure{
+			ID:          tab.ID,
+			Title:       tab.Title,
+			Header:      tab.Header,
+			Rows:        tab.Rows,
+			Counters:    tab.Meta,
+			WallSeconds: wall,
+		})
 	}
-	if ran == 0 {
-		fmt.Fprintf(os.Stderr, "fsbench: no figure matched %q\n", *figFlag)
-		os.Exit(2)
+
+	if *outFlag != "" {
+		// Write the fresh result even when comparing, so refreshing a
+		// baseline and gating against the old one are one run.
+		if err := bench.Write(*outFlag, result); err != nil {
+			fmt.Fprintf(os.Stderr, "fsbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "fsbench: wrote %s (%d figures)\n", *outFlag, len(result.Figures))
 	}
+
+	if baseline != nil {
+		cmp := bench.Compare(baseline, result, bench.CompareOpts{
+			ThresholdPct:  *thresholdFlag,
+			CheckCounters: true,
+		})
+		report(cmp, *thresholdFlag)
+		// Counter drift is a determinism/configuration failure, not noise:
+		// it must gate exactly like a regression.
+		if len(cmp.Regressions()) > 0 || len(cmp.MissingFigures) > 0 || len(cmp.Drift) > 0 {
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *formatFlag == "json" && *outFlag == "" {
+		data, err := bench.Marshal(result)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fsbench: %v\n", err)
+			os.Exit(1)
+		}
+		os.Stdout.Write(data)
+	}
+}
+
+// report prints a comparison, regressions first.
+func report(cmp *bench.Comparison, threshold float64) {
+	for _, id := range cmp.MissingFigures {
+		fmt.Printf("MISSING  %s: figure absent from this run\n", id)
+	}
+	for _, d := range cmp.Drift {
+		fmt.Printf("DRIFT    %s[%s]: counters changed: %s -> %s (non-determinism or config change)\n",
+			d.Figure, d.Label, d.Old, d.New)
+	}
+	regs := 0
+	for _, d := range cmp.Deltas {
+		if d.Regression {
+			fmt.Printf("REGRESS  %s[%s]: %.1f -> %.1f (%+.1f%%, threshold %.0f%%)\n",
+				d.Figure, d.Label, d.Old, d.New, d.Pct, threshold)
+			regs++
+		}
+	}
+	fmt.Printf("compared: %d cells changed, %d regressions, %d figures missing, %d counter drifts\n",
+		len(cmp.Deltas), regs, len(cmp.MissingFigures), len(cmp.Drift))
 }

@@ -93,6 +93,55 @@ type bserver struct {
 	locks map[core.DirID]*env.RWMutex
 	calls map[uint64]*env.Future
 	rpcs  uint64
+	// inflight/served dedup client retransmissions, like the real systems'
+	// RPC stacks (and SwitchFS's §5.4.1 cache): a duplicate of a request
+	// still executing is dropped (the original's response answers it), and
+	// a duplicate of an answered request replays the cached response.
+	// Without this, a contended directory turns retransmission rounds into
+	// extra serialized work: the queue (and the parked-process population)
+	// grows without bound and the run crawls.
+	inflight map[reqKey]bool
+	served   map[reqKey]any
+	servedQ  []reqKey
+}
+
+// reqKey identifies a client request across retransmissions.
+type reqKey struct {
+	from env.NodeID
+	rpc  uint64
+}
+
+// servedWindow bounds the served-request memory per server.
+const servedWindow = 4096
+
+// beginReq registers a request execution. It returns (nil, false) for a
+// fresh request, (resp, true) for a duplicate of an answered one (the
+// caller replays resp — this keeps clients alive under response loss),
+// and (nil, true) for a duplicate still in flight (dropped).
+func (s *bserver) beginReq(k reqKey) (any, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if resp, ok := s.served[k]; ok {
+		return resp, true
+	}
+	if s.inflight[k] {
+		return nil, true
+	}
+	s.inflight[k] = true
+	return nil, false
+}
+
+// endReq retires an execution and its response into the served window.
+func (s *bserver) endReq(k reqKey, resp any) {
+	s.mu.Lock()
+	delete(s.inflight, k)
+	s.served[k] = resp
+	s.servedQ = append(s.servedQ, k)
+	if len(s.servedQ) > servedWindow {
+		delete(s.served, s.servedQ[0])
+		s.servedQ = s.servedQ[1:]
+	}
+	s.mu.Unlock()
 }
 
 func (s *bserver) lockOf(id core.DirID) *env.RWMutex {
@@ -133,9 +182,29 @@ func (s *bserver) call(p *env.Proc, to env.NodeID, build func(rpc uint64) any) *
 func (s *bserver) handle(p *env.Proc, from env.NodeID, msg any) {
 	switch m := msg.(type) {
 	case *breq:
-		s.handleReq(p, m)
+		// Deduplicate before charging any CPU: a duplicate would otherwise
+		// queue on the cores and the directory lock behind the original.
+		k := reqKey{from: m.From, rpc: m.RPC}
+		if cached, dup := s.beginReq(k); dup {
+			if cached != nil {
+				p.Send(m.From, cached)
+			}
+			return
+		}
+		resp := &bresp{RPC: m.RPC}
+		s.handleReq(p, m, resp)
+		s.endReq(k, resp)
 	case *bsub:
-		s.handleSub(p, m)
+		k := reqKey{from: m.From, rpc: m.RPC}
+		if cached, dup := s.beginReq(k); dup {
+			if cached != nil {
+				p.Send(m.From, cached)
+			}
+			return
+		}
+		resp := &bsubResp{RPC: m.RPC}
+		s.handleSub(p, m, resp)
+		s.endReq(k, resp)
 	case *bsubResp:
 		s.mu.Lock()
 		fut := s.calls[m.RPC]
@@ -156,10 +225,9 @@ func (s *bserver) stack(p *env.Proc) {
 	}
 }
 
-func (s *bserver) handleReq(p *env.Proc, m *breq) {
+func (s *bserver) handleReq(p *env.Proc, m *breq, resp *bresp) {
 	s.stack(p)
 	c := &s.c.Opts.Costs
-	resp := &bresp{RPC: m.RPC}
 	fail := func(err core.Errno) {
 		resp.Err = err
 		p.Send(m.From, resp)
@@ -169,7 +237,7 @@ func (s *bserver) handleReq(p *env.Proc, m *breq) {
 		l := s.lockOf(m.Dir)
 		l.RLock(p)
 		p.Compute(c.KVGet)
-		raw, ok := s.kv.Get(fileKey(m.Dir, m.Name))
+		raw, ok := s.kv.GetView(fileKey(m.Dir, m.Name))
 		l.RUnlock()
 		if !ok || len(raw) < 1 || raw[0] != 2 {
 			fail(core.ErrnoNotExist)
@@ -182,7 +250,7 @@ func (s *bserver) handleReq(p *env.Proc, m *breq) {
 		l := s.lockOf(m.Dir)
 		l.RLock(p)
 		p.Compute(c.KVGet)
-		raw, ok := s.kv.Get(fileKey(m.Dir, m.Name))
+		raw, ok := s.kv.GetView(fileKey(m.Dir, m.Name))
 		l.RUnlock()
 		if !ok {
 			fail(core.ErrnoNotExist)
@@ -198,7 +266,7 @@ func (s *bserver) handleReq(p *env.Proc, m *breq) {
 		l := s.lockOf(m.Dir)
 		l.Lock(p)
 		p.Compute(c.KVGet + c.WALAppend + c.KVPut)
-		raw, ok := s.kv.Get(fileKey(m.Dir, m.Name))
+		raw, ok := s.kv.GetView(fileKey(m.Dir, m.Name))
 		if ok {
 			s.kv.Put(fileKey(m.Dir, m.Name), raw)
 		}
@@ -213,7 +281,7 @@ func (s *bserver) handleReq(p *env.Proc, m *breq) {
 		l := s.lockOf(m.Dir)
 		l.RLock(p)
 		p.Compute(c.KVGet)
-		raw, ok := s.kv.Get(dirKey(m.Dir))
+		raw, ok := s.kv.GetView(dirKey(m.Dir))
 		if ok && m.Op == core.OpReadDir {
 			prefix := entKey(m.Dir, "")
 			s.kv.Scan(prefix, func(k, v []byte) bool {
@@ -264,7 +332,7 @@ func (s *bserver) createDelete(p *env.Proc, m *breq, resp *bresp) {
 	parentSrv := s.c.ownerForDirID(m.Dir, m.DirPath)
 
 	p.Compute(c.KVGet)
-	_, exists := s.kv.Get(fileKey(m.Dir, m.Name))
+	exists := s.kv.Has(fileKey(m.Dir, m.Name))
 	if put && exists {
 		resp.Err = core.ErrnoExist
 		p.Send(m.From, resp)
@@ -322,7 +390,7 @@ func (s *bserver) createDelete(p *env.Proc, m *breq, resp *bresp) {
 func (s *bserver) mkdir(p *env.Proc, m *breq, resp *bresp) {
 	c := &s.c.Opts.Costs
 	p.Compute(c.KVGet)
-	if _, exists := s.kv.Get(fileKey(m.Dir, m.Name)); exists {
+	if s.kv.Has(fileKey(m.Dir, m.Name)) {
 		resp.Err = core.ErrnoExist
 		p.Send(m.From, resp)
 		return
@@ -364,7 +432,7 @@ func (s *bserver) rmdir(p *env.Proc, m *breq, resp *bresp) {
 		return
 	}
 	p.Compute(c.KVGet)
-	raw, ok := s.kv.Get(fileKey(m.Dir, m.Name))
+	raw, ok := s.kv.GetView(fileKey(m.Dir, m.Name))
 	if !ok || len(raw) < 1 || raw[0] != 2 {
 		resp.Err = core.ErrnoNotExist
 		p.Send(m.From, resp)
@@ -403,7 +471,7 @@ func (s *bserver) rmdir(p *env.Proc, m *breq, resp *bresp) {
 func (s *bserver) rename(p *env.Proc, m *breq, resp *bresp) {
 	c := &s.c.Opts.Costs
 	p.Compute(c.KVGet)
-	if _, ok := s.kv.Get(fileKey(m.Dir, m.Name)); !ok {
+	if !s.kv.Has(fileKey(m.Dir, m.Name)) {
 		resp.Err = core.ErrnoNotExist
 		p.Send(m.From, resp)
 		return
@@ -456,7 +524,7 @@ func (s *bserver) applyParent(p *env.Proc, dir core.DirID, name string, put bool
 	// transaction log, and index maintenance on top of the attribute
 	// read-modify-write (calibrated to Fig. 2b).
 	p.Compute(c.DirTxn + c.KVGet + c.KVPut)
-	raw, _ := s.kv.Get(dirKey(dir))
+	raw, _ := s.kv.GetView(dirKey(dir))
 	r := decodeDir(raw)
 	if put {
 		r.Size++
@@ -476,7 +544,7 @@ func (s *bserver) applyParent(p *env.Proc, dir core.DirID, name string, put bool
 func (s *bserver) deleteDirIfEmpty(p *env.Proc, dir core.DirID) core.Errno {
 	c := &s.c.Opts.Costs
 	p.Compute(c.KVGet)
-	raw, ok := s.kv.Get(dirKey(dir))
+	raw, ok := s.kv.GetView(dirKey(dir))
 	if !ok {
 		return core.ErrnoNotExist
 	}
@@ -489,10 +557,9 @@ func (s *bserver) deleteDirIfEmpty(p *env.Proc, dir core.DirID) core.Errno {
 }
 
 // handleSub serves server-to-server sub-operations.
-func (s *bserver) handleSub(p *env.Proc, m *bsub) {
+func (s *bserver) handleSub(p *env.Proc, m *bsub, resp *bsubResp) {
 	s.stack(p)
 	c := &s.c.Opts.Costs
-	resp := &bsubResp{RPC: m.RPC}
 	switch m.Kind {
 	case subParentApply:
 		l := s.lockOf(m.Dir)
@@ -513,11 +580,12 @@ func (s *bserver) handleSub(p *env.Proc, m *bsub) {
 		s.kv.Delete(fileKey(m.Dir, m.Name))
 	case subGetFile:
 		p.Compute(c.KVGet)
-		raw, ok := s.kv.Get(fileKey(m.Dir, m.Name))
+		raw, ok := s.kv.GetView(fileKey(m.Dir, m.Name))
 		if !ok {
 			resp.Err = core.ErrnoNotExist
 		} else {
-			resp.Raw = raw
+			// The view crosses the wire inside a message: copy it out.
+			resp.Raw = append([]byte(nil), raw...)
 		}
 	}
 	p.Send(m.From, resp)

@@ -1,0 +1,320 @@
+// Package bench defines the machine-readable benchmark result format the
+// figure harnesses emit (`fsbench -format json`) and CI gates on. A result
+// file (`BENCH_<fig>.json` trajectory) carries a schema version, the run
+// configuration, every figure's table cells, per-row deterministic counters
+// (op and packet counts), and wall-clock cost — enough to diff two runs
+// cell by cell and flag regressions.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"switchfs/internal/stats"
+)
+
+// SchemaVersion identifies the result-file layout. Bump on incompatible
+// changes; Load rejects files from other major layouts.
+const SchemaVersion = 1
+
+// Result is one benchmark run: a set of figures generated at one scale.
+type Result struct {
+	// Schema is SchemaVersion at write time.
+	Schema int `json:"schema"`
+	// Tool names the producer ("fsbench").
+	Tool string `json:"tool"`
+	// Scale is the scale preset the figures ran at (tiny/quick/paper).
+	Scale string `json:"scale"`
+	// GoVersion records the toolchain for cross-run context.
+	GoVersion string `json:"go_version,omitempty"`
+	// CreatedAt is an RFC3339 timestamp (informational only; comparisons
+	// never read it).
+	CreatedAt string `json:"created_at,omitempty"`
+	// Figures holds one entry per generated figure, in generation order.
+	Figures []Figure `json:"figures"`
+}
+
+// Figure is one figure's table plus its measurement cost.
+type Figure struct {
+	ID     string     `json:"id"`
+	Title  string     `json:"title"`
+	Header []string   `json:"header"`
+	Rows   [][]string `json:"rows"`
+	// Counters carries per-row deterministic op/packet counts, aligned
+	// with Rows (absent for legacy producers).
+	Counters []stats.Counters `json:"counters,omitempty"`
+	// WallSeconds is the wall-clock time generating the figure took.
+	WallSeconds float64 `json:"wall_seconds"`
+}
+
+// Validate checks structural invariants: schema version, non-empty figure
+// ids, rectangular rows, and counter alignment.
+func (r *Result) Validate() error {
+	if r.Schema != SchemaVersion {
+		return fmt.Errorf("bench: schema %d, want %d", r.Schema, SchemaVersion)
+	}
+	if len(r.Figures) == 0 {
+		return fmt.Errorf("bench: no figures")
+	}
+	seen := map[string]bool{}
+	for i := range r.Figures {
+		f := &r.Figures[i]
+		if f.ID == "" {
+			return fmt.Errorf("bench: figure %d has no id", i)
+		}
+		if seen[f.ID] {
+			return fmt.Errorf("bench: duplicate figure id %q", f.ID)
+		}
+		seen[f.ID] = true
+		if len(f.Header) == 0 {
+			return fmt.Errorf("bench: figure %s has no header", f.ID)
+		}
+		for j, row := range f.Rows {
+			if len(row) != len(f.Header) {
+				return fmt.Errorf("bench: figure %s row %d has %d cells, header has %d",
+					f.ID, j, len(row), len(f.Header))
+			}
+		}
+		if len(f.Counters) != 0 && len(f.Counters) != len(f.Rows) {
+			return fmt.Errorf("bench: figure %s has %d counter rows for %d rows",
+				f.ID, len(f.Counters), len(f.Rows))
+		}
+	}
+	return nil
+}
+
+// Write validates r and writes it as indented JSON via a temp-file rename,
+// so a crashed run never leaves a half-written result.
+func Write(path string, r *Result) error {
+	if err := r.Validate(); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// Marshal renders r as indented JSON (stdout emission).
+func Marshal(r *Result) ([]byte, error) {
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// Load reads and validates a result file.
+func Load(path string) (*Result, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Result
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("bench: %s: %w", path, err)
+	}
+	if err := r.Validate(); err != nil {
+		return nil, fmt.Errorf("bench: %s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// Direction classifies what "worse" means for a figure's numeric cells.
+type Direction int
+
+// Cell-metric directions.
+const (
+	// HigherBetter marks throughput-style figures.
+	HigherBetter Direction = iota
+	// LowerBetter marks latency/time-style figures.
+	LowerBetter
+	// Neutral marks figures whose direction could not be inferred; deltas
+	// are reported but never flagged as regressions.
+	Neutral
+)
+
+// DirectionOf infers a metric direction from a title or column header's
+// units ("(Kops/s)", "mean µs", "recovery ms", ...).
+func DirectionOf(title string) Direction {
+	t := strings.ToLower(title)
+	switch {
+	case strings.Contains(t, "ops/s") || strings.Contains(t, "throughput"):
+		return HigherBetter
+	case strings.Contains(t, "µs") || strings.Contains(t, "latency") ||
+		strings.Contains(t, " ms") || strings.Contains(t, "seconds"):
+		return LowerBetter
+	default:
+		return Neutral
+	}
+}
+
+// columnDirection resolves the direction of one cell column: the column
+// header's own units win (figures like Fig14 mix Kops/s and µs columns in
+// one table), falling back to the figure title.
+func columnDirection(f *Figure, col int, titleDir Direction) Direction {
+	if col < len(f.Header) {
+		if d := DirectionOf(f.Header[col]); d != Neutral {
+			return d
+		}
+	}
+	return titleDir
+}
+
+// Delta is one compared cell.
+type Delta struct {
+	Figure string  `json:"figure"`
+	Row    int     `json:"row"`
+	Col    int     `json:"col"`
+	Label  string  `json:"label"` // row labels + column header
+	Old    float64 `json:"old"`
+	New    float64 `json:"new"`
+	// Pct is the relative change in percent ((new-old)/old).
+	Pct float64 `json:"pct"`
+	// Regression is true when the change exceeds the threshold in the
+	// figure's worse direction.
+	Regression bool `json:"regression"`
+}
+
+// CompareOpts tunes Compare.
+type CompareOpts struct {
+	// ThresholdPct flags cells whose metric moved more than this many
+	// percent in the worse direction (default 10).
+	ThresholdPct float64
+	// CheckCounters additionally reports rows whose deterministic op or
+	// packet counters differ at all — configuration drift, not noise.
+	CheckCounters bool
+}
+
+// CounterDrift is a row whose deterministic counters changed between runs.
+type CounterDrift struct {
+	Figure string         `json:"figure"`
+	Row    int            `json:"row"`
+	Label  string         `json:"label"`
+	Old    stats.Counters `json:"old"`
+	New    stats.Counters `json:"new"`
+}
+
+// Comparison is the outcome of Compare.
+type Comparison struct {
+	Deltas []Delta        `json:"deltas"`
+	Drift  []CounterDrift `json:"drift,omitempty"`
+	// MissingFigures lists old figures absent from the new run.
+	MissingFigures []string `json:"missing_figures,omitempty"`
+}
+
+// Regressions returns only the cells flagged as regressions.
+func (c *Comparison) Regressions() []Delta {
+	var out []Delta
+	for _, d := range c.Deltas {
+		if d.Regression {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Compare diffs two runs figure by figure and cell by cell. Figures match
+// by ID, rows by index (generation is deterministic at a fixed scale), and
+// only cells parsing as numbers in both runs are compared.
+func Compare(old, new_ *Result, opts CompareOpts) *Comparison {
+	if opts.ThresholdPct <= 0 {
+		opts.ThresholdPct = 10
+	}
+	newByID := map[string]*Figure{}
+	for i := range new_.Figures {
+		newByID[new_.Figures[i].ID] = &new_.Figures[i]
+	}
+	cmp := &Comparison{}
+	for i := range old.Figures {
+		of := &old.Figures[i]
+		nf := newByID[of.ID]
+		if nf == nil {
+			cmp.MissingFigures = append(cmp.MissingFigures, of.ID)
+			continue
+		}
+		dir := DirectionOf(of.Title)
+		rows := len(of.Rows)
+		if len(nf.Rows) < rows {
+			rows = len(nf.Rows)
+		}
+		for r := 0; r < rows; r++ {
+			label := rowLabel(of, r)
+			if opts.CheckCounters && r < len(of.Counters) && r < len(nf.Counters) &&
+				of.Counters[r] != nf.Counters[r] {
+				cmp.Drift = append(cmp.Drift, CounterDrift{
+					Figure: of.ID, Row: r, Label: label,
+					Old: of.Counters[r], New: nf.Counters[r],
+				})
+			}
+			cols := len(of.Rows[r])
+			if len(nf.Rows[r]) < cols {
+				cols = len(nf.Rows[r])
+			}
+			for c := 0; c < cols; c++ {
+				ov, oerr := strconv.ParseFloat(of.Rows[r][c], 64)
+				nv, nerr := strconv.ParseFloat(nf.Rows[r][c], 64)
+				if oerr != nil || nerr != nil {
+					continue
+				}
+				if ov == nv {
+					continue
+				}
+				pct := 0.0
+				if ov != 0 {
+					pct = (nv - ov) / ov * 100
+				}
+				worse := false
+				switch columnDirection(of, c, dir) {
+				case HigherBetter:
+					worse = pct < -opts.ThresholdPct
+				case LowerBetter:
+					worse = pct > opts.ThresholdPct
+				}
+				cmp.Deltas = append(cmp.Deltas, Delta{
+					Figure: of.ID, Row: r, Col: c,
+					Label: label + "/" + headerOf(of, c),
+					Old:   ov, New: nv, Pct: pct,
+					Regression: worse,
+				})
+			}
+		}
+	}
+	return cmp
+}
+
+// rowLabel joins a row's leading label cells — op names and integer config
+// columns (servers, cores, bursts). Measurement cells are always formatted
+// with a decimal point, so the label ends at the first dotted number.
+func rowLabel(f *Figure, r int) string {
+	var parts []string
+	for _, cell := range f.Rows[r] {
+		if _, err := strconv.ParseFloat(cell, 64); err == nil && strings.Contains(cell, ".") {
+			break
+		}
+		parts = append(parts, cell)
+	}
+	if len(parts) == 0 && len(f.Rows[r]) > 0 {
+		parts = append(parts, f.Rows[r][0])
+	}
+	return strings.Join(parts, "/")
+}
+
+func headerOf(f *Figure, c int) string {
+	if c < len(f.Header) {
+		return f.Header[c]
+	}
+	return strconv.Itoa(c)
+}

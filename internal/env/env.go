@@ -114,6 +114,9 @@ type Proc struct {
 	// timedOut communicates Future/acquire timeout state between the timer
 	// callback and the resumed process.
 	timedOut bool
+	// twGen numbers this process's Future waits under Sim; a queued expiry
+	// event whose generation no longer matches is a cancelled timeout.
+	twGen uint64
 	// killed is set by Sim.Shutdown to unwind the process.
 	killed bool
 	// state tracks the Sim scheduler lifecycle (idle/dispatched/running/

@@ -1,0 +1,85 @@
+package env
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestEventQueueOrdering drives the ladder queue with randomized interleaved
+// push/pop schedules and checks every pop against a reference model sorted
+// by (at, seq) — the total order the simulator's determinism rests on.
+func TestEventQueueOrdering(t *testing.T) {
+	rnd := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		var q eventQueue
+		var ref []event
+		var cur Time
+		var seq uint64
+		// Delay mix mirroring the simulator: immediate wakeups, link-latency
+		// deliveries, retransmission timeouts beyond the ring window, and
+		// occasional far-future timers.
+		delays := []Duration{0, 0, 0, 1, 100, 1500, 1700, 2 * Millisecond,
+			2 * Millisecond, 5 * Millisecond, 40 * Millisecond, 300 * Millisecond}
+		for step := 0; step < 4000; step++ {
+			if q.Len() != len(ref) {
+				t.Fatalf("trial %d step %d: Len=%d want %d", trial, step, q.Len(), len(ref))
+			}
+			if q.Len() == 0 || rnd.Intn(3) != 0 {
+				d := delays[rnd.Intn(len(delays))]
+				if rnd.Intn(8) == 0 {
+					d += Duration(rnd.Int63n(int64(10 * Millisecond)))
+				}
+				seq++
+				ev := event{at: cur + d, seq: seq, aux: seq}
+				q.push(ev)
+				ref = append(ref, ev)
+				continue
+			}
+			sort.Slice(ref, func(i, j int) bool { return ref[i].before(&ref[j]) })
+			want := ref[0]
+			ref = ref[1:]
+			got := q.pop()
+			if got.at != want.at || got.seq != want.seq || got.aux != want.aux {
+				t.Fatalf("trial %d step %d: popped (at=%d seq=%d), want (at=%d seq=%d)",
+					trial, step, got.at, got.seq, want.at, want.seq)
+			}
+			if got.at < cur {
+				t.Fatalf("trial %d step %d: time went backwards (%d < %d)", trial, step, got.at, cur)
+			}
+			cur = got.at
+		}
+		// Drain: the remainder must come out in exact (at, seq) order.
+		sort.Slice(ref, func(i, j int) bool { return ref[i].before(&ref[j]) })
+		for i := 0; q.Len() > 0; i++ {
+			got := q.pop()
+			if got.at != ref[i].at || got.seq != ref[i].seq {
+				t.Fatalf("trial %d drain %d: popped (at=%d seq=%d), want (at=%d seq=%d)",
+					trial, i, got.at, got.seq, ref[i].at, ref[i].seq)
+			}
+			cur = got.at
+		}
+	}
+}
+
+// TestEventQueueSparseJumps exercises large time gaps that skip far past the
+// ring window in one hop (idle simulations with a lone recovery timer).
+func TestEventQueueSparseJumps(t *testing.T) {
+	var q eventQueue
+	var seq uint64
+	at := []Time{0, 100, 3 * Millisecond, 600 * Millisecond, 601 * Millisecond,
+		10 * Second, 10*Second + 1}
+	for _, a := range at {
+		seq++
+		q.push(event{at: a, seq: seq})
+	}
+	for i, want := range at {
+		got := q.pop()
+		if got.at != want {
+			t.Fatalf("pop %d: at=%d want %d", i, got.at, want)
+		}
+	}
+	if q.Len() != 0 {
+		t.Fatalf("queue not drained: %d left", q.Len())
+	}
+}

@@ -74,19 +74,28 @@ func (f *Future) WaitTimeout(p *Proc, d Duration) (v any, ok bool) {
 	}
 	f.waiter = p
 	f.mu.Unlock()
-	t := p.env.sched(d, func() {
-		f.mu.Lock()
-		if f.done || f.waiter != p {
+	if s, sim := p.env.(*Sim); sim {
+		// Under Sim the expiry is a plain queue event guarded by the
+		// proc's timeout generation — no Timer or closure per wait.
+		p.twGen++
+		s.schedTimeout(p, f, d, p.twGen)
+		p.park()
+		p.twGen++ // cancel: a pending expiry event is now stale
+	} else {
+		t := p.env.sched(d, func() {
+			f.mu.Lock()
+			if f.done || f.waiter != p {
+				f.mu.Unlock()
+				return
+			}
+			f.waiter = nil
 			f.mu.Unlock()
-			return
-		}
-		f.waiter = nil
-		f.mu.Unlock()
-		p.timedOut = true
-		p.env.unpark(p)
-	})
-	p.park()
-	t.Cancel()
+			p.timedOut = true
+			p.env.unpark(p)
+		})
+		p.park()
+		t.Cancel()
+	}
 	if p.timedOut {
 		p.timedOut = false
 		return nil, false
@@ -102,9 +111,29 @@ func (f *Future) WaitTimeout(p *Proc, d Duration) (v any, ok bool) {
 // servers (and is exactly the service discipline the simulator needs for
 // faithful contention behaviour).
 type Mutex struct {
-	mu   sync.Mutex
+	mu sync.Mutex
+	// held and the FIFO wait queue. The queue dequeues by advancing head —
+	// shifting the slice per handoff cost O(queue) per unlock, which went
+	// quadratic under the deep lock queues the simulation exists to model.
 	held bool
 	q    []*Proc
+	head int
+}
+
+// popWaiter dequeues the head of a proc FIFO in amortized O(1).
+func popWaiter(q []*Proc, head int) (*Proc, []*Proc, int) {
+	w := q[head]
+	q[head] = nil
+	head++
+	if head == len(q) {
+		q = q[:0]
+		head = 0
+	} else if head >= 64 && head*2 >= len(q) {
+		n := copy(q, q[head:])
+		q = q[:n]
+		head = 0
+	}
+	return w, q, head
 }
 
 // Lock blocks p until the lock is acquired.
@@ -137,10 +166,9 @@ func (m *Mutex) TryLock() bool {
 // its locks (§5.2.1 step 7b).
 func (m *Mutex) Unlock() {
 	m.mu.Lock()
-	if len(m.q) > 0 {
-		w := m.q[0]
-		copy(m.q, m.q[1:])
-		m.q = m.q[:len(m.q)-1]
+	if len(m.q) > m.head {
+		var w *Proc
+		w, m.q, m.head = popWaiter(m.q, m.head)
 		m.mu.Unlock()
 		w.env.unpark(w)
 		return
@@ -207,6 +235,7 @@ type Semaphore struct {
 	mu    sync.Mutex
 	avail int
 	q     []*Proc
+	head  int
 }
 
 // NewSemaphore returns a semaphore with n permits.
@@ -228,10 +257,9 @@ func (s *Semaphore) Acquire(p *Proc) {
 // Release returns one permit, handing it to the head waiter if any.
 func (s *Semaphore) Release() {
 	s.mu.Lock()
-	if len(s.q) > 0 {
-		w := s.q[0]
-		copy(s.q, s.q[1:])
-		s.q = s.q[:len(s.q)-1]
+	if len(s.q) > s.head {
+		var w *Proc
+		w, s.q, s.head = popWaiter(s.q, s.head)
 		s.mu.Unlock()
 		w.env.unpark(w)
 		return
@@ -245,8 +273,14 @@ func (p *Proc) Sleep(d Duration) {
 	if d <= 0 {
 		return
 	}
-	t := p.env.sched(d, func() { p.env.unpark(p) })
-	_ = t
+	if s, ok := p.env.(*Sim); ok {
+		// Schedule the wakeup directly: no Timer, no closure, and — when
+		// no other event intervenes — no goroutine switch either.
+		s.schedWake(p, d, stateParked)
+		p.park()
+		return
+	}
+	p.env.sched(d, func() { p.env.unpark(p) })
 	p.park()
 }
 

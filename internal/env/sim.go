@@ -1,7 +1,6 @@
 package env
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 )
@@ -11,6 +10,14 @@ import (
 // at any moment, events fire in (time, insertion) order, and every random
 // decision comes from a single seeded generator — identical configurations
 // produce identical executions.
+//
+// The engine is built for throughput: events are plain values in a calendar
+// queue (no allocation per message delivery, wakeup, sleep or RPC timeout),
+// and the scheduler is a token passed between goroutines — whichever
+// goroutine holds the token drains the event queue, handing the token
+// directly to the next runnable process. A process whose own wakeup is the
+// next event (an uncontended Compute or Sleep) resumes without any goroutine
+// switch at all.
 type Sim struct {
 	cur   Time
 	seq   uint64
@@ -19,6 +26,11 @@ type Sim struct {
 	net   NetConfig
 	rnd   *rand.Rand
 
+	// drivers is the stack of active Run invocations' wake channels. Run may
+	// be entered re-entrantly (a session body driving a nested session), so
+	// a holder observing drain/stop hands the token to the innermost driver.
+	drivers []chan struct{}
+	// yield returns control to Shutdown from unwinding killed workers.
 	yield   chan struct{}
 	stopped bool
 
@@ -34,8 +46,13 @@ type Sim struct {
 }
 
 type simProcState struct {
-	p      *Proc
-	fn     func(*Proc)
+	p  *Proc
+	fn func(*Proc)
+	// Message deliveries dispatch through the node's handler with the
+	// from/msg pair stored here, avoiding a closure per packet.
+	hnode  *Node
+	hfrom  NodeID
+	hmsg   any
 	exited bool
 }
 
@@ -89,14 +106,32 @@ func (s *Sim) Spawn(node NodeID, fn func(*Proc)) {
 // After schedules a callback.
 func (s *Sim) After(d Duration, fn func()) *Timer { return s.sched(d, fn) }
 
-func (s *Sim) sched(d Duration, fn func()) *Timer {
-	t := &Timer{fn: fn}
+// push enqueues ev at cur+d with the next insertion sequence number.
+func (s *Sim) push(d Duration, ev event) {
 	if d < 0 {
 		d = 0
 	}
+	ev.at = s.cur + d
 	s.seq++
-	heap.Push(&s.pq, event{at: s.cur + d, seq: s.seq, fn: t.fire})
+	ev.seq = s.seq
+	s.pq.push(ev)
+}
+
+func (s *Sim) sched(d Duration, fn func()) *Timer {
+	t := &Timer{fn: fn}
+	s.push(d, event{kind: evTimer, msg: t})
 	return t
+}
+
+// schedWake schedules proc p (currently transitioning to state `want`) to
+// run after d, with no allocation.
+func (s *Sim) schedWake(p *Proc, d Duration, want int) {
+	s.push(d, event{kind: evWake, p: p, aux: uint64(want)})
+}
+
+// schedTimeout schedules a Future-wait expiry for p; gen guards staleness.
+func (s *Sim) schedTimeout(p *Proc, f *Future, d Duration, gen uint64) {
+	s.push(d, event{kind: evTimeout, p: p, msg: f, aux: gen})
 }
 
 func (s *Sim) randFloat() float64 { return s.rnd.Float64() }
@@ -128,33 +163,48 @@ func (s *Sim) deliver(from, to NodeID, msg any, extraDelay Duration) {
 		if i > 0 {
 			d += s.randJitter(s.net.Latency) // duplicates trail the original
 		}
-		s.sched(d, func() {
-			dst := s.nodes[to]
-			if dst == nil || dst.down || dst.h == nil {
-				s.Dropped++
-				return
-			}
-			s.Delivered++
-			s.newProc(dst, func(p *Proc) { dst.h(p, from, msg) })
-		})
+		s.push(d, event{kind: evDeliver, from: from, to: to, msg: msg})
 	}
+}
+
+// dispatchDeliver hands a delivered message to the destination's handler on
+// a pooled process.
+func (s *Sim) dispatchDeliver(ev *event) {
+	dst := s.nodes[ev.to]
+	if dst == nil || dst.down || dst.h == nil {
+		s.Dropped++
+		return
+	}
+	s.Delivered++
+	st := s.takeWorker()
+	st.p.node = dst
+	st.hnode = dst
+	st.hfrom = ev.from
+	st.hmsg = ev.msg
+	st.p.state = stateDispatched
+	s.schedWake(st.p, 0, stateDispatched)
 }
 
 // newProc dispatches fn on a pooled worker goroutine, scheduled immediately.
 func (s *Sim) newProc(node *Node, fn func(*Proc)) {
-	var st *simProcState
-	if k := len(s.free); k > 0 {
-		st = s.free[k-1]
-		s.free = s.free[:k-1]
-	} else {
-		st = &simProcState{p: &Proc{env: s, resume: make(chan struct{}, 1)}}
-		s.all = append(s.all, st)
-		go s.workerLoop(st)
-	}
+	st := s.takeWorker()
 	st.p.node = node
 	st.fn = fn
 	st.p.state = stateDispatched
-	s.sched(0, func() { s.runProc(st.p, stateDispatched) })
+	s.schedWake(st.p, 0, stateDispatched)
+}
+
+// takeWorker pops a pooled worker or starts a fresh one.
+func (s *Sim) takeWorker() *simProcState {
+	if k := len(s.free); k > 0 {
+		st := s.free[k-1]
+		s.free = s.free[:k-1]
+		return st
+	}
+	st := &simProcState{p: &Proc{env: s, resume: make(chan struct{}, 1)}}
+	s.all = append(s.all, st)
+	go s.workerLoop(st)
+	return st
 }
 
 // Proc lifecycle states (diagnostics for the scheduler invariants).
@@ -179,55 +229,163 @@ func (s *Sim) workerLoop(st *simProcState) {
 			panic(r)
 		}
 	}()
+	<-st.p.resume
+	// The worker now holds the scheduler token; it keeps it between
+	// dispatches, driving the event loop itself after each body returns.
 	for {
-		<-st.p.resume
 		if st.p.killed {
 			panic(killSentinel{})
 		}
 		if st.p.state != stateRunning {
 			panic(fmt.Sprintf("env: worker woke with stale token (state %d)", st.p.state))
 		}
-		if st.fn == nil {
+		switch {
+		case st.hnode != nil:
+			n, from, msg := st.hnode, st.hfrom, st.hmsg
+			st.hnode, st.hmsg = nil, nil
+			if n.h != nil {
+				n.h(st.p, from, msg)
+			}
+		case st.fn != nil:
+			fn := st.fn
+			st.fn = nil
+			fn(st.p)
+		default:
 			panic("env: worker dispatched with no function (stale token)")
 		}
-		st.fn(st.p)
-		st.fn = nil
 		st.p.state = stateIdle
 		s.free = append(s.free, st)
-		s.yield <- struct{}{}
+		// Still holding the token: keep the simulation moving until this
+		// worker is dispatched again.
+		s.loop(st.p)
 	}
 }
 
 type killSentinel struct{}
 
-// runProc transfers control to p until it parks, finishes, or dies.
-func (s *Sim) runProc(p *Proc, want int) {
-	s.lastBusy = s.cur
-	if p.state != want {
-		panic(fmt.Sprintf("env: scheduling a proc in state %d, want %d", p.state, want))
+// runLoop is the driver side of the scheduler: it drains the event queue
+// until the simulation stops or runs dry. Each Run invocation (they nest
+// when a session body drives a nested session) registers a wake channel;
+// whichever token holder observes drain/stop hands the token to the
+// innermost driver.
+func (s *Sim) runLoop() {
+	ch := make(chan struct{})
+	s.drivers = append(s.drivers, ch)
+	defer func() { s.drivers = s.drivers[:len(s.drivers)-1] }()
+	for {
+		if s.stopped || s.pq.Len() == 0 {
+			return
+		}
+		ev := s.pq.pop()
+		if ev.at > s.cur {
+			s.cur = ev.at
+		}
+		if s.exec(&ev) {
+			// Token handed to a process; it comes back on drain/stop.
+			<-ch
+		}
 	}
-	p.state = stateRunning
-	select {
-	case p.resume <- struct{}{}:
-	default:
-		panic("env: double unpark — a process was made runnable twice for one park")
+}
+
+// loop is the process side: it drains events while `me` (parking, or a
+// pooled worker awaiting redispatch) holds the token, and returns as soon
+// as me is made runnable again — inline, with no goroutine switch, when
+// me's own wakeup is popped by this holder; otherwise after handing the
+// token away and sleeping until it returns.
+func (s *Sim) loop(me *Proc) {
+	for {
+		if s.stopped || s.pq.Len() == 0 {
+			// Hand the token to the innermost driver and wait to be woken
+			// like any parked process.
+			s.drivers[len(s.drivers)-1] <- struct{}{}
+			s.await(me)
+			return
+		}
+		ev := s.pq.pop()
+		if ev.at > s.cur {
+			s.cur = ev.at
+		}
+		if ev.kind == evWake && ev.p == me {
+			s.lastBusy = s.cur
+			if me.state != int(ev.aux) {
+				panic(fmt.Sprintf("env: scheduling a proc in state %d, want %d", me.state, ev.aux))
+			}
+			me.state = stateRunning
+			return // token stays here; the park/dispatch completes inline
+		}
+		if s.exec(&ev) {
+			s.await(me)
+			return
+		}
 	}
-	<-s.yield
+}
+
+// exec performs one event. It returns true when the event transferred the
+// scheduler token to another goroutine (the caller must wait), false when
+// it completed inline.
+func (s *Sim) exec(ev *event) bool {
+	switch ev.kind {
+	case evTimer:
+		ev.msg.(*Timer).fire()
+	case evTimeout:
+		s.fireTimeout(ev)
+	case evDeliver:
+		s.dispatchDeliver(ev)
+	case evWake:
+		p := ev.p
+		s.lastBusy = s.cur
+		if p.state != int(ev.aux) {
+			panic(fmt.Sprintf("env: scheduling a proc in state %d, want %d", p.state, ev.aux))
+		}
+		p.state = stateRunning
+		select {
+		case p.resume <- struct{}{}:
+		default:
+			panic("env: double unpark — a process was made runnable twice for one park")
+		}
+		return true
+	}
+	return false
+}
+
+// await blocks until the token is handed to p (its wakeup was dispatched by
+// another holder), then validates the transfer.
+func (s *Sim) await(p *Proc) {
+	<-p.resume
+	if p.killed {
+		panic(killSentinel{})
+	}
+	if p.state != stateRunning {
+		panic(fmt.Sprintf("env: park woke with stale token (state %d)", p.state))
+	}
+}
+
+// fireTimeout expires a Future wait unless the wait already completed (the
+// generation is stale or the future found its value).
+func (s *Sim) fireTimeout(ev *event) {
+	p, f := ev.p, ev.msg.(*Future)
+	if p.twGen != ev.aux {
+		return // the wait already ended; this timeout was cancelled
+	}
+	f.mu.Lock()
+	if f.done || f.waiter != p {
+		f.mu.Unlock()
+		return
+	}
+	f.waiter = nil
+	f.mu.Unlock()
+	p.timedOut = true
+	s.unpark(p)
 }
 
 // park is called from a running process to hand control back to the
-// scheduler until unparked.
+// scheduler until unparked. Under Sim the parking process itself drives the
+// event loop, so an immediately-runnable successor (or its own wakeup)
+// proceeds without a goroutine round trip.
 func (p *Proc) park() {
 	if s, ok := p.env.(*Sim); ok {
 		p.state = stateParked
-		s.yield <- struct{}{}
-		<-p.resume
-		if p.killed {
-			panic(killSentinel{})
-		}
-		if p.state != stateRunning {
-			panic(fmt.Sprintf("env: park woke with stale token (state %d)", p.state))
-		}
+		s.loop(p)
 		return
 	}
 	<-p.resume
@@ -235,20 +393,14 @@ func (p *Proc) park() {
 
 // unpark makes a parked process runnable at the current virtual time.
 func (s *Sim) unpark(p *Proc) {
-	s.sched(0, func() { s.runProc(p, stateParked) })
+	s.schedWake(p, 0, stateParked)
 }
 
 // Run executes events until the queue drains or Stop is called. It returns
 // the virtual time reached. A Stop from an earlier Run does not carry over.
 func (s *Sim) Run() Time {
 	s.stopped = false
-	for !s.stopped && s.pq.Len() > 0 {
-		ev := heap.Pop(&s.pq).(event)
-		if ev.at > s.cur {
-			s.cur = ev.at
-		}
-		ev.fn()
-	}
+	s.runLoop()
 	return s.cur
 }
 
@@ -280,30 +432,4 @@ func (s *Sim) Shutdown() {
 		<-s.yield
 	}
 	s.free = nil
-}
-
-// event is a scheduled callback.
-type event struct {
-	at  Time
-	seq uint64
-	fn  func()
-}
-
-type eventQueue []event
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
-	}
-	return q[i].seq < q[j].seq
-}
-func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
-func (q *eventQueue) Push(x any)   { *q = append(*q, x.(event)) }
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	ev := old[n-1]
-	*q = old[:n-1]
-	return ev
 }

@@ -2,6 +2,7 @@ package figures
 
 import (
 	"switchfs/internal/core"
+	"switchfs/internal/stats"
 	"switchfs/internal/workload"
 )
 
@@ -26,6 +27,7 @@ func Fig12a(sc Scale) Table {
 	for _, op := range fig12Ops {
 		for _, n := range sc.ServerCounts {
 			row := []string{op.String(), itoa(n)}
+			var rc stats.Counters
 			for _, k := range systems {
 				sim, sys, done := deploy(6, k, n, 4, 8, 0, nil)
 				if k == sysSwitchFS {
@@ -37,11 +39,11 @@ func Fig12a(sc Scale) Table {
 				if k == sysCeph {
 					workers = sc.Workers / 2 // the heavy stack needs no extra pressure
 				}
-				res := runOn(sim, sys, ns, genFor(ns, op), workers, sc.OpsPerWorker, 8)
+				res := runOn(sim, sys, ns, genFor(ns, op), workers, sc.OpsPerWorker, 8, &rc)
 				done()
 				row = append(row, kops(res.ThroughputOps()))
 			}
-			t.Rows = append(t.Rows, row)
+			t.AddRow(rc, row)
 		}
 	}
 	return t
@@ -59,6 +61,7 @@ func Fig12b(sc Scale) Table {
 	for _, op := range fig12Ops {
 		for _, n := range sc.ServerCounts {
 			row := []string{op.String(), itoa(n)}
+			var rc stats.Counters
 			for _, k := range fig12Systems {
 				if k == sysIndexFS && op == core.OpRmdir {
 					row = append(row, "-") // incomplete in IndexFS (§7.2.1)
@@ -74,11 +77,11 @@ func Fig12b(sc Scale) Table {
 				if k == sysCeph {
 					workers = sc.Workers / 2
 				}
-				res := runOn(sim, sys, ns, genFor(ns, op), workers, sc.OpsPerWorker, 8)
+				res := runOn(sim, sys, ns, genFor(ns, op), workers, sc.OpsPerWorker, 8, &rc)
 				done()
 				row = append(row, kops(res.ThroughputOps()))
 			}
-			t.Rows = append(t.Rows, row)
+			t.AddRow(rc, row)
 		}
 	}
 	return t
@@ -96,6 +99,7 @@ func Fig13(sc Scale) Table {
 	ops := []core.Op{core.OpStat, core.OpStatDir, core.OpCreate, core.OpMkdir, core.OpDelete, core.OpRmdir}
 	for _, op := range ops {
 		row := []string{op.String()}
+		var rc stats.Counters
 		for _, k := range fig12Systems {
 			if k == sysIndexFS && op == core.OpRmdir {
 				row = append(row, "-")
@@ -107,11 +111,11 @@ func Fig13(sc Scale) Table {
 				sim, sys, done = deploySwitchFS(8, 8, 4, 1, 0)
 			}
 			ns.Preload(sys)
-			res := runOn(sim, sys, ns, genFor(ns, op), 1, sc.OpsPerWorker*2, 1)
+			res := runOn(sim, sys, ns, genFor(ns, op), 1, sc.OpsPerWorker*2, 1, &rc)
 			done()
 			row = append(row, us(res.All.Mean()))
 		}
-		t.Rows = append(t.Rows, row)
+		t.AddRow(rc, row)
 	}
 	return t
 }

@@ -3,6 +3,7 @@ package figures
 import (
 	"switchfs/internal/cluster"
 	"switchfs/internal/core"
+	"switchfs/internal/stats"
 	"switchfs/internal/workload"
 )
 
@@ -26,14 +27,15 @@ func Fig14(sc Scale) Table {
 	}
 	for _, cfg := range configs {
 		for _, cores := range sc.CoreCounts {
+			var rc stats.Counters
 			sim, sys, done := deploy(9, sysSwitchFS, 8, cores, 8, 0, func(o *cluster.Options) {
 				o.Async = cfg.async
 				o.Compaction = cfg.comp
 			})
 			ns.Preload(sys)
-			res := runOn(sim, sys, ns, ns.FreshFiles(core.OpCreate), sc.Workers, sc.OpsPerWorker, 8)
+			res := runOn(sim, sys, ns, ns.FreshFiles(core.OpCreate), sc.Workers, sc.OpsPerWorker, 8, &rc)
 			done()
-			t.Rows = append(t.Rows, []string{
+			t.AddRow(rc, []string{
 				cfg.name, itoa(cores), kops(res.ThroughputOps()),
 				us(res.All.Mean()), us(res.All.Percentile(0.99)),
 			})
@@ -50,19 +52,20 @@ func Overflow(sc Scale) Table {
 		Header: []string{"config", "Kops/s", "mean µs"}}
 	ns := workload.SingleDir(sc.FilesPerDir)
 	for _, forced := range []bool{false, true} {
+		var rc stats.Counters
 		sim, sys, done := deploy(10, sysSwitchFS, 8, 4, 8, 0, func(o *cluster.Options) {
 			o.Async = true
 			o.Compaction = true
 			o.ForceOverflow = forced
 		})
 		ns.Preload(sys)
-		res := runOn(sim, sys, ns, ns.FreshFiles(core.OpCreate), sc.Workers, sc.OpsPerWorker, 8)
+		res := runOn(sim, sys, ns, ns.FreshFiles(core.OpCreate), sc.Workers, sc.OpsPerWorker, 8, &rc)
 		done()
 		name := "inserts succeed"
 		if forced {
 			name = "inserts overflow"
 		}
-		t.Rows = append(t.Rows, []string{name, kops(res.ThroughputOps()), us(res.All.Mean())})
+		t.AddRow(rc, []string{name, kops(res.ThroughputOps()), us(res.All.Mean())})
 	}
 	return t
 }

@@ -4,6 +4,7 @@ import (
 	"switchfs/internal/cluster"
 	"switchfs/internal/core"
 	"switchfs/internal/server"
+	"switchfs/internal/stats"
 	"switchfs/internal/workload"
 )
 
@@ -17,6 +18,7 @@ func Fig15a(sc Scale) Table {
 	ns := workload.MultiDir(sc.Dirs, sc.FilesPerDir)
 	for _, op := range []core.Op{core.OpCreate, core.OpStatDir} {
 		row := []string{op.String()}
+		var rc stats.Counters
 		for _, tracker := range []server.TrackerMode{server.TrackerSwitch, server.TrackerServer} {
 			sim, sys, done := deploy(11, sysSwitchFS, 8, 4, 1, 0, func(o *cluster.Options) {
 				o.Async = true
@@ -24,11 +26,11 @@ func Fig15a(sc Scale) Table {
 				o.Tracker = tracker
 			})
 			ns.Preload(sys)
-			res := runOn(sim, sys, ns, genFor(ns, op), 1, sc.OpsPerWorker*2, 1)
+			res := runOn(sim, sys, ns, genFor(ns, op), 1, sc.OpsPerWorker*2, 1, &rc)
 			done()
 			row = append(row, us(res.All.Mean()))
 		}
-		t.Rows = append(t.Rows, row)
+		t.AddRow(rc, row)
 	}
 	return t
 }
@@ -43,6 +45,7 @@ func Fig15b(sc Scale) Table {
 	ns := workload.MultiDir(sc.Dirs*4, 1)
 	for _, n := range sc.ServerCounts {
 		row := []string{itoa(n)}
+		var rc stats.Counters
 		for _, tracker := range []server.TrackerMode{server.TrackerSwitch, server.TrackerServer} {
 			sim, sys, done := deploy(12, sysSwitchFS, n, 12, 16, 0, func(o *cluster.Options) {
 				o.Async = true
@@ -50,11 +53,11 @@ func Fig15b(sc Scale) Table {
 				o.Tracker = tracker
 			})
 			ns.Preload(sys)
-			res := runOn(sim, sys, ns, ns.StatDirs(), sc.Workers*4, sc.OpsPerWorker, 16)
+			res := runOn(sim, sys, ns, ns.StatDirs(), sc.Workers*4, sc.OpsPerWorker, 16, &rc)
 			done()
 			row = append(row, mops(res.ThroughputOps()))
 		}
-		t.Rows = append(t.Rows, row)
+		t.AddRow(rc, row)
 	}
 	return t
 }
@@ -80,15 +83,16 @@ func Fig16(sc Scale) Table {
 			if tracker == server.TrackerOwner {
 				name = "SwitchFS-Variant"
 			}
+			var rc stats.Counters
 			sim, sys, done := deploy(13, sysSwitchFS, 8, 4, 8, 0, func(o *cluster.Options) {
 				o.Async = true
 				o.Compaction = true
 				o.Tracker = tracker
 			})
 			ns.Preload(sys)
-			res := runOn(sim, sys, ns, ns.FreshFiles(core.OpCreate), load.workers, sc.OpsPerWorker, 8)
+			res := runOn(sim, sys, ns, ns.FreshFiles(core.OpCreate), load.workers, sc.OpsPerWorker, 8, &rc)
 			done()
-			t.Rows = append(t.Rows, []string{
+			t.AddRow(rc, []string{
 				load.name, name,
 				us(res.All.Percentile(0.25)), us(res.All.Percentile(0.50)),
 				us(res.All.Percentile(0.75)), us(res.All.Percentile(0.90)),

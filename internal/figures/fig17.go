@@ -6,6 +6,7 @@ import (
 	"switchfs/internal/core"
 	"switchfs/internal/env"
 	"switchfs/internal/fsapi"
+	"switchfs/internal/stats"
 	"switchfs/internal/workload"
 )
 
@@ -21,6 +22,7 @@ func Fig17(sc Scale) Table {
 	for _, inflight := range []int{32, 256} {
 		for _, burst := range sc.BurstSizes {
 			row := []string{itoa(inflight), itoa(burst)}
+			var rc stats.Counters
 			for _, k := range []sysKind{sysInfiniFS, sysCFS, sysSwitchFS} {
 				sim, sys, done := deploy(14, k, 8, 4, 8, 0, nil)
 				if k == sysSwitchFS {
@@ -28,11 +30,11 @@ func Fig17(sc Scale) Table {
 					sim, sys, done = deploySwitchFS(14, 8, 4, 8, 0)
 				}
 				ns.Preload(sys)
-				res := runOn(sim, sys, ns, ns.Bursts(burst, inflight), inflight, sc.OpsPerWorker, 8)
+				res := runOn(sim, sys, ns, ns.Bursts(burst, inflight), inflight, sc.OpsPerWorker, 8, &rc)
 				done()
 				row = append(row, kops(res.ThroughputOps()))
 			}
-			t.Rows = append(t.Rows, row)
+			t.AddRow(rc, row)
 		}
 	}
 	return t
@@ -46,8 +48,8 @@ func Fig18a(sc Scale) Table {
 	t := Table{ID: "Fig18a", Title: "statdir latency after K preceding creates (µs), 8 servers",
 		Header: []string{"K creates", "statdir µs"}}
 	for _, k := range []int{1, 10, 100, 1000} {
-		lat := statdirAfterCreates(15, 8, k)
-		t.Rows = append(t.Rows, []string{itoa(k), us(lat)})
+		lat, rc := statdirAfterCreates(15, 8, k)
+		t.AddRow(rc, []string{itoa(k), us(lat)})
 	}
 	return t
 }
@@ -59,15 +61,15 @@ func Fig18b(sc Scale) Table {
 	t := Table{ID: "Fig18b", Title: "statdir latency after 100 creates (µs) vs servers",
 		Header: []string{"servers", "statdir µs"}}
 	for _, n := range sc.ServerCounts {
-		lat := statdirAfterCreates(16, n, 100)
-		t.Rows = append(t.Rows, []string{itoa(n), us(lat)})
+		lat, rc := statdirAfterCreates(16, n, 100)
+		t.AddRow(rc, []string{itoa(n), us(lat)})
 	}
 	return t
 }
 
 // statdirAfterCreates measures one statdir following k creates, averaged
 // over several rounds in distinct directories.
-func statdirAfterCreates(seed int64, servers, k int) float64 {
+func statdirAfterCreates(seed int64, servers, k int) (float64, stats.Counters) {
 	sim, sys, done := deploySwitchFS(seed, servers, 4, 1, 0)
 	defer done()
 	const rounds = 5
@@ -77,6 +79,7 @@ func statdirAfterCreates(seed int64, servers, k int) float64 {
 	}
 	sys.Preload(dirs, 0)
 	var total float64
+	ops := 0
 	runClient(sim, sys, func(p *env.Proc, fs fsapi.FS) {
 		for r := 0; r < rounds; r++ {
 			for i := 0; i < k; i++ {
@@ -85,9 +88,11 @@ func statdirAfterCreates(seed int64, servers, k int) float64 {
 			t0 := p.Now()
 			_, _ = fs.StatDir(p, dirs[r])
 			total += float64(p.Now() - t0)
+			ops += k + 1
 		}
 	})
-	return total / rounds
+	rc := stats.Counters{Ops: uint64(ops), PacketsDelivered: sim.Delivered, PacketsDropped: sim.Dropped}
+	return total / rounds, rc
 }
 
 // runClient runs fn on client 0 and drives the simulation to completion.

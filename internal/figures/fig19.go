@@ -3,6 +3,7 @@ package figures
 import (
 	"fmt"
 
+	"switchfs/internal/stats"
 	"switchfs/internal/workload"
 )
 
@@ -29,6 +30,7 @@ func Fig19(sc Scale) Table {
 	ns := workload.MultiDir(sc.Dirs, sc.FilesPerDir)
 	for _, cse := range cases {
 		row := []string{cse.name}
+		var rc stats.Counters
 		for _, k := range []sysKind{sysCeph, sysInfiniFS, sysCFS, sysSwitchFS} {
 			dataNodes := 0
 			if cse.data {
@@ -44,11 +46,11 @@ func Fig19(sc Scale) Table {
 			if k == sysCeph {
 				workers = sc.Workers
 			}
-			res := runOn(sim, sys, ns, cse.mix.Gen(ns, cse.skew), workers, sc.OpsPerWorker, 8)
+			res := runOn(sim, sys, ns, cse.mix.Gen(ns, cse.skew), workers, sc.OpsPerWorker, 8, &rc)
 			done()
 			row = append(row, kops(res.ThroughputOps()))
 		}
-		t.Rows = append(t.Rows, row)
+		t.AddRow(rc, row)
 	}
 	return t
 }
@@ -61,12 +63,12 @@ func Recovery(sc Scale) Table {
 	t := Table{ID: "Recovery", Title: "crash recovery time (virtual ms)",
 		Header: []string{"scenario", "files", "recovery ms"}}
 	for _, files := range []int{sc.Dirs * sc.FilesPerDir / 4, sc.Dirs * sc.FilesPerDir} {
-		d := recoverServerTime(18, files, sc.Dirs)
-		t.Rows = append(t.Rows, []string{"server crash", itoa(files), fmt.Sprintf("%.3f", float64(d)/1e6)})
+		d, rc := recoverServerTime(18, files, sc.Dirs)
+		t.AddRow(rc, []string{"server crash", itoa(files), fmt.Sprintf("%.3f", float64(d)/1e6)})
 	}
 	for _, files := range []int{sc.Dirs * sc.FilesPerDir / 4, sc.Dirs * sc.FilesPerDir} {
-		d := recoverSwitchTime(19, files, sc.Dirs)
-		t.Rows = append(t.Rows, []string{"switch crash", itoa(files), fmt.Sprintf("%.3f", float64(d)/1e6)})
+		d, rc := recoverSwitchTime(19, files, sc.Dirs)
+		t.AddRow(rc, []string{"switch crash", itoa(files), fmt.Sprintf("%.3f", float64(d)/1e6)})
 	}
 	return t
 }

@@ -4,6 +4,7 @@ import (
 	"strconv"
 
 	"switchfs/internal/core"
+	"switchfs/internal/stats"
 	"switchfs/internal/workload"
 )
 
@@ -17,14 +18,15 @@ func Fig2a(sc Scale) Table {
 	ns := workload.SingleDir(sc.FilesPerDir * sc.Dirs)
 	for _, n := range sc.ServerCounts {
 		row := []string{itoa(n)}
+		var rc stats.Counters
 		for _, k := range []sysKind{sysInfiniFS, sysCFS} {
 			sim, sys, done := deploy(2, k, n, 4, 8, 0, nil)
 			ns.Preload(sys)
-			res := runOn(sim, sys, ns, ns.UniformFiles(core.OpStat), sc.Workers*8, sc.OpsPerWorker/2+1, 8)
+			res := runOn(sim, sys, ns, ns.UniformFiles(core.OpStat), sc.Workers*8, sc.OpsPerWorker/2+1, 8, &rc)
 			done()
 			row = append(row, mops(res.ThroughputOps()))
 		}
-		t.Rows = append(t.Rows, row)
+		t.AddRow(rc, row)
 	}
 	return t
 }
@@ -38,14 +40,15 @@ func Fig2b(sc Scale) Table {
 	ns := workload.MultiDir(sc.Dirs, sc.FilesPerDir)
 	for _, op := range []core.Op{core.OpStat, core.OpCreate} {
 		row := []string{op.String()}
+		var rc stats.Counters
 		for _, k := range []sysKind{sysInfiniFS, sysCFS} {
 			sim, sys, done := deploy(3, k, 8, 4, 1, 0, nil)
 			ns.Preload(sys)
-			res := runOn(sim, sys, ns, genFor(ns, op), 1, sc.OpsPerWorker*4, 1)
+			res := runOn(sim, sys, ns, genFor(ns, op), 1, sc.OpsPerWorker*4, 1, &rc)
 			done()
 			row = append(row, us(res.All.Mean()))
 		}
-		t.Rows = append(t.Rows, row)
+		t.AddRow(rc, row)
 	}
 	return t
 }
@@ -59,14 +62,15 @@ func Fig2c(sc Scale) Table {
 	ns := workload.SingleDir(sc.FilesPerDir)
 	for _, n := range sc.ServerCounts {
 		row := []string{itoa(n)}
+		var rc stats.Counters
 		for _, k := range []sysKind{sysInfiniFS, sysCFS} {
 			sim, sys, done := deploy(4, k, n, 4, 8, 0, nil)
 			ns.Preload(sys)
-			res := runOn(sim, sys, ns, ns.FreshFiles(core.OpCreate), sc.Workers, sc.OpsPerWorker, 8)
+			res := runOn(sim, sys, ns, ns.FreshFiles(core.OpCreate), sc.Workers, sc.OpsPerWorker, 8, &rc)
 			done()
 			row = append(row, kops(res.ThroughputOps()))
 		}
-		t.Rows = append(t.Rows, row)
+		t.AddRow(rc, row)
 	}
 	return t
 }
@@ -80,14 +84,15 @@ func Fig2d(sc Scale) Table {
 	ns := workload.SingleDir(sc.FilesPerDir)
 	for _, cores := range sc.CoreCounts {
 		row := []string{itoa(cores)}
+		var rc stats.Counters
 		for _, k := range []sysKind{sysInfiniFS, sysCFS} {
 			sim, sys, done := deploy(5, k, 8, cores, 8, 0, nil)
 			ns.Preload(sys)
-			res := runOn(sim, sys, ns, ns.FreshFiles(core.OpCreate), sc.Workers, sc.OpsPerWorker, 8)
+			res := runOn(sim, sys, ns, ns.FreshFiles(core.OpCreate), sc.Workers, sc.OpsPerWorker, 8, &rc)
 			done()
 			row = append(row, kops(res.ThroughputOps()))
 		}
-		t.Rows = append(t.Rows, row)
+		t.AddRow(rc, row)
 	}
 	return t
 }

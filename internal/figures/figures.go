@@ -14,6 +14,7 @@ import (
 	"switchfs/internal/core"
 	"switchfs/internal/env"
 	"switchfs/internal/fsapi"
+	"switchfs/internal/stats"
 	"switchfs/internal/workload"
 )
 
@@ -55,12 +56,22 @@ func Paper() Scale {
 	}
 }
 
-// Table is a printable result grid.
+// Table is a printable result grid. Meta carries one deterministic counter
+// set per row (operation and packet counts summed over the row's runs) for
+// cross-run sanity checks; it is emitted by the JSON bench format and
+// checked by bench comparisons, not printed in the text rendering.
 type Table struct {
 	ID     string
 	Title  string
 	Header []string
 	Rows   [][]string
+	Meta   []stats.Counters
+}
+
+// AddRow appends a row and its counters in lockstep.
+func (t *Table) AddRow(c stats.Counters, cells []string) {
+	t.Rows = append(t.Rows, cells)
+	t.Meta = append(t.Meta, c)
 }
 
 // String renders the table as aligned text.
@@ -184,16 +195,26 @@ func mops(v float64) string { return fmt.Sprintf("%.3f", v/1e6) }
 // us formats nanoseconds as microseconds.
 func us(v float64) string { return fmt.Sprintf("%.1f", v/1e3) }
 
-// runOn executes a generator against a deployed system.
+// runOn executes a generator against a deployed system, folding the run's
+// operation and packet counts into the row tally.
 func runOn(sim *env.Sim, sys fsapi.System, ns workload.Namespace, gen workload.Gen,
-	workers, ops, clients int) workload.Result {
-	return workload.Run(sim, sys, workload.RunCfg{
+	workers, ops, clients int, tally *stats.Counters) workload.Result {
+	res := workload.Run(sim, sys, workload.RunCfg{
 		Workers:      workers,
 		OpsPerWorker: ops,
 		Clients:      clients,
 		Seed:         1,
 		Gen:          gen,
 	})
+	if tally != nil {
+		tally.Add(stats.Counters{
+			Ops:              uint64(res.Ops),
+			Errs:             uint64(res.Errs),
+			PacketsDelivered: sim.Delivered,
+			PacketsDropped:   sim.Dropped,
+		})
+	}
+	return res
 }
 
 // genFor builds the per-op generator used by the Fig. 12 matrix.

@@ -6,13 +6,14 @@ import (
 	"switchfs/internal/client"
 	"switchfs/internal/cluster"
 	"switchfs/internal/env"
+	"switchfs/internal/stats"
 )
 
 // recoverServerTime preloads a WAL-backed namespace, runs protocol traffic so
 // change-logs hold pending entries, crashes one server, and measures §5.4.2
 // recovery: WAL replay, change-log re-delivery, aggregation of owned
 // directories, invalidation-list clone.
-func recoverServerTime(seed int64, files, dirs int) env.Duration {
+func recoverServerTime(seed int64, files, dirs int) (env.Duration, stats.Counters) {
 	sim := env.NewSim(seed)
 	defer sim.Shutdown()
 	c := cluster.New(sim, cluster.Options{Servers: 8, Clients: 1, SwitchIndexBits: 14,
@@ -46,13 +47,13 @@ func recoverServerTime(seed int64, files, dirs int) env.Duration {
 	if err, isErr := v.(error); isErr {
 		panic(err)
 	}
-	return v.(env.Duration)
+	return v.(env.Duration), stats.Counters{PacketsDelivered: sim.Delivered, PacketsDropped: sim.Dropped}
 }
 
 // recoverSwitchTime measures restoring consistency after a switch reboot:
 // every server flushes its change-logs so all directories return to normal
 // state, matching the reset dirty set.
-func recoverSwitchTime(seed int64, files, dirs int) env.Duration {
+func recoverSwitchTime(seed int64, files, dirs int) (env.Duration, stats.Counters) {
 	sim := env.NewSim(seed)
 	defer sim.Shutdown()
 	c := cluster.New(sim, cluster.Options{Servers: 8, Clients: 1, SwitchIndexBits: 14,
@@ -80,5 +81,5 @@ func recoverSwitchTime(seed int64, files, dirs int) env.Duration {
 	if !ok {
 		panic("figures: switch recovery did not complete")
 	}
-	return v.(env.Duration)
+	return v.(env.Duration), stats.Counters{PacketsDelivered: sim.Delivered, PacketsDropped: sim.Dropped}
 }

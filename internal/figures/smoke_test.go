@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"switchfs/internal/core"
+	"switchfs/internal/stats"
 	"switchfs/internal/workload"
 )
 
@@ -20,10 +21,14 @@ func TestSmokeThroughput(t *testing.T) {
 			sim, sys, done = deploySwitchFS(1, 8, 4, 4, 0)
 		}
 		ns.Preload(sys)
-		res := runOn(sim, sys, ns, ns.FreshFiles(core.OpCreate), 64, 30, 4)
+		var rc stats.Counters
+		res := runOn(sim, sys, ns, ns.FreshFiles(core.OpCreate), 64, 30, 4, &rc)
 		done()
 		if res.Errs > 0 {
 			t.Fatalf("%v: %d errors", k, res.Errs)
+		}
+		if rc.Ops == 0 || rc.PacketsDelivered == 0 {
+			t.Fatalf("%v: empty row counters (%s)", k, rc)
 		}
 		results[k] = res.ThroughputOps()
 		t.Logf("%v: %.0f ops/s, %s", k, res.ThroughputOps(), res.All.Summary())

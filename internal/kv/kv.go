@@ -26,6 +26,9 @@ type Store struct {
 	head *node
 	rnd  *rand.Rand
 	n    int
+	// height is the tallest live tower; searches skip the empty levels
+	// above it instead of walking all maxLevel lists every probe.
+	height int
 }
 
 // New creates an empty store. The level generator is seeded deterministically
@@ -54,10 +57,15 @@ func (s *Store) randLevel() int {
 }
 
 // findPred fills pred[i] with the rightmost node at level i whose key is
-// strictly less than key. Caller holds at least the read lock.
+// strictly less than key, for i below the store's current height. Caller
+// holds at least the read lock.
 func (s *Store) findPred(key []byte, pred *[maxLevel]*node) *node {
 	x := s.head
-	for i := maxLevel - 1; i >= 0; i-- {
+	top := s.height
+	if top == 0 {
+		top = 1
+	}
+	for i := top - 1; i >= 0; i-- {
 		for x.next[i] != nil && bytes.Compare(x.next[i].key, key) < 0 {
 			x = x.next[i]
 		}
@@ -76,6 +84,20 @@ func (s *Store) Get(key []byte) ([]byte, bool) {
 		return nil, false
 	}
 	return append([]byte(nil), n.val...), true
+}
+
+// GetView returns the value stored under key without copying. The returned
+// slice aliases store memory: the caller must not mutate it and must not
+// retain it across a Put/Delete of the same key — decode immediately.
+func (s *Store) GetView(key []byte) ([]byte, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var pred [maxLevel]*node
+	n := s.findPred(key, &pred)
+	if n == nil || !bytes.Equal(n.key, key) {
+		return nil, false
+	}
+	return n.val, true
 }
 
 // Has reports key presence without copying the value.
@@ -103,6 +125,10 @@ func (s *Store) Put(key, val []byte) bool {
 		key:  append([]byte(nil), key...),
 		val:  append([]byte(nil), val...),
 		next: make([]*node, lvl),
+	}
+	for lvl > s.height {
+		pred[s.height] = s.head
+		s.height++
 	}
 	for i := 0; i < lvl; i++ {
 		nn.next[i] = pred[i].next[i]
@@ -176,4 +202,5 @@ func (s *Store) Clear() {
 	defer s.mu.Unlock()
 	s.head = &node{next: make([]*node, maxLevel)}
 	s.n = 0
+	s.height = 0
 }

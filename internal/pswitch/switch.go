@@ -124,12 +124,13 @@ func (s *Switch) Handler(p *env.Proc, from env.NodeID, msg any) {
 		s.Stats.Queries.Add(1)
 		ret := ds.Query(pkt.DS.FP)
 		// Forward a copy: the RET field is written into the packet, and the
-		// original may be retransmitted by its sender.
-		out := *pkt
-		h := *pkt.DS
-		h.Ret = ret
-		out.DS = &h
-		p.Send(pkt.Dst, &out)
+		// original may be retransmitted by its sender. Packet and header
+		// are carved from one allocation — this runs once per directory
+		// read on the hot path.
+		out := &queryReply{pkt: *pkt, hdr: *pkt.DS}
+		out.hdr.Ret = ret
+		out.pkt.DS = &out.hdr
+		p.Send(pkt.Dst, &out.pkt)
 
 	case wire.DSInsert:
 		s.Stats.Inserts.Add(1)
@@ -167,6 +168,13 @@ func (s *Switch) Handler(p *env.Proc, from env.NodeID, msg any) {
 			p.Send(srv, &wire.Packet{Dst: srv, Origin: pkt.Origin, Body: pkt.Body})
 		}
 	}
+}
+
+// queryReply bundles a forwarded query packet with its rewritten dirty-set
+// header so the copy costs one allocation, not two.
+type queryReply struct {
+	pkt wire.Packet
+	hdr wire.DSHeader
 }
 
 // Stales counts removes rejected by the sequence guard.

@@ -452,7 +452,7 @@ func (s *Server) applyEntries(p *env.Proc, src env.NodeID, log wire.DirLog) uint
 	}
 
 	ek := log.Dir.Key.Encode()
-	raw, ok := s.kv.Get(ek)
+	raw, ok := s.kv.GetView(ek)
 	p.Compute(c.KVGet)
 	if !ok {
 		// The directory vanished (rmdir raced a straggling update); the
@@ -545,8 +545,14 @@ func (s *Server) parallelCompute(p *env.Proc, n int, each env.Duration) {
 // --- Proactive aggregation (§5.3) -------------------------------------------
 
 // maybePush ships a change-log to its directory's owner when it filled an
-// MTU or went idle.
+// MTU or went idle. A server that stopped serving (FlushAll, recovery)
+// skips: the flush path ships the backlog itself, and re-triggering here
+// would spin — pushLog's early return plus its own re-trigger used to
+// respawn each other at the same virtual instant, freezing the simulation.
 func (s *Server) maybePush(dl *dirLog) {
+	if !s.serving {
+		return
+	}
 	dl.qmu.Lock()
 	if dl.pushing || dl.log.Len() == 0 || dl.heldBy != 0 {
 		dl.qmu.Unlock()
@@ -562,7 +568,7 @@ func (s *Server) pushLog(p *env.Proc, dl *dirLog, snap []core.LogEntry) {
 	defer func() {
 		dl.qmu.Lock()
 		dl.pushing = false
-		again := dl.log.Len() >= s.cfg.PushEntries
+		again := s.serving && dl.log.Len() >= s.cfg.PushEntries
 		dl.qmu.Unlock()
 		if again {
 			s.maybePush(dl)
@@ -681,7 +687,7 @@ func (s *Server) doRmdir(p *env.Proc, req *wire.MutateReq) {
 	p.Compute(c.LockOp)
 	// Pre-check existence and type without locks to learn the target id.
 	p.Compute(c.KVGet)
-	raw, ok := s.kv.Get(key.Encode())
+	raw, ok := s.kv.GetView(key.Encode())
 	if !ok {
 		resp := &wire.MutateResp{RespCommon: s.respCommon(&req.ReqCommon, core.ErrNotExist)}
 		s.remember(req.Client, req.RPC, resp)
@@ -720,7 +726,7 @@ func (s *Server) doRmdir(p *env.Proc, req *wire.MutateReq) {
 		return
 	}
 	// Re-validate under the lock: the directory may have raced away.
-	if _, still := s.kv.Get(key.Encode()); !still {
+	if !s.kv.Has(key.Encode()) {
 		fail(core.ErrNotExist)
 		return
 	}

@@ -53,7 +53,7 @@ func (s *Server) doMutate(p *env.Proc, req *wire.MutateReq) {
 		return
 	}
 	p.Compute(c.KVGet)
-	raw, exists := s.kv.Get(key.Encode())
+	raw, exists := s.kv.GetView(key.Encode())
 	var newDir core.DirID
 	in := &core.Inode{}
 	entry := core.LogEntry{Time: p.Now(), Name: req.Name}

@@ -20,7 +20,7 @@ func (s *Server) handleLookup(p *env.Proc, req *wire.LookupReq) {
 		l := s.lockOf(key)
 		l.RLock(p)
 		p.Compute(c.KVGet)
-		raw, ok := s.kv.Get(key.Encode())
+		raw, ok := s.kv.GetView(key.Encode())
 		if !ok {
 			err = core.ErrNotExist
 		} else if in, derr := core.DecodeInode(raw); derr != nil {
@@ -56,7 +56,7 @@ func (s *Server) handleFile(p *env.Proc, req *wire.FileReq) {
 			l.RLock(p)
 		}
 		p.Compute(c.KVGet)
-		raw, ok := s.kv.Get(key.Encode())
+		raw, ok := s.kv.GetView(key.Encode())
 		if !ok {
 			err = core.ErrNotExist
 		} else if in, derr := core.DecodeInode(raw); derr != nil {
@@ -115,7 +115,7 @@ func (s *Server) handleDirRead(p *env.Proc, pkt *wire.Packet, req *wire.DirReadR
 		l := s.lockOf(req.Dir.Key)
 		l.RLock(p)
 		p.Compute(c.KVGet)
-		raw, ok := s.kv.Get(req.Dir.Key.Encode())
+		raw, ok := s.kv.GetView(req.Dir.Key.Encode())
 		if !ok {
 			err = core.ErrNotExist
 		} else if in, derr := core.DecodeInode(raw); derr != nil {

@@ -486,8 +486,17 @@ func (s *Server) respCommon(req *wire.ReqCommon, err error) wire.RespCommon {
 	s.mu.Lock()
 	rc.InvalSeqHigh = s.invalSeq
 	if req.InvalSeq < s.invalSeq {
-		for i := len(s.inval) - 1; i >= 0 && s.inval[i].Seq > req.InvalSeq; i-- {
-			rc.Inval = append(rc.Inval, s.inval[i])
+		// Entries are appended with ascending Seq; size the piggyback slice
+		// exactly instead of growing it entry by entry.
+		lo := len(s.inval)
+		for lo > 0 && s.inval[lo-1].Seq > req.InvalSeq {
+			lo--
+		}
+		if n := len(s.inval) - lo; n > 0 {
+			rc.Inval = make([]wire.InvalEntry, n)
+			for j := 0; j < n; j++ {
+				rc.Inval[j] = s.inval[len(s.inval)-1-j]
+			}
 		}
 	}
 	s.mu.Unlock()

@@ -46,7 +46,7 @@ func (s *Server) applyNlink(p *env.Proc, key core.Key, delta int32) error {
 	l.Lock(p)
 	defer l.Unlock()
 	p.Compute(c.KVGet)
-	raw, ok := s.kv.Get(key.Encode())
+	raw, ok := s.kv.GetView(key.Encode())
 	if !ok {
 		return core.ErrNotExist
 	}

@@ -8,6 +8,40 @@ import (
 	"sort"
 )
 
+// Counters are the deterministic sanity counters carried by every figure
+// row: operation and packet counts summed over the row's simulation runs.
+// Two runs of the same figure at the same scale and seed must produce
+// identical counters — bench comparisons (internal/bench) use them to
+// detect configuration drift before comparing performance cells.
+type Counters struct {
+	// Ops and Errs are completed workload operations and their failures.
+	Ops  uint64 `json:"ops"`
+	Errs uint64 `json:"errs"`
+	// PacketsDelivered / PacketsDropped are simulator network totals
+	// (delivery includes every protocol hop, not just client RPCs).
+	PacketsDelivered uint64 `json:"packets_delivered"`
+	PacketsDropped   uint64 `json:"packets_dropped"`
+}
+
+// Add folds another counter set into c.
+func (c *Counters) Add(o Counters) {
+	c.Ops += o.Ops
+	c.Errs += o.Errs
+	c.PacketsDelivered += o.PacketsDelivered
+	c.PacketsDropped += o.PacketsDropped
+}
+
+// IsZero reports an all-zero counter set (a row with no tallied runs).
+func (c Counters) IsZero() bool {
+	return c == Counters{}
+}
+
+// String renders the counters compactly for table footers and logs.
+func (c Counters) String() string {
+	return fmt.Sprintf("ops=%d errs=%d pkts=%d dropped=%d",
+		c.Ops, c.Errs, c.PacketsDelivered, c.PacketsDropped)
+}
+
 // Hist is a latency recorder with exact percentiles (samples are retained;
 // figure runs record at most a few hundred thousand points).
 type Hist struct {
