@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: verify fmt vet build test bench figures lint race bench-json
+.PHONY: verify fmt vet build test bench figures lint race bench-json bench-compare bench-baseline chaos-smoke
 
 verify: fmt vet build test
 
@@ -22,6 +22,25 @@ race:
 bench-json:
 	$(GO) run ./cmd/fsbench -fig 12a,14 -scale tiny -format json -out bench.json
 	$(GO) run ./cmd/fsbench -validate bench.json
+
+# bench-compare gates the current tree against the checked-in trajectory
+# (bench/baseline.json): simulated-time cells and deterministic counters must
+# match the committed run, so regressions show up against history, not just
+# against a self-compare. Refresh the baseline with bench-baseline when a
+# change legitimately moves the numbers (and say why in the commit).
+bench-compare:
+	$(GO) run ./cmd/fsbench -fig 12a,14,chaos -scale tiny -compare bench/baseline.json
+
+bench-baseline:
+	$(GO) run ./cmd/fsbench -fig 12a,14,chaos -scale tiny -format json -out bench/baseline.json
+	$(GO) run ./cmd/fsbench -validate bench/baseline.json
+
+# chaos-smoke runs the fault-plan availability harness twice with one seed:
+# the checker must report zero invariant violations, and the two runs must
+# produce identical rows and op/packet counters (byte-level determinism).
+chaos-smoke:
+	$(GO) run ./cmd/fsbench -fig chaos -scale tiny -seed 7 -format json -out chaos.json
+	$(GO) run ./cmd/fsbench -fig chaos -scale tiny -seed 7 -compare chaos.json
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \

@@ -10,7 +10,10 @@
 //	fsbench -validate BENCH_12a_14.json
 //
 // Figure ids: 2a 2b 2c 2d 12a 12b 13 14 overflow 15a 15b 16 17 18a 18b 19
-// recovery. Scales: tiny, quick, paper (paper takes minutes per figure).
+// recovery chaos. Scales: tiny, quick, paper (paper takes minutes per
+// figure). The chaos figure runs the fault-plan availability harness; -seed
+// selects its random plan (and simulation seeds), and any checker violation
+// aborts the run non-zero.
 //
 // -format json emits the versioned internal/bench schema (figure cells,
 // per-row op/packet counters, wall time); -compare re-runs the selected
@@ -52,6 +55,7 @@ var registry = []struct {
 	{"18b", figures.Fig18b},
 	{"19", figures.Fig19},
 	{"recovery", figures.Recovery},
+	{"chaos", figures.FigChaos},
 }
 
 func usageRegistry(w *os.File) {
@@ -70,6 +74,7 @@ func main() {
 	compareFlag := flag.String("compare", "", "diff results against a previous json result file")
 	thresholdFlag := flag.Float64("threshold", 10, "regression threshold in percent for -compare")
 	validateFlag := flag.String("validate", "", "validate a json result file against the schema and exit")
+	seedFlag := flag.Int64("seed", 1, "seed for the chaos figure's random fault plan and simulations")
 	flag.Parse()
 
 	if *validateFlag != "" {
@@ -159,12 +164,20 @@ func main() {
 		GoVersion: runtime.Version(),
 		CreatedAt: time.Now().UTC().Format(time.RFC3339),
 	}
+	// Bind flag-dependent figures now that flags are parsed; dispatch stays
+	// uniform over the registry.
+	figFor := func(id string, fn func(figures.Scale) figures.Table) func(figures.Scale) figures.Table {
+		if id == "chaos" {
+			return func(sc figures.Scale) figures.Table { return figures.FigChaosSeed(sc, *seedFlag) }
+		}
+		return fn
+	}
 	for _, entry := range registry {
 		if !all && !want[entry.id] {
 			continue
 		}
 		start := time.Now()
-		tab := entry.fn(sc)
+		tab := figFor(entry.id, entry.fn)(sc)
 		wall := time.Since(start).Seconds()
 		if *formatFlag == "text" && *compareFlag == "" {
 			fmt.Println(tab.String())

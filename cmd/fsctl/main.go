@@ -8,6 +8,13 @@
 //
 // Commands: mkdir, rmdir, create, rm, stat, statdir, ls, mv, ln, chmod,
 // open, read, write.
+//
+// The chaos subcommand inspects the fault-injection plan catalog instead of
+// running filesystem commands:
+//
+//	fsctl chaos                 # list built-in plans
+//	fsctl chaos server-crash    # pretty-print one plan's event timeline
+//	fsctl chaos random -seed 7  # print the seeded random plan
 package main
 
 import (
@@ -18,15 +25,85 @@ import (
 	"strings"
 
 	"switchfs"
+	"switchfs/internal/chaos"
+	"switchfs/internal/env"
 )
+
+// chaosCmd serves `fsctl chaos [name] [-seed N]`: listing and timeline
+// pretty-printing of the built-in fault plans (authored against the paper's
+// 8-server geometry) and the seeded random plan generator. The -seed flag
+// is accepted both before the subcommand and after the plan name.
+func chaosCmd(args []string, servers int, seed int64) int {
+	var name string
+	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+		name = args[0]
+		args = args[1:]
+	}
+	sub := flag.NewFlagSet("fsctl chaos", flag.ContinueOnError)
+	subSeed := sub.Int64("seed", seed, "seed for 'chaos random'")
+	if err := sub.Parse(args); err != nil {
+		return 2
+	}
+	if sub.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "fsctl: unexpected arguments after chaos plan: %v\n", sub.Args())
+		return 2
+	}
+	seed = *subSeed
+
+	g := chaos.DefaultGeometry()
+	if servers > 0 {
+		g.Servers = servers
+	}
+	if name == "" {
+		fmt.Printf("built-in chaos plans (geometry: %d servers, %d clients, %d switches):\n",
+			g.Servers, g.Clients, g.Switches)
+		for _, p := range chaos.BuiltinPlans(g) {
+			fmt.Printf("  %-16s %s (%d events, horizon %.0fms)\n",
+				p.Name, p.Desc, len(p.Events), float64(p.Horizon)/1e6)
+		}
+		fmt.Printf("  %-16s %s\n", "random", "seeded random fault schedule (use -seed N)")
+		fmt.Println("\nrun one with: fsbench -fig chaos [-seed N]; print one with: fsctl chaos <name>")
+		return 0
+	}
+	var plan chaos.Plan
+	if name == "random" {
+		plan = chaos.RandomPlan(seed, g, 8*env.Millisecond)
+	} else {
+		var ok bool
+		plan, ok = chaos.BuiltinPlan(g, name)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "fsctl: unknown chaos plan %q (run 'fsctl chaos' to list)\n", name)
+			return 2
+		}
+	}
+	fmt.Print(plan.Timeline())
+	if err := plan.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "fsctl: %v\n", err)
+		return 1
+	}
+	return 0
+}
 
 func main() {
 	servers := flag.Int("servers", 4, "metadata server count")
 	dataNodes := flag.Int("datanodes", 0, "data node count (open/read/write)")
+	seed := flag.Int64("seed", 1, "seed for 'chaos random'")
 	flag.Parse()
 	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "fsctl: no commands; try 'mkdir /a' 'create /a/f' 'ls /a'")
+		fmt.Fprintln(os.Stderr, "fsctl: no commands; try 'mkdir /a' 'create /a/f' 'ls /a', or 'fsctl chaos'")
 		os.Exit(2)
+	}
+	if flag.Arg(0) == "chaos" {
+		// The -servers default (4) belongs to the filesystem-command mode;
+		// chaos plans default to the paper's geometry unless the flag was
+		// given explicitly.
+		chaosServers := 0
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "servers" {
+				chaosServers = *servers
+			}
+		})
+		os.Exit(chaosCmd(flag.Args()[1:], chaosServers, *seed))
 	}
 
 	e := switchfs.NewRealEnv()

@@ -136,6 +136,12 @@ func New(e env.Env, opts Options) *Cluster {
 // Name implements fsapi.System.
 func (c *Cluster) Name() string { return c.Opts.Mode.String() }
 
+// ServerNode returns server i's node id (fault-injection targeting).
+func (c *Cluster) ServerNode(i int) env.NodeID { return c.servers[i].id }
+
+// ClientNode returns client i's node id (fault-injection targeting).
+func (c *Cluster) ClientNode(i int) env.NodeID { return c.clients[i%len(c.clients)].id }
+
 // nextID allocates a directory id.
 func (c *Cluster) nextID() core.DirID {
 	c.idmu.Lock()

@@ -1,0 +1,55 @@
+package baseline
+
+import (
+	"fmt"
+	"testing"
+
+	"switchfs/internal/env"
+	"switchfs/internal/fsapi"
+)
+
+// TestLinkRuleDupReorderPreservesDedup mirrors the SwitchFS-side test in
+// internal/cluster: per-link duplication and reorder on every client↔server
+// link must not re-execute mutations on the baseline servers (their
+// inflight/served RPC cache provides exactly-once effects).
+func TestLinkRuleDupReorderPreservesDedup(t *testing.T) {
+	for _, mode := range []Mode{InfiniFS, CFS} {
+		mode := mode
+		t.Run(mode.String(), func(t *testing.T) {
+			sim, c := deployTest(t, mode)
+			rule := env.LinkRule{Dup: 0.3, Jitter: 4 * env.Microsecond}
+			for i := 0; i < c.Opts.Servers; i++ {
+				sim.Net().SetLink(c.ClientNode(0), c.ServerNode(i), rule)
+				sim.Net().SetLink(c.ServerNode(i), c.ClientNode(0), rule)
+			}
+			run(sim, c, func(p *env.Proc, fs fsapi.FS) {
+				if err := fs.Mkdir(p, "/d"); err != nil {
+					t.Errorf("mkdir: %v", err)
+					return
+				}
+				for i := 0; i < 30; i++ {
+					if err := fs.Create(p, fmt.Sprintf("/d/f%d", i)); err != nil {
+						t.Errorf("create %d: %v", i, err)
+						return
+					}
+					if i%3 == 0 {
+						if err := fs.Delete(p, fmt.Sprintf("/d/f%d", i)); err != nil {
+							t.Errorf("delete %d: %v", i, err)
+							return
+						}
+					}
+				}
+				want := int64(30 - 10)
+				attr, err := fs.StatDir(p, "/d")
+				if err != nil || attr.Size != want {
+					t.Errorf("size=%d err=%v, want %d (duplication re-executed a mutation)",
+						attr.Size, err, want)
+				}
+				es, err := fs.ReadDir(p, "/d")
+				if err != nil || int64(len(es)) != want {
+					t.Errorf("readdir %d entries err=%v, want %d", len(es), err, want)
+				}
+			})
+		})
+	}
+}

@@ -151,7 +151,8 @@ const (
 func DirectionOf(title string) Direction {
 	t := strings.ToLower(title)
 	switch {
-	case strings.Contains(t, "ops/s") || strings.Contains(t, "throughput"):
+	case strings.Contains(t, "ops/s") || strings.Contains(t, "throughput") ||
+		strings.Contains(t, "avail"):
 		return HigherBetter
 	case strings.Contains(t, "µs") || strings.Contains(t, "latency") ||
 		strings.Contains(t, " ms") || strings.Contains(t, "seconds"):

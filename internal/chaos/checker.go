@@ -1,0 +1,286 @@
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"switchfs/internal/core"
+)
+
+// Checker is the model-based invariant oracle. The harness feeds it every
+// completed client operation (in completion order — workers own disjoint
+// directories, so each directory's history is sequential) and it replays
+// them against an in-memory namespace model, flagging outcomes no
+// linearization of the history can produce.
+//
+// UDP at-least-once delivery makes timed-out operations genuinely ambiguous:
+// the request (or a retransmission still in flight) may be executed long
+// after the client gave up. The model is therefore three-valued — an entry
+// is Present, Absent, or Unknown — and a name any mutation ever timed out on
+// is "tainted": late ghost executions may flip it at any point, so the
+// checker stops pinning its state and only range-checks reads against it.
+// What must NEVER happen, taint or no taint:
+//
+//   - a lost acknowledged write: an entry whose create was acked (and that
+//     was never deleted or tainted) failing a read;
+//   - a resurrection: an entry whose delete was acked (and that was never
+//     recreated or tainted) appearing in a read;
+//   - an impossible error: create over definitely-absent reporting EEXIST,
+//     delete of definitely-present reporting ENOENT, and the like;
+//   - a directory count outside [definitely-present, present+unknown].
+type Checker struct {
+	dirs map[string]*dirModel
+	// violations accumulate in detection order (deterministic under Sim).
+	violations []string
+	// Ops counts operations replayed into the model.
+	Ops int
+	// Ambiguous counts operations that timed out (outcome unknown).
+	Ambiguous int
+}
+
+type entryState uint8
+
+const (
+	stAbsent entryState = iota
+	stPresent
+	stUnknown
+)
+
+type entry struct {
+	st      entryState
+	tainted bool
+}
+
+type dirModel struct {
+	entries map[string]*entry
+}
+
+// NewChecker builds an empty oracle.
+func NewChecker() *Checker {
+	return &Checker{dirs: make(map[string]*dirModel)}
+}
+
+// RegisterDir declares a harness-owned directory (created before the plan
+// starts, never removed).
+func (k *Checker) RegisterDir(dir string) {
+	if k.dirs[dir] == nil {
+		k.dirs[dir] = &dirModel{entries: make(map[string]*entry)}
+	}
+}
+
+// Dirs returns the registered directories, sorted.
+func (k *Checker) Dirs() []string {
+	out := make([]string, 0, len(k.dirs))
+	for d := range k.dirs {
+		out = append(out, d)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Names returns the entry names ever touched under dir, sorted.
+func (k *Checker) Names(dir string) []string {
+	dm := k.dirs[dir]
+	if dm == nil {
+		return nil
+	}
+	out := make([]string, 0, len(dm.entries))
+	for n := range dm.entries {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (k *Checker) violatef(format string, args ...any) {
+	k.violations = append(k.violations, fmt.Sprintf(format, args...))
+}
+
+// Violations returns every invariant violation detected so far.
+func (k *Checker) Violations() []string { return k.violations }
+
+func (k *Checker) entryOf(dir, name string) *entry {
+	dm := k.dirs[dir]
+	if dm == nil {
+		k.RegisterDir(dir)
+		dm = k.dirs[dir]
+	}
+	e := dm.entries[name]
+	if e == nil {
+		e = &entry{st: stAbsent}
+		dm.entries[name] = e
+	}
+	return e
+}
+
+// Apply replays one completed namespace operation on dir/name. err is the
+// client-visible result (nil for success); resent reports whether the
+// client retransmitted the request. A retried mutation is at-least-once: a
+// server crash between tries discards the RPC dedup cache, so the retry
+// re-executes and can observe the operation's own earlier effect — EEXIST
+// from a create that did apply, ENOENT from a delete that did. Either
+// reading leaves the entry in the same final state, so those outcomes
+// resolve definitely rather than flagging.
+func (k *Checker) Apply(op core.Op, dir, name string, resent bool, err error) {
+	k.Ops++
+	e := k.entryOf(dir, name)
+	timeout := errors.Is(err, core.ErrTimeout)
+	if timeout {
+		k.Ambiguous++
+	}
+	switch op {
+	case core.OpCreate, core.OpMkdir:
+		switch {
+		case err == nil:
+			if e.st == stPresent && !e.tainted {
+				k.violatef("%s %s/%s succeeded over a definitely-present entry", op, dir, name)
+			}
+			if e.tainted {
+				e.st = stUnknown // a late ghost delete may still land
+			} else {
+				e.st = stPresent
+			}
+		case errors.Is(err, core.ErrExist):
+			if e.st == stAbsent && !e.tainted && !resent {
+				k.violatef("%s %s/%s reported EEXIST over a definitely-absent entry", op, dir, name)
+			}
+			if !e.tainted {
+				// Genuine EEXIST or the retried create's own effect: either
+				// way the entry is now definitely present.
+				e.st = stPresent
+			}
+		case timeout:
+			if e.st != stPresent || e.tainted {
+				// The create may be executed late; the entry's fate is no
+				// longer decidable from this history.
+				e.st = stUnknown
+				e.tainted = true
+			}
+			// A definitely-present entry is immune: the late create can only
+			// fail with EEXIST.
+		default:
+			k.violatef("%s %s/%s: unexpected error %v", op, dir, name, err)
+		}
+	case core.OpDelete, core.OpRmdir:
+		switch {
+		case err == nil:
+			if e.st == stAbsent && !e.tainted {
+				k.violatef("%s %s/%s succeeded on a definitely-absent entry", op, dir, name)
+			}
+			if e.tainted {
+				e.st = stUnknown // a late ghost create may resurrect it
+			} else {
+				e.st = stAbsent
+			}
+		case errors.Is(err, core.ErrNotExist):
+			if e.st == stPresent && !e.tainted && !resent {
+				k.violatef("lost acknowledged write: %s %s/%s reported ENOENT on a definitely-present entry",
+					op, dir, name)
+			}
+			if !e.tainted {
+				// Genuine ENOENT or the retried delete's own effect: either
+				// way the entry is now definitely absent.
+				e.st = stAbsent
+			}
+		case timeout:
+			if e.st != stAbsent || e.tainted {
+				e.st = stUnknown
+				e.tainted = true
+			}
+			// Deleting a definitely-absent entry can only fail; no taint.
+		default:
+			k.violatef("%s %s/%s: unexpected error %v", op, dir, name, err)
+		}
+	case core.OpStat, core.OpOpen:
+		switch {
+		case err == nil:
+			if e.st == stAbsent && !e.tainted {
+				k.violatef("resurrection: stat %s/%s succeeded on a definitely-absent entry", dir, name)
+			}
+		case errors.Is(err, core.ErrNotExist):
+			if e.st == stPresent && !e.tainted {
+				k.violatef("lost acknowledged write: stat %s/%s reported ENOENT on a definitely-present entry",
+					dir, name)
+			}
+		case timeout:
+			// No information.
+		default:
+			k.violatef("stat %s/%s: unexpected error %v", dir, name, err)
+		}
+	default:
+		k.violatef("checker: unsupported op %v on %s/%s", op, dir, name)
+	}
+}
+
+// bounds returns the definite and possible live-entry counts of dir.
+func (k *Checker) bounds(dir string) (definite, possible int) {
+	dm := k.dirs[dir]
+	if dm == nil {
+		return 0, 0
+	}
+	for _, e := range dm.entries {
+		switch e.st {
+		case stPresent:
+			definite++
+			possible++
+		case stUnknown:
+			possible++
+		}
+	}
+	return definite, possible
+}
+
+// ApplyStatDir checks a directory-size observation against the model.
+func (k *Checker) ApplyStatDir(dir string, size int64, err error) {
+	k.Ops++
+	switch {
+	case err == nil:
+		lo, hi := k.bounds(dir)
+		if size < int64(lo) || size > int64(hi) {
+			k.violatef("statdir %s: size %d outside model bounds [%d, %d]", dir, size, lo, hi)
+		}
+	case errors.Is(err, core.ErrTimeout):
+		k.Ambiguous++
+	case errors.Is(err, core.ErrNotExist):
+		k.violatef("statdir %s: harness directory reported ENOENT", dir)
+	default:
+		k.violatef("statdir %s: unexpected error %v", dir, err)
+	}
+}
+
+// ApplyReadDir checks an entry-list observation against the model: every
+// definitely-present entry must be listed, and no definitely-absent entry
+// may appear.
+func (k *Checker) ApplyReadDir(dir string, names []string, err error) {
+	k.Ops++
+	switch {
+	case err == nil:
+		dm := k.dirs[dir]
+		if dm == nil {
+			return
+		}
+		listed := make(map[string]bool, len(names))
+		for _, n := range names {
+			listed[n] = true
+			if e := dm.entries[n]; e != nil && e.st == stAbsent && !e.tainted {
+				k.violatef("resurrection: readdir %s lists definitely-absent entry %q", dir, n)
+			}
+		}
+		for _, n := range k.Names(dir) {
+			if e := dm.entries[n]; e.st == stPresent && !e.tainted && !listed[n] {
+				k.violatef("lost acknowledged write: readdir %s is missing definitely-present entry %q", dir, n)
+			}
+		}
+	case errors.Is(err, core.ErrTimeout):
+		k.Ambiguous++
+	default:
+		k.violatef("readdir %s: unexpected error %v", dir, err)
+	}
+}
+
+// Summary renders the oracle's accounting for logs.
+func (k *Checker) Summary() string {
+	return fmt.Sprintf("checker: %d ops replayed, %d ambiguous, %d violations",
+		k.Ops, k.Ambiguous, len(k.violations))
+}

@@ -1,0 +1,285 @@
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"switchfs/internal/client"
+	"switchfs/internal/cluster"
+	"switchfs/internal/core"
+	"switchfs/internal/env"
+	"switchfs/internal/stats"
+)
+
+// Options sizes a harness run.
+type Options struct {
+	// Workers is the number of closed-loop clients driving load across the
+	// plan (default 8). Each owns a private directory, keeping per-directory
+	// histories sequential so the oracle is exact.
+	Workers int
+	// Windows is the number of availability/latency buckets the horizon is
+	// split into (default 8).
+	Windows int
+	// NamesPerDir is each worker's entry-name pool; a small pool makes
+	// creates, deletes and stats collide on the same names (default 12).
+	NamesPerDir int
+	// Seed drives the workload mix (the simulation has its own seed).
+	Seed int64
+}
+
+func (o *Options) defaults() {
+	if o.Workers <= 0 {
+		o.Workers = 8
+	}
+	if o.Windows <= 0 {
+		o.Windows = 8
+	}
+	if o.NamesPerDir <= 0 {
+		o.NamesPerDir = 12
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+}
+
+// WindowRow is one bucket of the availability/latency timeline.
+type WindowRow struct {
+	// Start is the bucket's offset from the plan start.
+	Start env.Duration
+	// Ok counts operations completing with a definite outcome; Errs counts
+	// operations whose retry budget expired (ErrTimeout) — the
+	// unavailability signal.
+	Ok   int
+	Errs int
+	// P99 is the 99th-percentile operation latency in nanoseconds
+	// (operations completing in this bucket).
+	P99 float64
+	// Counters carries the bucket's deterministic op and packet counts.
+	Counters stats.Counters
+}
+
+// Report is the outcome of one plan run.
+type Report struct {
+	Plan    Plan
+	Rows    []WindowRow
+	Checker *Checker
+	// Issues are harness-level failures outside the oracle: recoveries that
+	// never completed, change-log entries surviving the final drain,
+	// entry-list/size disagreement.
+	Issues []string
+}
+
+// Failed reports whether the run violated any invariant.
+func (r *Report) Failed() bool {
+	return len(r.Issues) > 0 || len(r.Checker.Violations()) > 0
+}
+
+// Availability returns ok/(ok+errs) over the whole run, in percent.
+func (r *Report) Availability() float64 {
+	ok, errs := 0, 0
+	for _, w := range r.Rows {
+		ok += w.Ok
+		errs += w.Errs
+	}
+	if ok+errs == 0 {
+		return 100
+	}
+	return 100 * float64(ok) / float64(ok+errs)
+}
+
+// Run drives a closed-loop workload across the plan on an already-built
+// cluster, then heals, drains, and audits. The same cluster/seed/plan always
+// produces an identical Report (rows, counters, violations).
+func Run(sim *env.Sim, c *cluster.Cluster, plan Plan, o Options) *Report {
+	o.defaults()
+	rep := &Report{Plan: plan, Checker: NewChecker()}
+	if err := plan.Validate(); err != nil {
+		rep.Issues = append(rep.Issues, err.Error())
+		return rep
+	}
+
+	// Pre-plan setup: every worker's private directory exists and is known
+	// to the oracle before any fault fires.
+	dirs := make([]string, o.Workers)
+	for w := range dirs {
+		dirs[w] = fmt.Sprintf("/cw%03d", w)
+		rep.Checker.RegisterDir(dirs[w])
+	}
+	var preloadErr error
+	c.Run(0, func(p *env.Proc, cl *client.Client) {
+		for _, d := range dirs {
+			if err := cl.Mkdir(p, d, 0); err != nil {
+				preloadErr = fmt.Errorf("preloading %s: %w", d, err)
+				return
+			}
+		}
+	})
+	if preloadErr != nil {
+		// A dirty cluster (e.g. Run called twice on it) is a caller error,
+		// reported like every other harness failure.
+		rep.Issues = append(rep.Issues, preloadErr.Error())
+		return rep
+	}
+
+	base := sim.Now()
+	winDur := plan.Horizon / env.Duration(o.Windows)
+	if winDur <= 0 {
+		winDur = env.Millisecond
+	}
+
+	// Packet counters sampled at each bucket boundary (cumulative).
+	snap := func() stats.Counters {
+		return stats.Counters{PacketsDelivered: sim.Delivered, PacketsDropped: sim.Dropped}
+	}
+	samples := make([]stats.Counters, o.Windows+1)
+	fired := make([]bool, o.Windows+1)
+	samples[0] = snap()
+	fired[0] = true
+	for w := 1; w < o.Windows; w++ {
+		w := w
+		sim.After(winDur*env.Duration(w), func() { samples[w], fired[w] = snap(), true })
+	}
+
+	inj := Apply(sim, c, plan)
+
+	// Closed-loop workers. Completion order is the oracle's replay order;
+	// under Sim exactly one process runs at a time, so the shared recorders
+	// are totally ordered.
+	oks := make([]int, o.Windows)
+	errs := make([]int, o.Windows)
+	hists := make([]stats.Hist, o.Windows)
+	bucketOf := func(t env.Time) int {
+		b := int((t - base) / winDur)
+		if b < 0 {
+			b = 0
+		}
+		if b >= o.Windows {
+			b = o.Windows - 1
+		}
+		return b
+	}
+	record := func(t0, t1 env.Time, err error) {
+		b := bucketOf(t1)
+		if errors.Is(err, core.ErrTimeout) {
+			errs[b]++
+		} else {
+			oks[b]++
+		}
+		hists[b].Add(float64(t1 - t0))
+	}
+	for w := 0; w < o.Workers; w++ {
+		w := w
+		dir := dirs[w]
+		cl := c.Client(w)
+		rnd := rand.New(rand.NewSource(o.Seed + int64(w)*6151))
+		sim.Spawn(cl.ID(), func(p *env.Proc) {
+			for p.Now()-base < plan.Horizon {
+				name := fmt.Sprintf("f%d", rnd.Intn(o.NamesPerDir))
+				path := dir + "/" + name
+				t0 := p.Now()
+				switch rnd.Intn(10) {
+				case 0, 1, 2, 3:
+					resent, err := cl.CreateR(p, path, 0)
+					record(t0, p.Now(), err)
+					rep.Checker.Apply(core.OpCreate, dir, name, resent, err)
+				case 4, 5:
+					resent, err := cl.DeleteR(p, path)
+					record(t0, p.Now(), err)
+					rep.Checker.Apply(core.OpDelete, dir, name, resent, err)
+				case 6, 7:
+					_, err := cl.Stat(p, path)
+					record(t0, p.Now(), err)
+					rep.Checker.Apply(core.OpStat, dir, name, false, err)
+				case 8:
+					attr, err := cl.StatDir(p, dir)
+					record(t0, p.Now(), err)
+					rep.Checker.ApplyStatDir(dir, attr.Size, err)
+				default:
+					es, err := cl.ReadDir(p, dir)
+					record(t0, p.Now(), err)
+					names := make([]string, len(es))
+					for i, e := range es {
+						names[i] = e.Name
+					}
+					rep.Checker.ApplyReadDir(dir, names, err)
+				}
+			}
+		})
+	}
+	sim.Run()
+	samples[o.Windows] = snap()
+	// Boundary samplers that never fired (a caller stopping the simulation
+	// early would leave trailing timers queued) inherit the final totals.
+	for w := 1; w < o.Windows; w++ {
+		if !fired[w] {
+			samples[w] = samples[o.Windows]
+		}
+	}
+
+	rep.Issues = append(rep.Issues, inj.AwaitClean()...)
+
+	// Heal whatever the plan left behind and bring every server back before
+	// the audit (validated plans recover their own crashes; this is defense
+	// against hand-written ones).
+	inj.ForceHeal()
+	recovering := false
+	for i := range c.Servers {
+		if c.Servers[i].Node().Down() {
+			inj.track(fmt.Sprintf("post-run recover-server %d", i), c.RecoverServer(i))
+			recovering = true
+		}
+	}
+	if recovering {
+		sim.Run()
+		rep.Issues = append(rep.Issues, inj.AwaitClean()...)
+	}
+
+	// Drain deferred work, then check change-log/dirty-set consistency: a
+	// healed, drained cluster holds no pending change-log entries.
+	c.Run(0, func(p *env.Proc, cl *client.Client) { c.Drain(p) })
+	for i, srv := range c.Servers {
+		if n := srv.PendingClogEntries(); n > 0 {
+			rep.Issues = append(rep.Issues,
+				fmt.Sprintf("server %d holds %d change-log entries after heal+drain", i, n))
+		}
+	}
+
+	// Final audit through the normal read path (leftover dirty fingerprints
+	// force real aggregations here).
+	c.Run(0, func(p *env.Proc, cl *client.Client) {
+		for _, dir := range rep.Checker.Dirs() {
+			attr, err := cl.StatDir(p, dir)
+			rep.Checker.ApplyStatDir(dir, attr.Size, err)
+			es, rerr := cl.ReadDir(p, dir)
+			names := make([]string, len(es))
+			for i, e := range es {
+				names[i] = e.Name
+			}
+			rep.Checker.ApplyReadDir(dir, names, rerr)
+			if err == nil && rerr == nil && attr.Size != int64(len(es)) {
+				rep.Issues = append(rep.Issues,
+					fmt.Sprintf("%s: statdir size %d != %d listed entries", dir, attr.Size, len(es)))
+			}
+			for _, name := range rep.Checker.Names(dir) {
+				_, serr := cl.Stat(p, dir+"/"+name)
+				rep.Checker.Apply(core.OpStat, dir, name, false, serr)
+			}
+		}
+	})
+
+	// Assemble the timeline.
+	for w := 0; w < o.Windows; w++ {
+		ctr := samples[w+1].Sub(samples[w])
+		ctr.Ops = uint64(oks[w] + errs[w])
+		ctr.Errs = uint64(errs[w])
+		rep.Rows = append(rep.Rows, WindowRow{
+			Start:    winDur * env.Duration(w),
+			Ok:       oks[w],
+			Errs:     errs[w],
+			P99:      hists[w].Percentile(0.99),
+			Counters: ctr,
+		})
+	}
+	return rep
+}

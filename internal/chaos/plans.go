@@ -1,0 +1,215 @@
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+
+	"switchfs/internal/env"
+)
+
+// Geometry names the deployed shape a plan is authored against.
+type Geometry struct {
+	Servers  int
+	Clients  int
+	Switches int
+}
+
+// DefaultGeometry is the paper's evaluation setup (§7.1).
+func DefaultGeometry() Geometry { return Geometry{Servers: 8, Clients: 4, Switches: 1} }
+
+const ms = env.Millisecond
+
+// BuiltinPlans returns the curated scenario catalog for a geometry: the
+// §5.4/§7.7 recovery stories plus the failure modes they leave unexplored —
+// partitions (symmetric, asymmetric, rack-correlated), flaky links, gray
+// failures, and reconfiguration racing a crash.
+func BuiltinPlans(g Geometry) []Plan {
+	rack := func(lo, hi int) []int { // server indices [lo, hi)
+		var out []int
+		for i := lo; i < hi && i < g.Servers; i++ {
+			out = append(out, i)
+		}
+		return out
+	}
+	half := g.Servers / 2
+	if half == 0 {
+		half = 1
+	}
+	plans := []Plan{
+		{
+			Name:    "server-crash",
+			Desc:    "fail-stop one server under load, recover from its WAL (§5.4.2)",
+			Horizon: 8 * ms,
+			Events: []Event{
+				CrashServer(1*ms, 1),
+				RecoverServer(4*ms, 1),
+			},
+		},
+		{
+			Name:    "switch-reboot",
+			Desc:    "lose all dirty-set state, flush change-logs to re-converge (§5.4.2)",
+			Horizon: 8 * ms,
+			Events: []Event{
+				CrashSwitch(2 * ms),
+				RecoverSwitch(3 * ms),
+			},
+		},
+		{
+			Name:    "rack-partition",
+			Desc:    "cut one server rack off from the rest of the cluster, then heal",
+			Horizon: 8 * ms,
+			Events: []Event{
+				Partition(1*ms, "rack",
+					NodeSel{Servers: rack(half, g.Servers)},
+					NodeSel{Servers: rack(0, half), AllClients: true, AllSwitches: true},
+					false),
+				Heal(3500*env.Microsecond, "rack"),
+			},
+		},
+		{
+			Name:    "asym-partition",
+			Desc:    "asymmetric fault: client 0's requests to server 1 vanish, replies flow",
+			Horizon: 8 * ms,
+			Events: []Event{
+				Partition(1*ms, "asym",
+					NodeSel{Clients: []int{0}},
+					NodeSel{Servers: []int{1}},
+					true),
+				Heal(4*ms, "asym"),
+			},
+		},
+		{
+			Name:    "flaky-links",
+			Desc:    "loss, duplication and reorder on every client-server link (§5.4.1)",
+			Horizon: 8 * ms,
+			Events: []Event{
+				LinkFault(1*ms, "flaky",
+					NodeSel{AllClients: true},
+					NodeSel{AllServers: true},
+					Rule{Drop: 0.1, Dup: 0.1, Jitter: 5 * env.Microsecond}),
+				Heal(6*ms, "flaky"),
+			},
+		},
+		{
+			Name:    "gray",
+			Desc:    "gray failures: one server loses cores, one switch pipe slows",
+			Horizon: 8 * ms,
+			Events: []Event{
+				DegradeServer(1*ms, 0, 1),
+				SlowSwitch(1*ms, 0, 4*env.Microsecond),
+				RestoreServer(6*ms, 0),
+				RestoreSwitch(6*ms, 0),
+			},
+		},
+		{
+			Name:    "reconfig-crash",
+			Desc:    "grow the cluster while a server fail-stops and recovers mid-flight (§5.5)",
+			Horizon: 10 * ms,
+			Events: []Event{
+				CrashServer(900*env.Microsecond, 2),
+				Reconfigure(1*ms, g.Servers+2),
+				RecoverServer(2*ms, 2),
+			},
+		},
+	}
+	return plans
+}
+
+// BuiltinPlan returns the named plan, or false.
+func BuiltinPlan(g Geometry, name string) (Plan, bool) {
+	for _, p := range BuiltinPlans(g) {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Plan{}, false
+}
+
+// RandomPlan generates a well-formed plan from a seed: a handful of
+// fault/repair pairs with randomized targets, intensities and overlapping
+// windows, every fault healed and every crash recovered before the horizon.
+// The same seed and geometry always produce the same plan — the search-style
+// entry point (`fsbench -fig chaos -seed N`) sweeps seeds to explore the
+// scenario space.
+func RandomPlan(seed int64, g Geometry, horizon env.Duration) Plan {
+	rnd := rand.New(rand.NewSource(seed))
+	p := Plan{
+		Name:    fmt.Sprintf("random-%d", seed),
+		Desc:    fmt.Sprintf("seeded random fault schedule (seed %d)", seed),
+		Horizon: horizon,
+	}
+	// Fault windows live inside [horizon/8, horizon*3/4] so load exists on
+	// both sides of every fault.
+	window := func() (from, to env.Duration) {
+		lo := horizon / 8
+		hi := horizon * 3 / 4
+		from = lo + env.Duration(rnd.Int63n(int64(hi-lo)))
+		minLen := horizon / 16
+		maxLen := horizon / 3
+		to = from + minLen + env.Duration(rnd.Int63n(int64(maxLen-minLen)))
+		if to > hi {
+			to = hi
+		}
+		return from, to
+	}
+	crashed := map[int]bool{}
+	n := 2 + rnd.Intn(3)
+	for i := 0; i < n; i++ {
+		from, to := window()
+		switch rnd.Intn(6) {
+		case 0: // crash/recover a server (each server at most once)
+			s := rnd.Intn(g.Servers)
+			if crashed[s] {
+				continue
+			}
+			crashed[s] = true
+			p.Events = append(p.Events, CrashServer(from, s), RecoverServer(to, s))
+		case 1: // switch reboot
+			p.Events = append(p.Events, CrashSwitch(from), RecoverSwitch(to))
+		case 2: // partition a random server group off
+			cut := 1 + rnd.Intn(max(1, g.Servers/2))
+			var a, rest []int
+			perm := rnd.Perm(g.Servers)
+			for j, s := range perm {
+				if j < cut {
+					a = append(a, s)
+				} else {
+					rest = append(rest, s)
+				}
+			}
+			name := fmt.Sprintf("part%d", i)
+			p.Events = append(p.Events,
+				Partition(from, name,
+					NodeSel{Servers: a},
+					NodeSel{Servers: rest, AllClients: true, AllSwitches: true},
+					rnd.Intn(4) == 0),
+				Heal(to, name))
+		case 3: // flaky links
+			name := fmt.Sprintf("flaky%d", i)
+			p.Events = append(p.Events,
+				LinkFault(from, name,
+					NodeSel{AllClients: true},
+					NodeSel{Servers: []int{rnd.Intn(g.Servers)}},
+					Rule{
+						Drop:   float64(rnd.Intn(3)) * 0.05,
+						Dup:    float64(rnd.Intn(3)) * 0.05,
+						Jitter: env.Duration(rnd.Intn(8)) * env.Microsecond,
+					}),
+				Heal(to, name))
+		case 4: // degrade a server's cores
+			s := rnd.Intn(g.Servers)
+			p.Events = append(p.Events, DegradeServer(from, s, 1), RestoreServer(to, s))
+		default: // slow a switch pipe
+			sw := rnd.Intn(max(1, g.Switches))
+			p.Events = append(p.Events,
+				SlowSwitch(from, sw, env.Duration(1+rnd.Intn(6))*env.Microsecond),
+				RestoreSwitch(to, sw))
+		}
+	}
+	if len(p.Events) == 0 {
+		// Every draw collided (tiny geometry): fall back to one crash cycle.
+		p.Events = append(p.Events,
+			CrashServer(horizon/4, 0), RecoverServer(horizon/2, 0))
+	}
+	return p
+}

@@ -12,7 +12,18 @@ import (
 
 // mutate drives the shared client half of create/delete/mkdir/rmdir.
 func (c *Client) mutate(p *env.Proc, op core.Op, path string, perm core.Perm) (core.DirID, error) {
+	out, _, err := c.mutateR(p, op, path, perm)
+	return out, err
+}
+
+// mutateR is mutate, additionally reporting whether the final request round
+// was retransmitted. A retried mutation is at-least-once: if a server crash
+// discarded the RPC dedup cache between tries, the retry re-executes and the
+// operation can observe its own earlier effect (EEXIST for create, ENOENT
+// for delete) — fault harnesses need the flag to classify those outcomes.
+func (c *Client) mutateR(p *env.Proc, op core.Op, path string, perm core.Perm) (core.DirID, bool, error) {
 	var out core.DirID
+	var resent bool
 	err := c.withResolution(p, path, func(r resolved) error {
 		p.Compute(c.cfg.Costs.ClientOp)
 		key := core.Key{PID: r.parent.ID, Name: r.name}
@@ -25,7 +36,8 @@ func (c *Client) mutate(p *env.Proc, op core.Op, path string, perm core.Perm) (c
 			Name:      r.name,
 			Perm:      perm,
 		}
-		v, _, err := c.call(p, dst, &wire.Packet{Dst: dst, Origin: c.cfg.ID, Body: req}, rpc)
+		v, re, err := c.call(p, dst, &wire.Packet{Dst: dst, Origin: c.cfg.ID, Body: req}, rpc)
+		resent = resent || re
 		if err != nil {
 			return err
 		}
@@ -38,7 +50,19 @@ func (c *Client) mutate(p *env.Proc, op core.Op, path string, perm core.Perm) (c
 		out = resp.Dir
 		return resp.Err.Err()
 	})
-	return out, err
+	return out, resent, err
+}
+
+// CreateR is Create, reporting whether any retransmission happened.
+func (c *Client) CreateR(p *env.Proc, path string, perm core.Perm) (bool, error) {
+	_, resent, err := c.mutateR(p, core.OpCreate, path, perm)
+	return resent, err
+}
+
+// DeleteR is Delete, reporting whether any retransmission happened.
+func (c *Client) DeleteR(p *env.Proc, path string) (bool, error) {
+	_, resent, err := c.mutateR(p, core.OpDelete, path, 0)
+	return resent, err
 }
 
 // Create makes a regular file.

@@ -88,6 +88,9 @@ type Cluster struct {
 	Clients   []*client.Client
 	DataNodes []env.NodeID
 	wals      []wal.Log
+	// reconfiguring marks an in-flight Reconfigure; a concurrently
+	// recovering server must not resume serving until step 4 does it.
+	reconfiguring bool
 }
 
 // ServerOf maps a placement slot to a node id.
@@ -232,6 +235,24 @@ func NewWithModes(e env.Env, opts Options) *Cluster {
 // Client returns the i-th client (mod the pool).
 func (c *Cluster) Client(i int) *client.Client { return c.Clients[i%len(c.Clients)] }
 
+// ServerID returns server i's node id.
+func (c *Cluster) ServerID(i int) env.NodeID { return c.Servers[i].ID() }
+
+// ClientID returns client i's node id (mod the pool).
+func (c *Cluster) ClientID(i int) env.NodeID { return c.Client(i).ID() }
+
+// SwitchID returns switch i's node id.
+func (c *Cluster) SwitchID(i int) env.NodeID { return c.Switches[i].ID }
+
+// SetServerCores degrades (or restores) server i's usable core count in
+// place — the gray failure of §5.4-style partial degradation, where a node
+// answers but slowly. Pass srv.Cores() to restore.
+func (c *Cluster) SetServerCores(i, cores int) { c.Servers[i].SetCores(cores) }
+
+// SlowSwitch adds d of extra pipeline delay to switch i (gray failure:
+// a congested pipe). Zero restores nominal speed.
+func (c *Cluster) SlowSwitch(i int, d env.Duration) { c.Switches[i].SetExtraDelay(d) }
+
 // Run spawns fn on client i's node and, under Sim, drives the simulation
 // until fn completes. Under Real it blocks on a channel.
 func (c *Cluster) Run(i int, fn func(p *env.Proc, cl *client.Client)) {
@@ -273,17 +294,39 @@ func (c *Cluster) CrashServer(i int) { c.Servers[i].Crash() }
 // RecoverServer restarts server i from its WAL and runs §5.4.2 recovery on a
 // process; it reports the virtual time the recovery took via the returned
 // future (completed with env.Duration).
+//
+// The restart is sequenced against reconfiguration from inside the spawned
+// process: a recovery landing mid-Reconfigure waits the reconfiguration out
+// before building the new incarnation. Swapping c.Servers[i] any earlier
+// would let step 3 migrate from a freshly-constructed, not-yet-replayed
+// (empty) store; and the restart-then-replay sequence runs without a park,
+// so a reconfiguration can never observe the swapped-but-unreplayed server.
 func (c *Cluster) RecoverServer(i int) *env.Future {
 	old := c.Servers[i]
-	cfg := serverConfigOf(c, i)
-	srv := server.Restart(c.Env, cfg, old.WAL())
-	c.Servers[i] = srv
 	fut := env.NewFuture()
-	c.Env.Spawn(srv.ID(), func(p *env.Proc) {
+	c.Env.Spawn(old.ID(), func(p *env.Proc) {
+		for c.reconfiguring {
+			p.Sleep(100 * env.Microsecond)
+		}
+		if i >= len(c.Servers) {
+			// A concurrent shrink removed this slot; the server has no seat
+			// to rejoin (its migrated records live on the surviving ring).
+			fut.Complete(fmt.Errorf("cluster: server %d was removed by reconfiguration", i))
+			return
+		}
 		start := p.Now()
+		cfg := serverConfigOf(c, i)
+		srv := server.Restart(c.Env, cfg, old.WAL())
+		c.Servers[i] = srv
 		if err := srv.Recover(p); err != nil {
 			fut.Complete(err)
 			return
+		}
+		if c.reconfiguring {
+			// A reconfiguration started while recovery ran; joining it
+			// serving would expose half-migrated state. Step 4 resumes
+			// everyone (its drain waited for this recovery to finish).
+			srv.SetServing(false)
 		}
 		fut.Complete(p.Now() - start)
 	})
@@ -330,31 +373,48 @@ func serverConfigOf(c *Cluster, i int) server.Config {
 	}
 }
 
-// CrashSwitch clears all switch state (§5.4.2 "Switch failure").
+// CrashSwitch reboots the switches (§5.4.2 "Switch failure"): all dirty-set
+// state clears and the switch drops off the network until RecoverSwitch
+// completes — while it reboots, nothing it tracks or forwards flows, so
+// reads cannot observe the momentarily-inconsistent empty dirty set.
 func (c *Cluster) CrashSwitch() {
 	for _, sw := range c.Switches {
 		sw.Reset()
+		if n := c.Env.Node(sw.ID); n != nil {
+			n.SetDown(true)
+		}
 	}
 }
 
 // RecoverSwitch restores consistency after a switch reboot: every server
 // flushes its change-logs so all directories return to normal state,
-// matching the empty dirty set. The returned future completes with the
-// virtual duration.
+// matching the empty dirty set; only then does the switch rejoin the
+// network. The returned future completes with the virtual duration.
 func (c *Cluster) RecoverSwitch() *env.Future {
 	fut := env.NewFuture()
 	c.Env.Spawn(c.Servers[0].ID(), func(p *env.Proc) {
 		start := p.Now()
 		// Flush sequentially from an orchestration process; servers stop
 		// serving while flushing.
-		for _, srv := range c.Servers {
-			srv := srv
+		for i := 0; i < len(c.Servers); i++ {
+			srv := c.Servers[i]
 			sub := env.NewFuture()
 			c.Env.Spawn(srv.ID(), func(sp *env.Proc) {
 				srv.FlushAll(sp)
+				if c.reconfiguring {
+					// FlushAll re-enables serving; a concurrent Reconfigure
+					// is quiescing the cluster and must stay in control of
+					// when servers resume (its step 4).
+					srv.SetServing(false)
+				}
 				sub.Complete(nil)
 			})
 			sub.Wait(p)
+		}
+		for _, sw := range c.Switches {
+			if n := c.Env.Node(sw.ID); n != nil {
+				n.SetDown(false)
+			}
 		}
 		fut.Complete(p.Now() - start)
 	})

@@ -23,8 +23,19 @@ import (
 // The returned future completes with the virtual duration of the
 // reconfiguration. The paper's per-step coordinator WAL and two-phase commit
 // make each step idempotent under crashes; this implementation performs the
-// steps from an orchestration process and asserts quiescence instead (the
-// §A.3 crash-during-reconfiguration matrix is out of scope for the model).
+// steps from an orchestration process and tolerates servers fail-stopping
+// (and recovering) while the reconfiguration is in flight:
+//
+//   - a server that is down at flush time is skipped — its rebuilt
+//     change-logs are re-pushed by §5.4.2 recovery, which routes them by the
+//     live (post-remap) ring;
+//   - migration reads each server object's store directly, which works for
+//     crashed objects too (their KV mirrors the WAL the restarted server
+//     will replay; the stale local copies it resurrects are unreachable
+//     under the new ring);
+//   - a server whose recovery completes mid-reconfiguration is re-quiesced
+//     by RecoverServer (the reconfiguring flag) so it cannot serve reads of
+//     half-migrated state; step 4 resumes it with everyone else.
 func (c *Cluster) Reconfigure(newServers int) *env.Future {
 	fut := env.NewFuture()
 	if newServers < 1 {
@@ -33,13 +44,18 @@ func (c *Cluster) Reconfigure(newServers int) *env.Future {
 	}
 	c.Env.Spawn(c.Servers[0].ID(), func(p *env.Proc) {
 		start := p.Now()
+		c.reconfiguring = true
 
-		// Step 1: quiesce and flush.
+		// Step 1: quiesce and flush. Indexing c.Servers live (not a snapshot)
+		// picks up objects replaced by a concurrent RecoverServer.
 		for _, srv := range c.Servers {
 			srv.SetServing(false)
 		}
-		for _, srv := range c.Servers {
-			srv := srv
+		for i := 0; i < len(c.Servers); i++ {
+			srv := c.Servers[i]
+			if srv.Node().Down() {
+				continue // recovery re-pushes its change-logs later
+			}
 			sub := env.NewFuture()
 			c.Env.Spawn(srv.ID(), func(sp *env.Proc) {
 				srv.FlushAll(sp)
@@ -49,8 +65,21 @@ func (c *Cluster) Reconfigure(newServers int) *env.Future {
 			sub.Wait(p)
 		}
 
+		// Step 1b: drain in-flight aggregations. An aggregation completing
+		// after the remap would apply its collected change-log entries (and
+		// ack the contributing peers, who then trim) at a server that no
+		// longer owns the directory — losing the updates to an unreachable
+		// replica. Quiescing stops new aggregations; this waits out the ones
+		// already running (bounded: their fetch retries give up after
+		// maxAggRetries even if a peer stays down).
+		for i := 0; i < len(c.Servers); i++ {
+			for !c.Servers[i].Node().Down() && !c.Servers[i].AggsQuiescent() {
+				p.Sleep(100 * env.Microsecond)
+			}
+		}
+
 		// Step 2: remap the ring and the switch multicast domain.
-		old := c.Servers
+		old := len(c.Servers)
 		slots := make([]uint32, newServers)
 		peers := make([]env.NodeID, newServers)
 		for i := range slots {
@@ -64,7 +93,7 @@ func (c *Cluster) Reconfigure(newServers int) *env.Future {
 		c.Opts.Servers = newServers
 
 		// New servers join (their configs see the new ring).
-		for i := len(old); i < newServers; i++ {
+		for i := old; i < newServers; i++ {
 			w := wal.NewMem()
 			c.wals = append(c.wals, w)
 			cfg := serverConfigOf(c, i)
@@ -74,31 +103,34 @@ func (c *Cluster) Reconfigure(newServers int) *env.Future {
 			c.Servers = append(c.Servers, srv)
 		}
 		// Surviving servers must address the new peer set.
-		for i, srv := range old {
-			if i < newServers {
-				srv.SetPeers(peers)
-			}
+		for i := 0; i < old && i < newServers; i++ {
+			c.Servers[i].SetPeers(peers)
 		}
 
 		// Step 3: migrate metadata whose owner changed.
 		moved := 0
-		for i, srv := range old {
-			if i >= newServers {
-				// Removed server: everything it owns moves out.
-				moved += c.migrateFrom(srv)
-				srv.Crash()
-				continue
-			}
+		var removed []*server.Server
+		for i := 0; i < old; i++ {
+			srv := c.Servers[i]
 			moved += c.migrateFrom(srv)
+			if i >= newServers {
+				removed = append(removed, srv)
+			}
 		}
-		if len(old) > newServers {
+		if old > newServers {
 			c.Servers = c.Servers[:newServers]
 		}
+		for _, srv := range removed {
+			srv.Crash()
+		}
 
-		// Step 4: resume.
+		// Step 4: resume. The flag flips in the same event (no park between),
+		// so a concurrent recovery observes either reconfiguring-and-quiesce
+		// or the final serving state, never a half-resumed cluster.
 		for _, srv := range c.Servers {
 			srv.SetServing(true)
 		}
+		c.reconfiguring = false
 		_ = moved
 		fut.Complete(p.Now() - start)
 	})
@@ -137,6 +169,13 @@ func (c *Cluster) migrateFrom(srv *server.Server) int {
 		srv.KV().Delete(r.key.Encode())
 		moved++
 		if r.in.Type == core.TypeDir {
+			// The directory's exactly-once watermarks move with it: sources
+			// may re-push entries the old owner already applied (their acks
+			// were lost to a crash), and only the watermark lets the new
+			// owner deduplicate them.
+			for _, m := range srv.AppliedMarks(r.in.ID) {
+				dst.InjectAppliedMark(m.Src, r.in.ID, m.ID, true)
+			}
 			// The entry list lives with the directory inode.
 			prefix := core.EntryPrefix(r.in.ID)
 			type dent struct {

@@ -104,6 +104,17 @@ func (n *Node) Down() bool { return n.down }
 // SetHandler replaces the node's message handler (server restart).
 func (n *Node) SetHandler(h Handler) { n.h = h }
 
+// SetCores resizes the node's CPU resource in place (gray failure: core
+// degradation). Sections already computing finish on the old budget; the
+// new limit governs as their cores free up. A node registered with
+// unlimited cores (Cores == 0) stays unlimited.
+func (n *Node) SetCores(k int) {
+	if n.cores == nil || k <= 0 {
+		return
+	}
+	n.cores.SetLimit(k)
+}
+
 // Proc is a lightweight process: protocol code's execution context. Procs
 // are cooperatively scheduled under Sim (exactly one runs at a time) and are
 // plain goroutines under Real.

@@ -1,0 +1,194 @@
+package env
+
+import (
+	"testing"
+)
+
+// twoNodes registers a sender and a counting receiver and returns the
+// delivery recorder.
+func twoNodes(s *Sim) (src, dst NodeID, got *[]Time) {
+	src, dst = NodeID(1), NodeID(2)
+	times := &[]Time{}
+	s.AddNode(src, NodeConfig{})
+	s.AddNode(dst, NodeConfig{Handler: func(p *Proc, from NodeID, msg any) {
+		*times = append(*times, p.Now())
+	}})
+	return src, dst, times
+}
+
+func TestLinkRuleCut(t *testing.T) {
+	s := NewSim(1)
+	defer s.Shutdown()
+	src, dst, got := twoNodes(s)
+	s.Net().SetLink(src, dst, LinkRule{Cut: true})
+	s.Spawn(src, func(p *Proc) {
+		for i := 0; i < 5; i++ {
+			p.Send(dst, i)
+		}
+	})
+	s.Run()
+	if len(*got) != 0 {
+		t.Errorf("cut link delivered %d messages", len(*got))
+	}
+	if s.Dropped != 5 {
+		t.Errorf("Dropped=%d, want 5", s.Dropped)
+	}
+	// The reverse direction is unaffected (asymmetric by construction).
+	if r := s.Net().Link(dst, src); !r.IsZero() {
+		t.Errorf("reverse link has rule %+v", r)
+	}
+}
+
+func TestLinkRuleHeal(t *testing.T) {
+	s := NewSim(1)
+	defer s.Shutdown()
+	src, dst, got := twoNodes(s)
+	s.Net().SetLink(src, dst, LinkRule{Cut: true})
+	s.Net().SetLink(src, dst, LinkRule{}) // zero rule removes
+	if s.Net().LinkRules() != 0 {
+		t.Fatalf("LinkRules=%d after heal", s.Net().LinkRules())
+	}
+	s.Spawn(src, func(p *Proc) { p.Send(dst, "x") })
+	s.Run()
+	if len(*got) != 1 {
+		t.Errorf("healed link delivered %d messages, want 1", len(*got))
+	}
+}
+
+func TestLinkRuleDupAndDelay(t *testing.T) {
+	s := NewSim(3)
+	defer s.Shutdown()
+	src, dst, got := twoNodes(s)
+	s.Net().Jitter = 0
+	s.Net().SetLink(src, dst, LinkRule{Dup: 1.0, Delay: 10 * Microsecond})
+	s.Spawn(src, func(p *Proc) { p.Send(dst, "x") })
+	s.Run()
+	if len(*got) != 2 {
+		t.Fatalf("Dup=1.0 delivered %d copies, want 2", len(*got))
+	}
+	if (*got)[0] < 10*Microsecond+s.Net().Latency {
+		t.Errorf("first delivery at %d, want >= Delay+Latency", (*got)[0])
+	}
+}
+
+func TestLinkRuleDropProbabilistic(t *testing.T) {
+	s := NewSim(42)
+	defer s.Shutdown()
+	src, dst, got := twoNodes(s)
+	s.Net().SetLink(src, dst, LinkRule{Drop: 0.5})
+	s.Spawn(src, func(p *Proc) {
+		for i := 0; i < 200; i++ {
+			p.Send(dst, i)
+		}
+	})
+	s.Run()
+	if n := len(*got); n < 50 || n > 150 {
+		t.Errorf("Drop=0.5 delivered %d of 200", n)
+	}
+}
+
+func TestLinkRuleJitterReorders(t *testing.T) {
+	s := NewSim(11)
+	defer s.Shutdown()
+	src, dst := NodeID(1), NodeID(2)
+	var order []int
+	s.AddNode(src, NodeConfig{})
+	s.AddNode(dst, NodeConfig{Handler: func(p *Proc, from NodeID, msg any) {
+		order = append(order, msg.(int))
+	}})
+	s.Net().Jitter = 0
+	s.Net().SetLink(src, dst, LinkRule{Jitter: 20 * Microsecond})
+	s.Spawn(src, func(p *Proc) {
+		for i := 0; i < 40; i++ {
+			p.Send(dst, i)
+		}
+	})
+	s.Run()
+	if len(order) != 40 {
+		t.Fatalf("delivered %d, want 40", len(order))
+	}
+	inOrder := true
+	for i := 1; i < len(order); i++ {
+		if order[i] < order[i-1] {
+			inOrder = false
+			break
+		}
+	}
+	if inOrder {
+		t.Error("per-link jitter produced no reordering across 40 packets")
+	}
+}
+
+func TestLinkRulesDeterministic(t *testing.T) {
+	run := func() []Time {
+		s := NewSim(7)
+		defer s.Shutdown()
+		src, dst, got := twoNodes(s)
+		s.Net().SetLink(src, dst, LinkRule{Drop: 0.2, Dup: 0.2, Jitter: 5 * Microsecond})
+		s.Spawn(src, func(p *Proc) {
+			for i := 0; i < 100; i++ {
+				p.Send(dst, i)
+			}
+		})
+		s.Run()
+		return *got
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("runs delivered %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("delivery %d at t=%d vs t=%d", i, a[i], b[i])
+		}
+	}
+}
+
+// TestSetCoresShrinkGrow drives a node's core count down below the in-flight
+// compute level and back up, checking the over-commit deficit drains before
+// new capacity is honored.
+func TestSetCoresShrinkGrow(t *testing.T) {
+	s := NewSim(5)
+	defer s.Shutdown()
+	id := NodeID(9)
+	n := s.AddNode(id, NodeConfig{Cores: 4, Handler: nil})
+	doneAt := make([]Time, 0, 8)
+	for i := 0; i < 8; i++ {
+		s.Spawn(id, func(p *Proc) {
+			p.Compute(10 * Microsecond)
+			doneAt = append(doneAt, p.Now())
+		})
+	}
+	// Halve the cores while the first wave computes.
+	s.After(1*Microsecond, func() { n.SetCores(1) })
+	s.Run()
+	if len(doneAt) != 8 {
+		t.Fatalf("%d sections completed, want 8", len(doneAt))
+	}
+	// 4 sections finish at 10µs on the original cores; the rest serialize on
+	// the single remaining core: 20, 30, 40, 50µs.
+	if doneAt[3] != 10*Microsecond {
+		t.Errorf("first wave finished at %d", doneAt[3])
+	}
+	if doneAt[7] != 50*Microsecond {
+		t.Errorf("last serialized section finished at %dµs, want 50", doneAt[7]/Microsecond)
+	}
+
+	// Restore capacity: a fresh wave overlaps again.
+	n.SetCores(4)
+	start := s.Now()
+	cnt := 0
+	for i := 0; i < 4; i++ {
+		s.Spawn(id, func(p *Proc) {
+			p.Compute(10 * Microsecond)
+			cnt++
+		})
+	}
+	s.Run()
+	if cnt != 4 {
+		t.Fatalf("second wave: %d done", cnt)
+	}
+	if got := s.Now() - start; got != 10*Microsecond {
+		t.Errorf("restored cores took %dµs for 4 parallel sections, want 10", got/Microsecond)
+	}
+}

@@ -234,12 +234,34 @@ func (c *Cond) Signal() {
 type Semaphore struct {
 	mu    sync.Mutex
 	avail int
+	limit int
 	q     []*Proc
 	head  int
 }
 
 // NewSemaphore returns a semaphore with n permits.
-func NewSemaphore(n int) *Semaphore { return &Semaphore{avail: n} }
+func NewSemaphore(n int) *Semaphore { return &Semaphore{avail: n, limit: n} }
+
+// SetLimit resizes the permit count to n (gray failures: a degraded node
+// loses cores mid-run, then gets them back). Shrinking below the number of
+// permits currently held drives avail negative; subsequent Releases are
+// absorbed until the deficit clears. Growing wakes queued waiters.
+func (s *Semaphore) SetLimit(n int) {
+	s.mu.Lock()
+	s.avail += n - s.limit
+	s.limit = n
+	var wake []*Proc
+	for s.avail > 0 && len(s.q) > s.head {
+		var w *Proc
+		w, s.q, s.head = popWaiter(s.q, s.head)
+		wake = append(wake, w)
+		s.avail--
+	}
+	s.mu.Unlock()
+	for _, w := range wake {
+		w.env.unpark(w)
+	}
+}
 
 // Acquire takes one permit, blocking FIFO.
 func (s *Semaphore) Acquire(p *Proc) {
@@ -254,10 +276,12 @@ func (s *Semaphore) Acquire(p *Proc) {
 	p.park()
 }
 
-// Release returns one permit, handing it to the head waiter if any.
+// Release returns one permit, handing it to the head waiter if any. While a
+// SetLimit shrink is over-committed (avail < 0) the permit is absorbed to pay
+// the deficit down instead of being handed off.
 func (s *Semaphore) Release() {
 	s.mu.Lock()
-	if len(s.q) > s.head {
+	if s.avail >= 0 && len(s.q) > s.head {
 		var w *Proc
 		w, s.q, s.head = popWaiter(s.q, s.head)
 		s.mu.Unlock()

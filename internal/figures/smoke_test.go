@@ -38,3 +38,34 @@ func TestSmokeThroughput(t *testing.T) {
 			results[sysSwitchFS], results[sysCFS])
 	}
 }
+
+// TestFigChaosShape runs the chaos figure at a reduced scale: one row per
+// (plan, window), availability cells parseable, counters aligned — and, by
+// virtue of FigChaosSeed panicking on checker violations, a full invariant
+// pass over every built-in fault plan.
+func TestFigChaosShape(t *testing.T) {
+	sc := Scale{Dirs: 8, FilesPerDir: 8, Workers: 32, OpsPerWorker: 10,
+		ServerCounts: []int{4}, CoreCounts: []int{2}, BurstSizes: []int{10}}
+	tab := FigChaos(sc)
+	if tab.ID != "chaos" {
+		t.Fatalf("id=%q", tab.ID)
+	}
+	if len(tab.Rows) == 0 || len(tab.Rows)%8 != 0 {
+		t.Fatalf("%d rows, want a multiple of 8 windows", len(tab.Rows))
+	}
+	if len(tab.Meta) != len(tab.Rows) {
+		t.Fatalf("%d counter rows for %d rows", len(tab.Meta), len(tab.Rows))
+	}
+	totalOps := uint64(0)
+	for _, c := range tab.Meta {
+		totalOps += c.Ops
+	}
+	if totalOps == 0 {
+		t.Fatal("chaos harness completed no operations")
+	}
+	for _, row := range tab.Rows {
+		if len(row) != len(tab.Header) {
+			t.Fatalf("ragged row %v", row)
+		}
+	}
+}

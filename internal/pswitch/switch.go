@@ -44,6 +44,9 @@ type Switch struct {
 	cfg   Config
 	pipes []*DirtySet
 	Stats Stats
+	// extraDelay is added to every dirty-set pipeline traversal — the gray
+	// failure of a congested or degraded switch pipe (fault injection).
+	extraDelay env.Duration
 }
 
 // New builds a switch.
@@ -63,6 +66,13 @@ func New(id env.NodeID, cfg Config) *Switch {
 func (s *Switch) SetServers(ids []env.NodeID) {
 	s.cfg.Servers = append([]env.NodeID(nil), ids...)
 }
+
+// SetExtraDelay adds d to every dirty-set pipeline traversal (gray failure:
+// a slowed pipe). Zero restores nominal speed.
+func (s *Switch) SetExtraDelay(d env.Duration) { s.extraDelay = d }
+
+// ExtraDelay reports the current gray-failure slowdown.
+func (s *Switch) ExtraDelay() env.Duration { return s.extraDelay }
 
 // ForceOverflow makes every insert fail on all pipes (§7.3.2).
 func (s *Switch) ForceOverflow(v bool) {
@@ -111,7 +121,7 @@ func (s *Switch) Handler(p *env.Proc, from env.NodeID, msg any) {
 		p.Send(pkt.Dst, pkt)
 		return
 	}
-	p.Sleep(s.cfg.PipeDelay)
+	p.Sleep(s.cfg.PipeDelay + s.extraDelay)
 	ds := s.pipeOf(pkt.DS.FP)
 	if len(s.pipes) > 1 && s.cfg.MirrorDelay > 0 {
 		// Cross-pipe access mirrors the packet to the owning pipe (§6.2).

@@ -42,8 +42,12 @@ type peerAggState struct {
 
 // aggregateFP aggregates every directory of a fingerprint group: remove the
 // fingerprint from the dirty set, collect all pending change-log entries from
-// every server, apply them to the inodes, and acknowledge (§5.2.2).
-func (s *Server) aggregateFP(p *env.Proc, fp core.Fingerprint, opts *aggOpts) {
+// every server, apply them to the inodes, and acknowledge (§5.2.2). It
+// reports whether the aggregation was complete — false when a peer stayed
+// unreachable past the retry budget, in which case the state visible now
+// may miss that peer's acknowledged entries and readers must not treat it
+// as covering their arrival time.
+func (s *Server) aggregateFP(p *env.Proc, fp core.Fingerprint, opts *aggOpts) bool {
 	if opts == nil {
 		opts = &aggOpts{}
 	}
@@ -65,7 +69,7 @@ func (s *Server) aggregateFP(p *env.Proc, fp core.Fingerprint, opts *aggOpts) {
 		if !opts.force && st.lastStart >= arrived {
 			// A fresh-enough aggregation completed while we waited.
 			st.mu.Unlock()
-			return
+			return true
 		}
 		st.aggActive = true
 		st.lastStart = p.Now()
@@ -73,15 +77,40 @@ func (s *Server) aggregateFP(p *env.Proc, fp core.Fingerprint, opts *aggOpts) {
 	}
 	st.mu.Unlock()
 
-	s.runAggregation(p, fp, opts)
+	complete := s.runAggregation(p, fp, opts)
 
 	st.mu.Lock(p)
+	if !complete {
+		// An incomplete aggregation (a peer stayed down) covers nobody:
+		// waiters must run their own instead of taking this one as fresh.
+		st.lastStart = 0
+	}
+	st.lastIncomplete = !complete
 	st.aggActive = false
 	st.cond.Broadcast()
 	st.mu.Unlock()
+	return complete
 }
 
-func (s *Server) runAggregation(p *env.Proc, fp core.Fingerprint, opts *aggOpts) {
+// waitAggIdle blocks until no aggregation for the fingerprint group is in
+// flight on this server. Directory reads whose dirty-set query returned
+// "normal" use it: the fingerprint may be absent precisely because an
+// in-flight aggregation removed it and has not applied its entries yet. It
+// returns false when the most recent aggregation ended incomplete (a peer
+// stayed unreachable) — the state now visible may miss acknowledged
+// entries, and the read must retry rather than serve it.
+func (s *Server) waitAggIdle(p *env.Proc, fp core.Fingerprint) bool {
+	st := s.fpOf(fp)
+	st.mu.Lock(p)
+	for st.aggActive {
+		st.cond.Wait(p, &st.mu)
+	}
+	ok := !st.lastIncomplete
+	st.mu.Unlock()
+	return ok
+}
+
+func (s *Server) runAggregation(p *env.Proc, fp core.Fingerprint, opts *aggOpts) bool {
 	s.Stats.Aggregations++
 	s.mu.Lock()
 	s.nextAgg++
@@ -130,11 +159,19 @@ func (s *Server) runAggregation(p *env.Proc, fp core.Fingerprint, opts *aggOpts)
 	if len(ctx.expect) == 0 {
 		ctx.done.Complete(nil)
 	}
+	complete := true
+	// One remove sequence number per aggregation: a RETRANSMITTED remove must
+	// look stale to the switch's sequence guard (§5.4.1) so it cannot erase
+	// fingerprints inserted after the aggregation began — the guard rejects
+	// it while the piggybacked fetch still re-multicasts. Allocating a fresh
+	// seq per retry used to wipe newer inserts, leaving their change-log
+	// entries pending behind a "normal" directory until a proactive timer
+	// healed the staleness (caught by the chaos checker).
+	s.mu.Lock()
+	s.nextRemove++
+	seq := s.nextRemove
+	s.mu.Unlock()
 	for {
-		s.mu.Lock()
-		s.nextRemove++
-		seq := s.nextRemove
-		s.mu.Unlock()
 		if s.cfg.Tracker == TrackerOwner {
 			for peer := range ctx.expect {
 				s.reply(p, peer, fetch)
@@ -153,9 +190,27 @@ func (s *Server) runAggregation(p *env.Proc, fp core.Fingerprint, opts *aggOpts)
 		}
 		ctx.retries++
 		s.Stats.Retries++
+		if s.dead {
+			// Fail-stopped mid-aggregation: abandon without applying or
+			// acking. Peers time out, release their locks and KEEP their
+			// entries, which re-surface through this server's recovery or
+			// the next aggregation — applying them to this dead
+			// incarnation's store (and letting peers trim) would lose them.
+			s.mu.Lock()
+			delete(s.aggs, id)
+			if s.aggByFP[fp] == ctx {
+				delete(s.aggByFP, fp)
+			}
+			s.mu.Unlock()
+			return false
+		}
 		if ctx.retries >= maxAggRetries {
-			// Proceed with what we have; a dead peer's entries re-surface
-			// via its recovery.
+			// Proceed with what we have so responsive peers can trim, but
+			// report the aggregation incomplete: the unreachable peer's
+			// acknowledged entries re-surface only via its recovery, and
+			// until then the group must read as dirty again (below) so no
+			// read mistakes the partial state for the full directory.
+			complete = false
 			s.mu.Lock()
 			for peer := range ctx.expect {
 				delete(ctx.expect, peer)
@@ -175,6 +230,9 @@ func (s *Server) runAggregation(p *env.Proc, fp core.Fingerprint, opts *aggOpts)
 		delete(s.aggByFP, fp)
 	}
 	s.mu.Unlock()
+	if s.dead {
+		return false // fail-stopped: do not apply to this incarnation or ack peers
+	}
 
 	type srcLog struct {
 		src env.NodeID
@@ -243,6 +301,40 @@ func (s *Server) runAggregation(p *env.Proc, fp core.Fingerprint, opts *aggOpts)
 		dl.qmu.Unlock()
 		dl.lock.Unlock()
 	}
+
+	if !complete {
+		// Mark the group dirty again: the remove above erased the
+		// fingerprint, but the unreachable peer may hold acknowledged
+		// entries this aggregation never collected. Reads must keep
+		// treating the group as scattered (and re-aggregating) until that
+		// peer's recovery re-delivers them — serving "normal" state now
+		// would silently drop acknowledged writes from view.
+		s.markDirty(p, fp)
+	}
+	return complete
+}
+
+// markDirty (re-)inserts a fingerprint group's dirty marker so reads
+// aggregate. Called whenever acknowledged change-log entries remain pending
+// behind a possibly-normal fingerprint: an aggregation that gave up on an
+// unreachable peer, or a push whose target owner stayed unreachable — in
+// both cases a "normal" read would silently miss the pending entries.
+func (s *Server) markDirty(p *env.Proc, fp core.Fingerprint) {
+	if s.dead {
+		return
+	}
+	if s.cfg.Tracker == TrackerOwner {
+		s.mu.Lock()
+		s.ownerDirty[fp] = true
+		s.mu.Unlock()
+		return
+	}
+	sw := s.cfg.SwitchFor(fp)
+	p.Send(sw, &wire.Packet{
+		DS:     &wire.DSHeader{Op: wire.DSInsert, FP: fp, AltDst: s.ownerOfFP(fp)},
+		Dst:    sw,
+		Origin: s.cfg.ID,
+	})
 }
 
 // completedAggCache bounds the re-ack cache.
@@ -587,14 +679,25 @@ func (s *Server) pushLog(p *env.Proc, dl *dirLog, snap []core.LogEntry) {
 	}
 	s.pushWait[dl.ref.ID] = fut
 	s.mu.Unlock()
+	acked := false
 	for try := 0; try < 8; try++ {
+		if s.dead {
+			break // recovery re-pushes from the WAL-rebuilt log
+		}
 		s.reply(p, owner, msg)
 		if v, ok := fut.WaitTimeout(p, s.cfg.RetryTimeout); ok {
 			ack := v.(*wire.ChangePushAck)
 			s.ackEntries(dl, ack.MaxID)
+			acked = true
 			break
 		}
 		s.Stats.Retries++
+	}
+	if !acked {
+		// The owner stayed unreachable: the entries remain pending here,
+		// possibly behind a normal fingerprint. Keep the group scattered so
+		// reads aggregate (and collect them) instead of serving stale state.
+		s.markDirty(p, dl.ref.FP)
 	}
 	s.mu.Lock()
 	if s.pushWait[dl.ref.ID] == fut {
@@ -685,6 +788,14 @@ func (s *Server) doRmdir(p *env.Proc, req *wire.MutateReq) {
 	parentLog := s.clogOf(req.Parent)
 
 	p.Compute(c.LockOp)
+	if err := s.checkOwnership(key.Fingerprint()); err != nil {
+		// Routed here under a stale ring (reconfiguration in flight): the
+		// record may live on the new owner — retry, don't report ENOENT.
+		resp := &wire.MutateResp{RespCommon: s.respCommon(&req.ReqCommon, err)}
+		s.remember(req.Client, req.RPC, resp)
+		s.reply(p, req.Client, resp)
+		return
+	}
 	// Pre-check existence and type without locks to learn the target id.
 	p.Compute(c.KVGet)
 	raw, ok := s.kv.GetView(key.Encode())
@@ -709,7 +820,14 @@ func (s *Server) doRmdir(p *env.Proc, req *wire.MutateReq) {
 	// lock first could deadlock against a concurrent aggregation's apply
 	// phase, which needs that lock.
 	s.addInval(target.ID)
-	s.aggregateFP(p, target.FP, &aggOpts{rmdir: true, dir: target.ID, force: true})
+	if !s.aggregateFP(p, target.FP, &aggOpts{rmdir: true, dir: target.ID, force: true}) {
+		// Emptiness cannot be decided against state that may be missing an
+		// unreachable peer's acknowledged entries.
+		resp := &wire.MutateResp{RespCommon: s.respCommon(&req.ReqCommon, core.ErrRetry)}
+		s.remember(req.Client, req.RPC, resp)
+		s.reply(p, req.Client, resp)
+		return
+	}
 
 	parentLog.lock.RLock(p)
 	kl := s.lockOf(key)
@@ -760,9 +878,12 @@ func (s *Server) doRmdir(p *env.Proc, req *wire.MutateReq) {
 	parentLog.walLSN[entry.ID] = lsn
 	parentLog.qmu.Unlock()
 
+	// As in doMutate, the dedup cache learns the response only after the
+	// commit ack — replaying it earlier would acknowledge the rmdir before
+	// its dirty-set insert is visible to reads.
 	resp := &wire.MutateResp{RespCommon: s.respCommon(&req.ReqCommon, nil)}
-	s.remember(req.Client, req.RPC, resp)
 	s.asyncCommit(p, req.Parent, parentLog, entry, resp, req.Client)
+	s.remember(req.Client, req.RPC, resp)
 	kl.Unlock()
 	parentLog.lock.RUnlock()
 	s.resetIdleTimer(parentLog)

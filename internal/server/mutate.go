@@ -47,8 +47,13 @@ func (s *Server) doMutate(p *env.Proc, req *wire.MutateReq) {
 		s.reply(p, req.Client, resp)
 	}
 
-	// Checking (step 3): stale-cache validation and existence.
+	// Checking (step 3): stale-cache validation, stale-ring routing, and
+	// existence.
 	if err := s.checkAncestors(&req.ReqCommon); err != nil {
+		fail(err)
+		return
+	}
+	if err := s.checkOwnership(key.Fingerprint()); err != nil {
 		fail(err)
 		return
 	}
@@ -144,10 +149,16 @@ func (s *Server) doMutate(p *env.Proc, req *wire.MutateReq) {
 	pending := parentLog.log.Len()
 	parentLog.qmu.Unlock()
 
-	// Dirty-set update and completion (steps 6–7).
+	// Dirty-set update and completion (steps 6–7). The response is cached
+	// for retransmission replay only AFTER the commit ack: the client's copy
+	// travels via the switch multicast at insert time, and replaying it any
+	// earlier would acknowledge a write whose fingerprint is not yet in the
+	// dirty set — a read racing the (fault-stretched) insert window would
+	// then miss an acknowledged update. Until then begin()'s in-progress
+	// marker silently drops duplicates.
 	resp := &wire.MutateResp{RespCommon: s.respCommon(&req.ReqCommon, nil), Dir: newDir}
-	s.remember(req.Client, req.RPC, resp)
 	s.asyncCommit(p, req.Parent, parentLog, entry, resp, req.Client)
+	s.remember(req.Client, req.RPC, resp)
 
 	// Unlocking happens when the switch (or the fallback owner) acks.
 	kl.Unlock()
@@ -206,6 +217,9 @@ func (s *Server) asyncCommit(p *env.Proc, parent core.DirRef, parentLog *dirLog,
 		}
 	}
 	for {
+		if s.dead {
+			return // fail-stopped: this incarnation retries no further
+		}
 		p.Send(dst, pkt)
 		v, ok := ctx.done.WaitTimeout(p, s.cfg.RetryTimeout)
 		if ok {
@@ -245,7 +259,6 @@ func (s *Server) syncCommit(p *env.Proc, req *wire.MutateReq, parentLog *dirLog,
 	s.mu.Unlock()
 
 	resp := &wire.MutateResp{RespCommon: s.respCommon(&req.ReqCommon, nil), Dir: newDir}
-	s.remember(req.Client, req.RPC, resp)
 	notice := &wire.CommitNotice{
 		Resp:     resp,
 		Client:   req.Client,
@@ -265,6 +278,9 @@ func (s *Server) syncCommit(p *env.Proc, req *wire.MutateReq, parentLog *dirLog,
 	s.mu.Lock()
 	delete(s.commits, ctx.id)
 	s.mu.Unlock()
+	// Cache the response for retransmission replay only now that the remote
+	// apply is acknowledged (the parent's owner also sent the client's copy).
+	s.remember(req.Client, req.RPC, resp)
 	s.Stats.SyncCommits++
 	mustMark(s.wal, lsn)
 	kl.Unlock()

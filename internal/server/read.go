@@ -17,6 +17,9 @@ func (s *Server) handleLookup(p *env.Proc, req *wire.LookupReq) {
 	resp := &wire.LookupResp{}
 	err := s.checkAncestors(&req.ReqCommon)
 	if err == nil {
+		err = s.checkOwnership(key.Fingerprint())
+	}
+	if err == nil {
 		l := s.lockOf(key)
 		l.RLock(p)
 		p.Compute(c.KVGet)
@@ -47,6 +50,9 @@ func (s *Server) handleFile(p *env.Proc, req *wire.FileReq) {
 	key := core.Key{PID: req.Parent.ID, Name: req.Name}
 	resp := &wire.FileResp{}
 	err := s.checkAncestors(&req.ReqCommon)
+	if err == nil {
+		err = s.checkOwnership(key.Fingerprint())
+	}
 	if err == nil {
 		l := s.lockOf(key)
 		write := req.Op == core.OpChmod
@@ -98,6 +104,9 @@ func (s *Server) handleDirRead(p *env.Proc, pkt *wire.Packet, req *wire.DirReadR
 	resp := &wire.DirReadResp{}
 	err := s.checkAncestors(&req.ReqCommon)
 	if err == nil {
+		err = s.checkOwnership(req.Dir.FP)
+	}
+	if err == nil {
 		scattered := false
 		switch s.cfg.Tracker {
 		case TrackerOwner:
@@ -109,36 +118,53 @@ func (s *Server) handleDirRead(p *env.Proc, pkt *wire.Packet, req *wire.DirReadR
 		}
 		if scattered {
 			// Aggregation blocks directory reads of the whole fingerprint
-			// group until the deferred updates are applied.
-			s.aggregateFP(p, req.Dir.FP, nil)
-		}
-		l := s.lockOf(req.Dir.Key)
-		l.RLock(p)
-		p.Compute(c.KVGet)
-		raw, ok := s.kv.GetView(req.Dir.Key.Encode())
-		if !ok {
-			err = core.ErrNotExist
-		} else if in, derr := core.DecodeInode(raw); derr != nil {
-			err = core.ErrInvalid
-		} else if in.Type != core.TypeDir {
-			err = core.ErrNotDir
-		} else {
-			resp.Attr = in.Attr
-			if req.Op == core.OpReadDir {
-				prefix := core.EntryPrefix(in.ID)
-				n := 0
-				s.kv.Scan(prefix, func(k, v []byte) bool {
-					name := string(k[len(prefix):])
-					if de, e := core.DecodeDirEntry(name, v); e == nil {
-						resp.Entries = append(resp.Entries, de)
-					}
-					n++
-					return true
-				})
-				p.Compute(env.Duration(n) * c.KVScanEntry)
+			// group until the deferred updates are applied. An incomplete
+			// aggregation (a peer stayed down past the retry budget) may
+			// miss that peer's acknowledged entries — the read must retry
+			// rather than serve the partial state as the directory.
+			if !s.aggregateFP(p, req.Dir.FP, nil) {
+				err = core.ErrRetry
 			}
+		} else if !s.waitAggIdle(p, req.Dir.FP) {
+			// A "normal" query can also mean an aggregation is mid-flight:
+			// its dirty-set remove already fired but the collected entries
+			// are not applied yet. That window is sub-RTT in the fault-free
+			// case, but a crashed peer stretches it to that peer's recovery
+			// time — serving immediately would return the pre-aggregation
+			// state long after newer updates were acknowledged. Wait for the
+			// in-flight aggregation (if any) to apply; if it gave up on an
+			// unreachable peer, its partial state cannot be served either.
+			err = core.ErrRetry
 		}
-		l.RUnlock()
+		if err == nil {
+			l := s.lockOf(req.Dir.Key)
+			l.RLock(p)
+			p.Compute(c.KVGet)
+			raw, ok := s.kv.GetView(req.Dir.Key.Encode())
+			if !ok {
+				err = core.ErrNotExist
+			} else if in, derr := core.DecodeInode(raw); derr != nil {
+				err = core.ErrInvalid
+			} else if in.Type != core.TypeDir {
+				err = core.ErrNotDir
+			} else {
+				resp.Attr = in.Attr
+				if req.Op == core.OpReadDir {
+					prefix := core.EntryPrefix(in.ID)
+					n := 0
+					s.kv.Scan(prefix, func(k, v []byte) bool {
+						name := string(k[len(prefix):])
+						if de, e := core.DecodeDirEntry(name, v); e == nil {
+							resp.Entries = append(resp.Entries, de)
+						}
+						n++
+						return true
+					})
+					p.Compute(env.Duration(n) * c.KVScanEntry)
+				}
+			}
+			l.RUnlock()
+		}
 	}
 	resp.RespCommon = s.respCommon(&req.ReqCommon, err)
 	s.reply(p, req.Client, resp)

@@ -3,6 +3,7 @@ package server
 import (
 	"encoding/binary"
 	"fmt"
+	"sort"
 
 	"switchfs/internal/core"
 	"switchfs/internal/env"
@@ -15,6 +16,10 @@ import (
 const (
 	recDentry      uint8 = 5 // put/delete one dentry
 	recDelDentries uint8 = 6 // drop a directory's whole entry list
+	// recMark persists an exactly-once watermark transferred with a
+	// migrated directory (§5.5): without it, a source re-pushing entries
+	// already applied at the previous owner would double-apply them here.
+	recMark uint8 = 7
 )
 
 func encodeDentryRec(dir core.DirID, name string, put bool, t core.FileType, perm core.Perm) []byte {
@@ -33,9 +38,13 @@ func encodeDentryRec(dir core.DirID, name string, put bool, t core.FileType, per
 
 // Crash simulates a fail-stop: the node drops off the network and all
 // volatile state is lost. The WAL (stable storage) survives and is reused by
-// Restart.
+// Restart. The dead flag terminates this incarnation's unbounded retry
+// loops — after Restart re-registers the node id, a retransmission from the
+// old incarnation would otherwise spin forever against a successor that no
+// longer holds its contexts.
 func (s *Server) Crash() {
 	s.serving = false
+	s.dead = true
 	s.node.SetDown(true)
 }
 
@@ -53,6 +62,8 @@ func Restart(e env.Env, cfg Config, log wal.Log) *Server {
 // (3) clone the invalidation list from a peer, then resume serving.
 func (s *Server) Recover(p *env.Proc) error {
 	s.serving = false
+	s.recovering = true
+	defer func() { s.recovering = false }()
 	s.node.SetDown(false)
 
 	n := s.wal.Len()
@@ -173,6 +184,13 @@ func (s *Server) replayWAL() error {
 			} else {
 				s.kv.Delete(dk)
 			}
+		case recMark:
+			src := env.NodeID(binary.BigEndian.Uint64(r.Payload))
+			dir := core.DirIDFromBytes(r.Payload[8:])
+			id := binary.BigEndian.Uint64(r.Payload[40:])
+			if s.applied[appliedKey{src: src, dir: dir}] < id {
+				s.applied[appliedKey{src: src, dir: dir}] = id
+			}
 		case recDelDentries:
 			dir := core.DirIDFromBytes(r.Payload)
 			prefix := core.EntryPrefix(dir)
@@ -256,14 +274,25 @@ func (s *Server) pushLogFinal(p *env.Proc, dl *dirLog, snap []core.LogEntry) {
 	s.mu.Lock()
 	s.pushWait[dl.ref.ID] = fut
 	s.mu.Unlock()
+	acked := false
 	for try := 0; try < maxAggRetries; try++ {
+		if s.dead {
+			break // a later recovery rebuilds and re-pushes this log
+		}
 		s.reply(p, owner, msg)
 		if v, ok := fut.WaitTimeout(p, s.cfg.RetryTimeout); ok {
 			ack := v.(*wire.ChangePushAck)
 			s.ackEntries(dl, ack.MaxID)
+			acked = true
 			break
 		}
 		s.Stats.Retries++
+	}
+	if !acked {
+		// The owner stayed unreachable: the entries stay pending here. Mark
+		// the group dirty so reads aggregate them instead of trusting a
+		// normal fingerprint that a dead owner's aggregation removed.
+		s.markDirty(p, dl.ref.FP)
 	}
 	s.mu.Lock()
 	delete(s.pushWait, dl.ref.ID)
@@ -325,6 +354,61 @@ func (s *Server) InjectDentry(dir core.DirID, e core.DirEntry, log bool) {
 	dk := append(core.EntryPrefix(dir), e.Name...)
 	s.kv.Put(dk, core.EncodeDirEntry(e))
 }
+
+// AppliedMarks returns dir's per-source exactly-once watermarks, sorted by
+// source id (directory migration).
+func (s *Server) AppliedMarks(dir core.DirID) []AppliedMark {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []AppliedMark
+	for k, v := range s.applied {
+		if k.dir == dir {
+			out = append(out, AppliedMark{Src: k.src, ID: v})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Src < out[j].Src })
+	return out
+}
+
+// AppliedMark is one (source, high-watermark) pair of a directory.
+type AppliedMark struct {
+	Src env.NodeID
+	ID  uint64
+}
+
+// InjectAppliedMark installs a watermark transferred with a migrated
+// directory, WAL-backed so it survives this server's later crashes. Entries
+// a source re-pushes because the previous owner's ack was lost stay
+// deduplicated at this owner.
+func (s *Server) InjectAppliedMark(src env.NodeID, dir core.DirID, id uint64, log bool) {
+	if log {
+		b := u64(nil, uint64(src))
+		b = dir.AppendBinary(b)
+		b = u64(b, id)
+		mustAppend(s.wal, recMark, b)
+	}
+	s.setAppliedMark(src, dir, id)
+}
+
+// AggsQuiescent reports that no aggregation is in flight on this server,
+// neither as owner (aggs) nor as a peer holding change-log locks for one
+// (peerAggs), and that no §5.4.2 recovery is mid-run (recovery issues a
+// sequence of pushes and forced aggregations that must complete under one
+// ring). Reconfiguration must drain both before remapping: an aggregation
+// completing across the remap would apply collected entries — and let
+// peers trim them — at a server that no longer owns the directory.
+func (s *Server) AggsQuiescent() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return !s.recovering && len(s.aggs) == 0 && len(s.peerAggs) == 0
+}
+
+// SetCores resizes the server's usable core count in place (gray failure:
+// core degradation). Restores with the configured count.
+func (s *Server) SetCores(k int) { s.node.SetCores(k) }
+
+// Cores reports the configured (healthy) core count.
+func (s *Server) Cores() int { return s.cfg.Cores }
 
 // Serving reports whether the server accepts normal requests.
 func (s *Server) Serving() bool { return s.serving }

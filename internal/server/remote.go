@@ -108,21 +108,32 @@ func (s *Server) handleScanDir(p *env.Proc, req *wire.ScanDirReq) {
 	s.reply(p, req.From, resp)
 }
 
-// remoteAggregate makes fp's owner aggregate the group now.
+// remoteAggregate makes fp's owner aggregate the group now. An incomplete
+// aggregation (unreachable peer) surfaces as ErrRetry: the caller's
+// transaction must not serialize against state that may be missing
+// acknowledged updates.
 func (s *Server) remoteAggregate(p *env.Proc, owner env.NodeID, fp core.Fingerprint) error {
 	if owner == s.cfg.ID {
-		s.aggregateFP(p, fp, nil) // the arrived-time rule gives freshness
+		if !s.aggregateFP(p, fp, nil) { // the arrived-time rule gives freshness
+			return core.ErrRetry
+		}
 		return nil
 	}
-	_, err := s.ctlCall(p, owner, func(ctl uint64) wire.Msg {
+	v, err := s.ctlCall(p, owner, func(ctl uint64) wire.Msg {
 		return &wire.AggNowReq{Ctl: ctl, From: s.cfg.ID, FP: fp}
 	})
-	return err
+	if err != nil {
+		return err
+	}
+	if v.(*wire.AggNowResp).Incomplete {
+		return core.ErrRetry
+	}
+	return nil
 }
 
 func (s *Server) handleAggNow(p *env.Proc, req *wire.AggNowReq) {
-	s.aggregateFP(p, req.FP, nil)
-	s.reply(p, req.From, &wire.AggNowResp{Ctl: req.Ctl})
+	complete := s.aggregateFP(p, req.FP, nil)
+	s.reply(p, req.From, &wire.AggNowResp{Ctl: req.Ctl, Incomplete: !complete})
 }
 
 // broadcastInval plants directories in every peer's invalidation list and

@@ -121,8 +121,12 @@ type fpState struct {
 	// lastStart is the virtual time the most recent aggregation started
 	// (its remove was issued at or after this instant).
 	lastStart env.Time
-	cond      env.Cond
-	mu        env.Mutex
+	// lastIncomplete records that the most recent aggregation gave up on an
+	// unreachable peer: the applied state may miss acknowledged entries, so
+	// reads must not serve it as the directory.
+	lastIncomplete bool
+	cond           env.Cond
+	mu             env.Mutex
 }
 
 // commitCtx is a double-inode operation waiting for its switch leg.
@@ -220,6 +224,12 @@ type Server struct {
 	ctlWait map[uint64]*env.Future
 
 	serving bool
+	// dead marks a fail-stopped incarnation: its processes must unwind
+	// instead of retrying into a restarted successor.
+	dead bool
+	// recovering marks §5.4.2 recovery in progress — its re-pushes and
+	// forced aggregations must not cross a reconfiguration's ring remap.
+	recovering bool
 
 	Stats Stats
 }
@@ -280,6 +290,20 @@ func New(e env.Env, cfg Config) *Server {
 	if s.wal == nil {
 		s.wal = wal.NewMem()
 	}
+	// Seed every per-origin protocol counter from the virtual clock: a
+	// restarted incarnation must never reuse its predecessor's identifier
+	// space. Reused dirty-set remove sequence numbers would be rejected by
+	// the switch's §5.4.1 staleness guard (or, worse, a later reuse would
+	// pass it and erase live fingerprints), and reused aggregation/commit/
+	// control ids would collide with the dead incarnation's still-pending
+	// protocol state at peers. Time is the model's stand-in for the paper's
+	// persisted epoch; one tick always separates crash from restart.
+	base := uint64(e.Now())
+	s.nextCommit = base
+	s.nextAgg = base
+	s.nextRemove = base
+	s.nextCtl = base
+	s.nextTxn = base
 	s.node = e.AddNode(cfg.ID, env.NodeConfig{Cores: cfg.Cores, Handler: s.handle})
 	s.bootstrapRoot()
 	return s
@@ -313,6 +337,17 @@ func (s *Server) Node() *env.Node { return s.node }
 // ownerOfFP maps a fingerprint to the owning server's NodeID.
 func (s *Server) ownerOfFP(fp core.Fingerprint) env.NodeID {
 	return s.cfg.ServerOf(s.cfg.Placement.OwnerOfFingerprint(fp))
+}
+
+// checkOwnership rejects a client request routed here under a stale ring —
+// a reconfiguration remapped the slot (and migrated its records away) while
+// the request was in flight. ErrRetry makes the client re-resolve against
+// the current ring, the model's stand-in for the paper's epoch check (§5.5).
+func (s *Server) checkOwnership(fp core.Fingerprint) error {
+	if s.ownerOfFP(fp) != s.cfg.ID {
+		return core.ErrRetry
+	}
+	return nil
 }
 
 // ownerOfKey maps an object key to its owner.
@@ -465,6 +500,9 @@ func (s *Server) ctlCall(p *env.Proc, to env.NodeID, build func(ctl uint64) wire
 	}()
 	msg := build(ctl)
 	for try := 0; try < maxAggRetries; try++ {
+		if s.dead {
+			break
+		}
 		s.reply(p, to, msg)
 		if v, ok := fut.WaitTimeout(p, s.cfg.RetryTimeout); ok {
 			return v.(wire.Msg), nil
@@ -474,8 +512,14 @@ func (s *Server) ctlCall(p *env.Proc, to env.NodeID, build func(ctl uint64) wire
 	return nil, core.ErrTimeout
 }
 
-// reply sends a response packet straight to the client (L2 path).
+// reply sends a response packet straight to the client (L2 path). A dead
+// incarnation sends nothing: its processes may still be unwinding after a
+// fail-stop, and once a restarted successor re-registers the node id their
+// stale replies would otherwise reach the network again.
 func (s *Server) reply(p *env.Proc, to env.NodeID, body wire.Msg) {
+	if s.dead {
+		return
+	}
 	p.Send(to, &wire.Packet{Dst: to, Origin: s.cfg.ID, Body: body})
 }
 

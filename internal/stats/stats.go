@@ -31,6 +31,17 @@ func (c *Counters) Add(o Counters) {
 	c.PacketsDropped += o.PacketsDropped
 }
 
+// Sub returns c - o component-wise: the delta between two cumulative
+// snapshots (timeline windows bucket a run's counters this way).
+func (c Counters) Sub(o Counters) Counters {
+	return Counters{
+		Ops:              c.Ops - o.Ops,
+		Errs:             c.Errs - o.Errs,
+		PacketsDelivered: c.PacketsDelivered - o.PacketsDelivered,
+		PacketsDropped:   c.PacketsDropped - o.PacketsDropped,
+	}
+}
+
 // IsZero reports an all-zero counter set (a row with no tallied runs).
 func (c Counters) IsZero() bool {
 	return c == Counters{}

@@ -349,9 +349,12 @@ type AggNowReq struct {
 	FP   core.Fingerprint
 }
 
-// AggNowResp confirms the aggregation completed.
+// AggNowResp confirms the aggregation ran. Incomplete reports that a peer
+// stayed unreachable past the retry budget, so the aggregated state may
+// miss its acknowledged entries (the caller must not build on it).
 type AggNowResp struct {
-	Ctl uint64
+	Ctl        uint64
+	Incomplete bool
 }
 
 // TxnPrepare asks a participant to lock and validate its ops.
