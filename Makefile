@@ -29,15 +29,18 @@ bench-json:
 # against a self-compare. Refresh the baseline with bench-baseline when a
 # change legitimately moves the numbers (and say why in the commit).
 bench-compare:
-	$(GO) run ./cmd/fsbench -fig 12a,14,chaos -scale tiny -compare bench/baseline.json
+	$(GO) run ./cmd/fsbench -fig 12a,14,chaos,data -scale tiny -compare bench/baseline.json
 
 bench-baseline:
-	$(GO) run ./cmd/fsbench -fig 12a,14,chaos -scale tiny -format json -out bench/baseline.json
+	$(GO) run ./cmd/fsbench -fig 12a,14,chaos,data -scale tiny -format json -out bench/baseline.json
 	$(GO) run ./cmd/fsbench -validate bench/baseline.json
 
-# chaos-smoke runs the fault-plan availability harness twice with one seed:
-# the checker must report zero invariant violations, and the two runs must
-# produce identical rows and op/packet counters (byte-level determinism).
+# chaos-smoke runs the fault-plan availability harness (metadata AND
+# data-fault plans — the cluster deploys a replicated data plane) twice with
+# one seed: the checker must report zero invariant violations (in particular
+# no lost acked content write under <= r-1 data-node failures), and the two
+# runs must produce identical rows and op/packet counters (byte-level
+# determinism).
 chaos-smoke:
 	$(GO) run ./cmd/fsbench -fig chaos -scale tiny -seed 7 -format json -out chaos.json
 	$(GO) run ./cmd/fsbench -fig chaos -scale tiny -seed 7 -compare chaos.json

@@ -91,6 +91,9 @@ func BenchmarkFig19(b *testing.B) { benchFigure(b, figures.Fig19) }
 // BenchmarkRecovery — crash recovery time (§7.7).
 func BenchmarkRecovery(b *testing.B) { benchFigure(b, figures.Recovery) }
 
+// BenchmarkFigData — striped replicated data plane + recovery (§7.6).
+func BenchmarkFigData(b *testing.B) { benchFigure(b, figures.FigData) }
+
 // BenchmarkCreateOps measures simulator efficiency: wall time per simulated
 // create on an 8-server cluster (not a paper figure; a harness health
 // metric).

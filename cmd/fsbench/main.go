@@ -10,10 +10,12 @@
 //	fsbench -validate BENCH_12a_14.json
 //
 // Figure ids: 2a 2b 2c 2d 12a 12b 13 14 overflow 15a 15b 16 17 18a 18b 19
-// recovery chaos. Scales: tiny, quick, paper (paper takes minutes per
+// recovery chaos data. Scales: tiny, quick, paper (paper takes minutes per
 // figure). The chaos figure runs the fault-plan availability harness; -seed
 // selects its random plan (and simulation seeds), and any checker violation
-// aborts the run non-zero.
+// aborts the run non-zero. The data figure benchmarks the replicated
+// striped data plane and its crash recovery; a lost acknowledged content
+// write aborts it the same way.
 //
 // -format json emits the versioned internal/bench schema (figure cells,
 // per-row op/packet counters, wall time); -compare re-runs the selected
@@ -56,6 +58,7 @@ var registry = []struct {
 	{"19", figures.Fig19},
 	{"recovery", figures.Recovery},
 	{"chaos", figures.FigChaos},
+	{"data", figures.FigData},
 }
 
 func usageRegistry(w *os.File) {
@@ -74,7 +77,7 @@ func main() {
 	compareFlag := flag.String("compare", "", "diff results against a previous json result file")
 	thresholdFlag := flag.Float64("threshold", 10, "regression threshold in percent for -compare")
 	validateFlag := flag.String("validate", "", "validate a json result file against the schema and exit")
-	seedFlag := flag.Int64("seed", 1, "seed for the chaos figure's random fault plan and simulations")
+	seedFlag := flag.Int64("seed", 1, "seed for the chaos and data figures' plans and simulations")
 	flag.Parse()
 
 	if *validateFlag != "" {
@@ -167,8 +170,11 @@ func main() {
 	// Bind flag-dependent figures now that flags are parsed; dispatch stays
 	// uniform over the registry.
 	figFor := func(id string, fn func(figures.Scale) figures.Table) func(figures.Scale) figures.Table {
-		if id == "chaos" {
+		switch id {
+		case "chaos":
 			return func(sc figures.Scale) figures.Table { return figures.FigChaosSeed(sc, *seedFlag) }
+		case "data":
+			return func(sc figures.Scale) figures.Table { return figures.FigDataSeed(sc, *seedFlag) }
 		}
 		return fn
 	}

@@ -33,7 +33,7 @@ import (
 // pretty-printing of the built-in fault plans (authored against the paper's
 // 8-server geometry) and the seeded random plan generator. The -seed flag
 // is accepted both before the subcommand and after the plan name.
-func chaosCmd(args []string, servers int, seed int64) int {
+func chaosCmd(args []string, servers, dataNodes int, seed int64) int {
 	var name string
 	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
 		name = args[0]
@@ -54,9 +54,12 @@ func chaosCmd(args []string, servers int, seed int64) int {
 	if servers > 0 {
 		g.Servers = servers
 	}
+	if dataNodes >= 0 {
+		g.DataNodes = dataNodes
+	}
 	if name == "" {
-		fmt.Printf("built-in chaos plans (geometry: %d servers, %d clients, %d switches):\n",
-			g.Servers, g.Clients, g.Switches)
+		fmt.Printf("built-in chaos plans (geometry: %d servers, %d clients, %d switches, %d data nodes r=%d):\n",
+			g.Servers, g.Clients, g.Switches, g.DataNodes, g.DataReplication)
 		for _, p := range chaos.BuiltinPlans(g) {
 			fmt.Printf("  %-16s %s (%d events, horizon %.0fms)\n",
 				p.Name, p.Desc, len(p.Events), float64(p.Horizon)/1e6)
@@ -97,13 +100,16 @@ func main() {
 		// The -servers default (4) belongs to the filesystem-command mode;
 		// chaos plans default to the paper's geometry unless the flag was
 		// given explicitly.
-		chaosServers := 0
+		chaosServers, chaosData := 0, -1
 		flag.Visit(func(f *flag.Flag) {
-			if f.Name == "servers" {
+			switch f.Name {
+			case "servers":
 				chaosServers = *servers
+			case "datanodes":
+				chaosData = *dataNodes
 			}
 		})
-		os.Exit(chaosCmd(flag.Args()[1:], chaosServers, *seed))
+		os.Exit(chaosCmd(flag.Args()[1:], chaosServers, chaosData, *seed))
 	}
 
 	e := switchfs.NewRealEnv()

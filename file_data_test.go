@@ -1,0 +1,150 @@
+package switchfs
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestFileShardStability: the data-node pick is a pure function of the
+// open-time placement (or path), so repeated opens of the same file route
+// content to the same nodes.
+func TestFileShardStability(t *testing.T) {
+	e := NewSimEnv(21)
+	defer e.Shutdown()
+	fs, err := New(e, WithServers(4), WithDataNodes(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs.RunSession(0, func(s *Session) {
+		if err := s.Create("/f", 0); err != nil {
+			t.Fatalf("create: %v", err)
+		}
+		f1, err := s.Open("/f")
+		if err != nil {
+			t.Fatalf("open: %v", err)
+		}
+		f2, err := s.Open("/f")
+		if err != nil {
+			t.Fatalf("reopen: %v", err)
+		}
+		if f1.shard() != f2.shard() {
+			t.Errorf("shard unstable across opens: %d vs %d", f1.shard(), f2.shard())
+		}
+		// The unplaced fallback (no DataLoc) is a stable path hash too.
+		g1 := &File{s: s, path: "/somewhere/else"}
+		g2 := &File{s: s, path: "/somewhere/else"}
+		if g1.shard() != g2.shard() || g1.shard() < 0 {
+			t.Errorf("fallback shard unstable or negative: %d vs %d", g1.shard(), g2.shard())
+		}
+	})
+}
+
+// TestFilePlacementFromOpenDataLoc: the metadata server assigns a DataLoc
+// stripe window at create; Open returns it and content ops follow it — the
+// written chunks land on exactly the data nodes the placement names.
+func TestFilePlacementFromOpenDataLoc(t *testing.T) {
+	e := NewSimEnv(22)
+	defer e.Shutdown()
+	fs, err := New(e, WithServers(4), WithDataNodes(8), WithDataReplication(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := fs.Cluster()
+	fs.RunSession(0, func(s *Session) {
+		if err := s.Create("/f", 0); err != nil {
+			t.Fatalf("create: %v", err)
+		}
+		f, err := s.Open("/f")
+		if err != nil {
+			t.Fatalf("open: %v", err)
+		}
+		if len(f.loc) == 0 {
+			t.Fatal("open returned no DataLoc placement")
+		}
+		// Two stripes: 96 KB spans stripeUnit (64 KB) + remainder.
+		if err := f.Write(96 << 10); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+		for s := 0; s < 2; s++ {
+			slot := int(f.loc[s%len(f.loc)]) % len(c.DataNodes)
+			found := false
+			for i, dn := range c.DataServers {
+				if dn.Chunks() > 0 && i == slot {
+					found = true
+				}
+				if dn.Chunks() > 0 && i != int(f.loc[0])%len(c.DataNodes) && i != int(f.loc[1%len(f.loc)])%len(c.DataNodes) {
+					t.Errorf("chunk landed on node %d, outside the DataLoc placement %v", i, f.loc)
+				}
+			}
+			if !found {
+				t.Errorf("stripe %d missing from its placed node %d (loc %v)", s, slot, f.loc)
+			}
+		}
+	})
+}
+
+// TestFileDataZeroNodesNoOp: metadata-only deployments complete content
+// ops immediately — no data nodes, no round trips, no error.
+func TestFileDataZeroNodesNoOp(t *testing.T) {
+	e := NewSimEnv(23)
+	defer e.Shutdown()
+	fs, err := New(e, WithServers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs.RunSession(0, func(s *Session) {
+		if err := s.Create("/f", 0); err != nil {
+			t.Fatalf("create: %v", err)
+		}
+		f, err := s.Open("/f")
+		if err != nil {
+			t.Fatalf("open: %v", err)
+		}
+		if err := f.Write(1 << 20); err != nil {
+			t.Errorf("write without data nodes: %v", err)
+		}
+		if err := f.Read(1 << 20); err != nil {
+			t.Errorf("read without data nodes: %v", err)
+		}
+	})
+}
+
+// TestFileDataNegativeSize: n < 0 is ErrInvalid wrapped in a *PathError,
+// through the public Session API — and it must not touch the data plane.
+func TestFileDataNegativeSize(t *testing.T) {
+	e := NewSimEnv(24)
+	defer e.Shutdown()
+	fs, err := New(e, WithServers(2), WithDataNodes(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs.RunSession(0, func(s *Session) {
+		if err := s.Create("/f", 0); err != nil {
+			t.Fatalf("create: %v", err)
+		}
+		f, err := s.Open("/f")
+		if err != nil {
+			t.Fatalf("open: %v", err)
+		}
+		for _, op := range []struct {
+			name string
+			call func(int64) error
+		}{{"write", f.Write}, {"read", f.Read}} {
+			err := op.call(-1)
+			if !errors.Is(err, ErrInvalid) {
+				t.Errorf("%s(-1): err=%v, want ErrInvalid", op.name, err)
+			}
+			var pe *PathError
+			if !errors.As(err, &pe) {
+				t.Errorf("%s(-1): error %T is not a *PathError", op.name, err)
+			} else if pe.Op != op.name || pe.Path != "/f" {
+				t.Errorf("%s(-1): PathError{%s %s}", op.name, pe.Op, pe.Path)
+			}
+		}
+	})
+	for i, dn := range fs.Cluster().DataServers {
+		if dn.Chunks() != 0 {
+			t.Errorf("data node %d holds %d chunks after rejected ops", i, dn.Chunks())
+		}
+	}
+}

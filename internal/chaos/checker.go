@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"switchfs/internal/core"
+	"switchfs/internal/wire"
 )
 
 // Checker is the model-based invariant oracle. The harness feeds it every
@@ -31,12 +32,31 @@ import (
 //   - a directory count outside [definitely-present, present+unknown].
 type Checker struct {
 	dirs map[string]*dirModel
+	// chunks is the data-plane oracle: per content chunk, the highest
+	// acknowledged write version. An acked chunk write must survive any
+	// ≤ r−1 data-node failures — a read observing a lower version (or a
+	// never-written chunk) is a lost acknowledged content write, exactly
+	// as three-valued as the namespace model: a timed-out write taints its
+	// chunk (the ghost may land later), and a wipe (≥ r concurrent
+	// data-node failures) taints every chunk.
+	chunks    map[wire.ChunkKey]*chunkModel
+	dataWiped bool
 	// violations accumulate in detection order (deterministic under Sim).
 	violations []string
 	// Ops counts operations replayed into the model.
 	Ops int
 	// Ambiguous counts operations that timed out (outcome unknown).
 	Ambiguous int
+}
+
+// chunkModel is the oracle state of one content chunk.
+type chunkModel struct {
+	// acked is the highest version any acknowledged write returned.
+	acked uint64
+	// tainted marks a chunk a write ever timed out on: a late ghost
+	// execution may bump its version at any point, so only existence — not
+	// the exact version — remains checkable.
+	tainted bool
 }
 
 type entryState uint8
@@ -58,7 +78,10 @@ type dirModel struct {
 
 // NewChecker builds an empty oracle.
 func NewChecker() *Checker {
-	return &Checker{dirs: make(map[string]*dirModel)}
+	return &Checker{
+		dirs:   make(map[string]*dirModel),
+		chunks: make(map[wire.ChunkKey]*chunkModel),
+	}
 }
 
 // RegisterDir declares a harness-owned directory (created before the plan
@@ -276,6 +299,103 @@ func (k *Checker) ApplyReadDir(dir string, names []string, err error) {
 		k.Ambiguous++
 	default:
 		k.violatef("readdir %s: unexpected error %v", dir, err)
+	}
+}
+
+// --- Data oracle -------------------------------------------------------------
+
+func (k *Checker) chunkOf(c wire.ChunkKey) *chunkModel {
+	m := k.chunks[c]
+	if m == nil {
+		m = &chunkModel{}
+		k.chunks[c] = m
+	}
+	return m
+}
+
+// Chunks returns every content chunk the oracle has seen, sorted (final
+// audit order).
+func (k *Checker) Chunks() []wire.ChunkKey {
+	out := make([]wire.ChunkKey, 0, len(k.chunks))
+	for c := range k.chunks {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].File != out[j].File {
+			return out[i].File < out[j].File
+		}
+		return out[i].Stripe < out[j].Stripe
+	})
+	return out
+}
+
+// TaintAllData marks every chunk's state undecidable: ≥ r data nodes were
+// down at once, so some chunk's whole replica set may have been wiped and
+// no read observation is checkable against acked history anymore.
+func (k *Checker) TaintAllData() {
+	k.dataWiped = true
+	for _, m := range k.chunks {
+		m.tainted = true
+	}
+}
+
+// ApplyDataWrite replays one completed chunk write: ver is the version the
+// primary acknowledged (0 on error). Chunks are worker-private, so each
+// chunk's write history is sequential and acked versions must grow.
+func (k *Checker) ApplyDataWrite(chunk wire.ChunkKey, ver uint64, err error) {
+	k.Ops++
+	m := k.chunkOf(chunk)
+	if k.dataWiped {
+		m.tainted = true
+	}
+	switch {
+	case err == nil:
+		if !m.tainted && ver <= m.acked {
+			k.violatef("lost acked content write: chunk %d/%d write acked version %d, but %d was already acknowledged",
+				chunk.File, chunk.Stripe, ver, m.acked)
+		}
+		if ver > m.acked {
+			m.acked = ver
+		}
+	case errors.Is(err, core.ErrTimeout):
+		// The write (or a retransmission still queued) may execute late and
+		// bump the version at any point — the chunk's exact version is no
+		// longer decidable.
+		m.tainted = true
+		k.Ambiguous++
+	default:
+		k.violatef("chunk %d/%d write: unexpected error %v", chunk.File, chunk.Stripe, err)
+	}
+}
+
+// ApplyDataRead replays one completed chunk read: ver is the version the
+// primary reported (0 for a never-written chunk).
+func (k *Checker) ApplyDataRead(chunk wire.ChunkKey, ver uint64, err error) {
+	k.Ops++
+	m := k.chunkOf(chunk)
+	if k.dataWiped {
+		m.tainted = true
+	}
+	switch {
+	case err == nil:
+		if m.tainted {
+			return // ghost writes may have moved the version either way
+		}
+		if ver < m.acked {
+			k.violatef("lost acked content write: chunk %d/%d read version %d, but %d was acknowledged",
+				chunk.File, chunk.Stripe, ver, m.acked)
+		}
+		if ver > m.acked {
+			// No un-acked, un-timed-out write exists in a sequential
+			// history: a higher version means a retransmission re-executed
+			// (the duplicate-bump bug class).
+			k.violatef("phantom content write: chunk %d/%d read version %d above acknowledged %d",
+				chunk.File, chunk.Stripe, ver, m.acked)
+		}
+	case errors.Is(err, core.ErrTimeout):
+		k.Ambiguous++
+	default:
+		k.violatef("chunk %d/%d read: unexpected error %v", chunk.File, chunk.Stripe, err)
 	}
 }
 

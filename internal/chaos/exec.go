@@ -24,6 +24,11 @@ type Injector struct {
 	pending []pendingOp
 	// errs records apply-time problems (bad targets, double heal).
 	errs []string
+	// OnDataWipe fires when a data-node crash takes the cluster to >= r
+	// concurrent data-node failures: some chunk's whole replica set may be
+	// gone, so acked content is no longer guaranteed (the harness taints
+	// the data oracle).
+	OnDataWipe func()
 }
 
 type pendingOp struct {
@@ -76,6 +81,15 @@ func (inj *Injector) resolve(s NodeSel) []env.NodeID {
 		for _, i := range s.Switches {
 			if i >= 0 && i < len(inj.c.Switches) {
 				out = append(out, inj.c.SwitchID(i))
+			}
+		}
+	}
+	if s.AllDataNodes {
+		out = append(out, inj.c.DataNodes...)
+	} else {
+		for _, i := range s.DataNodes {
+			if i >= 0 && i < len(inj.c.DataNodes) {
+				out = append(out, inj.c.DataNodes[i])
 			}
 		}
 	}
@@ -138,6 +152,17 @@ func (inj *Injector) exec(ev Event) {
 	case KindReconfigure:
 		if ev.NewServers > 0 {
 			inj.track(fmt.Sprintf("reconfigure to %d", ev.NewServers), c.Reconfigure(ev.NewServers))
+		}
+	case KindCrashDataNode:
+		if ev.Data >= 0 && ev.Data < len(c.DataServers) && !c.DataServers[ev.Data].Node().Down() {
+			c.CrashDataNode(ev.Data)
+			if c.DataNodesDown() >= c.Opts.DataReplication && inj.OnDataWipe != nil {
+				inj.OnDataWipe()
+			}
+		}
+	case KindRecoverDataNode:
+		if ev.Data >= 0 && ev.Data < len(c.DataServers) && c.DataServers[ev.Data].Node().Down() {
+			inj.track(fmt.Sprintf("recover-datanode %d", ev.Data), c.RecoverDataNode(ev.Data))
 		}
 	}
 }

@@ -8,8 +8,10 @@ import (
 	"switchfs/internal/client"
 	"switchfs/internal/cluster"
 	"switchfs/internal/core"
+	"switchfs/internal/datanode"
 	"switchfs/internal/env"
 	"switchfs/internal/stats"
+	"switchfs/internal/wire"
 )
 
 // Options sizes a harness run.
@@ -142,6 +144,13 @@ func Run(sim *env.Sim, c *cluster.Cluster, plan Plan, o Options) *Report {
 	}
 
 	inj := Apply(sim, c, plan)
+	// Data-node geometry: workers exercise the data plane when the cluster
+	// has one. A crash storm taking >= r data nodes down at once may wipe a
+	// chunk's whole replica set — the oracle must stop pinning versions.
+	dataNodes := len(c.DataNodes)
+	if dataNodes > 0 {
+		inj.OnDataWipe = rep.Checker.TaintAllData
+	}
 
 	// Closed-loop workers. Completion order is the oracle's replay order;
 	// under Sim exactly one process runs at a time, so the shared recorders
@@ -173,12 +182,34 @@ func Run(sim *env.Sim, c *cluster.Cluster, plan Plan, o Options) *Report {
 		dir := dirs[w]
 		cl := c.Client(w)
 		rnd := rand.New(rand.NewSource(o.Seed + int64(w)*6151))
+		// Each worker owns a private chunk set so per-chunk write histories
+		// are sequential and the data oracle is exact.
+		chunkFile := uint32(0xD0000000) + uint32(w)
+		opSpace := 10
+		if dataNodes > 0 {
+			opSpace = 13 // cases 10..12: chunk write ×2, chunk read
+		}
 		sim.Spawn(cl.ID(), func(p *env.Proc) {
 			for p.Now()-base < plan.Horizon {
 				name := fmt.Sprintf("f%d", rnd.Intn(o.NamesPerDir))
 				path := dir + "/" + name
 				t0 := p.Now()
-				switch rnd.Intn(10) {
+				op := rnd.Intn(opSpace)
+				if op >= 10 {
+					chunk := wire.ChunkKey{File: chunkFile, Stripe: uint32(rnd.Intn(4))}
+					node := c.DataNodes[datanode.PrimarySlot(chunk, dataNodes)]
+					if op < 12 {
+						ver, err := cl.WriteChunk(p, node, chunk, 4096)
+						record(t0, p.Now(), err)
+						rep.Checker.ApplyDataWrite(chunk, ver, err)
+					} else {
+						ver, _, err := cl.ReadChunk(p, node, chunk)
+						record(t0, p.Now(), err)
+						rep.Checker.ApplyDataRead(chunk, ver, err)
+					}
+					continue
+				}
+				switch op {
 				case 0, 1, 2, 3:
 					resent, err := cl.CreateR(p, path, 0)
 					record(t0, p.Now(), err)
@@ -230,6 +261,12 @@ func Run(sim *env.Sim, c *cluster.Cluster, plan Plan, o Options) *Report {
 			recovering = true
 		}
 	}
+	for i := range c.DataServers {
+		if c.DataServers[i].Node().Down() {
+			inj.track(fmt.Sprintf("post-run recover-datanode %d", i), c.RecoverDataNode(i))
+			recovering = true
+		}
+	}
 	if recovering {
 		sim.Run()
 		rep.Issues = append(rep.Issues, inj.AwaitClean()...)
@@ -265,6 +302,14 @@ func Run(sim *env.Sim, c *cluster.Cluster, plan Plan, o Options) *Report {
 				_, serr := cl.Stat(p, dir+"/"+name)
 				rep.Checker.Apply(core.OpStat, dir, name, false, serr)
 			}
+		}
+		// Data audit: with every data node healed and re-replicated, each
+		// chunk's acknowledged version must still be readable — lost acked
+		// content under ≤ r−1 failures is a violation.
+		for _, chunk := range rep.Checker.Chunks() {
+			node := c.DataNodes[datanode.PrimarySlot(chunk, len(c.DataNodes))]
+			ver, _, err := cl.ReadChunk(p, node, chunk)
+			rep.Checker.ApplyDataRead(chunk, ver, err)
 		}
 	})
 

@@ -51,12 +51,19 @@ const (
 	// KindReconfigure resizes the metadata cluster (§5.5) — scheduled like
 	// any fault so plans can race it against crashes and partitions.
 	KindReconfigure
+	// KindCrashDataNode fail-stops a data node: its volatile chunk store is
+	// lost and surviving replicas carry the durability.
+	KindCrashDataNode
+	// KindRecoverDataNode restarts a crashed data node and re-replicates
+	// its stripes from the peers before it serves again.
+	KindRecoverDataNode
 )
 
 var kindNames = [...]string{
 	"crash-server", "recover-server", "crash-switch", "recover-switch",
 	"partition", "link-fault", "heal", "degrade-server", "restore-server",
 	"slow-switch", "restore-switch", "reconfigure",
+	"crash-datanode", "recover-datanode",
 }
 
 func (k Kind) String() string {
@@ -82,13 +89,16 @@ type Rule struct {
 // out of range for the deployed geometry are skipped, so plans written for
 // the paper's eight-server setup degrade gracefully on smaller clusters.
 type NodeSel struct {
-	Servers  []int
-	Clients  []int
-	Switches []int
-	// AllServers / AllClients / AllSwitches select the whole role.
-	AllServers  bool
-	AllClients  bool
-	AllSwitches bool
+	Servers   []int
+	Clients   []int
+	Switches  []int
+	DataNodes []int
+	// AllServers / AllClients / AllSwitches / AllDataNodes select the
+	// whole role.
+	AllServers   bool
+	AllClients   bool
+	AllSwitches  bool
+	AllDataNodes bool
 }
 
 func (s NodeSel) String() string {
@@ -108,6 +118,7 @@ func (s NodeSel) String() string {
 	role(s.AllServers, "srv", s.Servers)
 	role(s.AllClients, "cli", s.Clients)
 	role(s.AllSwitches, "sw", s.Switches)
+	role(s.AllDataNodes, "dn", s.DataNodes)
 	if len(parts) == 0 {
 		return "none"
 	}
@@ -122,9 +133,10 @@ type Event struct {
 	Kind Kind
 	// Name labels a link fault or partition so Heal can target it.
 	Name string
-	// Server / Switch are role indices for the single-node kinds.
+	// Server / Switch / Data are role indices for the single-node kinds.
 	Server int
 	Switch int
+	Data   int
 	// Cores is the degraded core count of KindDegradeServer.
 	Cores int
 	// Delay is the extra pipeline delay of KindSlowSwitch.
@@ -145,6 +157,8 @@ func (e Event) String() string {
 	switch e.Kind {
 	case KindCrashServer, KindRecoverServer:
 		return fmt.Sprintf("%s  %-14s server %d", at, e.Kind, e.Server)
+	case KindCrashDataNode, KindRecoverDataNode:
+		return fmt.Sprintf("%s  %-16s data node %d", at, e.Kind, e.Data)
 	case KindCrashSwitch, KindRecoverSwitch:
 		return fmt.Sprintf("%s  %-14s all switches", at, e.Kind)
 	case KindPartition:
@@ -221,6 +235,7 @@ func (p Plan) Validate() error {
 	installed := map[string]bool{}
 	healed := map[string]bool{}
 	crashed := map[int]int{}
+	dataCrashed := map[int]int{}
 	switchDown := 0
 	for _, ev := range p.Sorted() {
 		if ev.At < 0 || ev.At > p.Horizon {
@@ -255,6 +270,16 @@ func (p Plan) Validate() error {
 				return fmt.Errorf("chaos: plan %s: switch recovery without a preceding crash", p.Name)
 			}
 			switchDown--
+		case KindCrashDataNode:
+			if dataCrashed[ev.Data] > 0 {
+				return fmt.Errorf("chaos: plan %s: data node %d crashed twice without recovery", p.Name, ev.Data)
+			}
+			dataCrashed[ev.Data]++
+		case KindRecoverDataNode:
+			if dataCrashed[ev.Data] == 0 {
+				return fmt.Errorf("chaos: plan %s: recovery of data node %d, which is not crashed", p.Name, ev.Data)
+			}
+			dataCrashed[ev.Data]--
 		}
 	}
 	for name := range installed {
@@ -265,6 +290,11 @@ func (p Plan) Validate() error {
 	for srv, n := range crashed {
 		if n > 0 {
 			return fmt.Errorf("chaos: plan %s: server %d is crashed and never recovered", p.Name, srv)
+		}
+	}
+	for dn, n := range dataCrashed {
+		if n > 0 {
+			return fmt.Errorf("chaos: plan %s: data node %d is crashed and never recovered", p.Name, dn)
 		}
 	}
 	if switchDown > 0 {
@@ -329,4 +359,14 @@ func RestoreSwitch(at env.Duration, i int) Event {
 // Reconfigure resizes the cluster to n servers at offset at.
 func Reconfigure(at env.Duration, n int) Event {
 	return Event{At: at, Kind: KindReconfigure, NewServers: n}
+}
+
+// CrashDataNode fail-stops data node i at offset at.
+func CrashDataNode(at env.Duration, i int) Event {
+	return Event{At: at, Kind: KindCrashDataNode, Data: i}
+}
+
+// RecoverDataNode restarts data node i at offset at.
+func RecoverDataNode(at env.Duration, i int) Event {
+	return Event{At: at, Kind: KindRecoverDataNode, Data: i}
 }

@@ -12,10 +12,19 @@ type Geometry struct {
 	Servers  int
 	Clients  int
 	Switches int
+	// DataNodes sizes the data plane; zero keeps plans metadata-only.
+	DataNodes int
+	// DataReplication is the data plane's replication factor r (default 2).
+	// Data-fault plans keep concurrent data-node failures at r−1 so that an
+	// acknowledged content write is always expected to survive.
+	DataReplication int
 }
 
-// DefaultGeometry is the paper's evaluation setup (§7.1).
-func DefaultGeometry() Geometry { return Geometry{Servers: 8, Clients: 4, Switches: 1} }
+// DefaultGeometry is the paper's evaluation setup (§7.1) plus a four-node
+// replicated data plane for the end-to-end content path (§7.6).
+func DefaultGeometry() Geometry {
+	return Geometry{Servers: 8, Clients: 4, Switches: 1, DataNodes: 4, DataReplication: 2}
+}
 
 const ms = env.Millisecond
 
@@ -112,6 +121,45 @@ func BuiltinPlans(g Geometry) []Plan {
 			},
 		},
 	}
+	if g.DataNodes > 0 {
+		// Data-fault catalog: ≤ r−1 concurrent data-node failures, so every
+		// acknowledged content write must survive (the data oracle's core
+		// guarantee). Rolling crashes are sequenced, never overlapped.
+		plans = append(plans,
+			Plan{
+				Name:    "data-crash",
+				Desc:    "fail-stop one data node under striped writes; re-replicate on recovery (§7.6)",
+				Horizon: 8 * ms,
+				Events: []Event{
+					CrashDataNode(1*ms, 1%g.DataNodes),
+					RecoverDataNode(4*ms, 1%g.DataNodes),
+				},
+			},
+			Plan{
+				Name:    "data-rolling",
+				Desc:    "crash and recover two data nodes back to back (replication carries each window)",
+				Horizon: 10 * ms,
+				Events: []Event{
+					CrashDataNode(1*ms, 0),
+					RecoverDataNode(3*ms, 0),
+					CrashDataNode(5*ms, (g.DataNodes-1)%g.DataNodes),
+					RecoverDataNode(7*ms, (g.DataNodes-1)%g.DataNodes),
+				},
+			},
+			Plan{
+				Name:    "data-flaky",
+				Desc:    "duplication and reorder on every client↔data link (chunk RPC dedup, §5.4.1)",
+				Horizon: 8 * ms,
+				Events: []Event{
+					LinkFault(1*ms, "dflaky",
+						NodeSel{AllClients: true},
+						NodeSel{AllDataNodes: true},
+						Rule{Drop: 0.05, Dup: 0.2, Jitter: 5 * env.Microsecond}),
+					Heal(6*ms, "dflaky"),
+				},
+			},
+		)
+	}
 	return plans
 }
 
@@ -153,10 +201,19 @@ func RandomPlan(seed int64, g Geometry, horizon env.Duration) Plan {
 		return from, to
 	}
 	crashed := map[int]bool{}
+	// Data-node crash windows are serialized (dataBusyUntil): overlapping
+	// windows could take a chunk's whole replica set down at once, and the
+	// generator's contract is ≤ r−1 concurrent data failures so every
+	// acknowledged content write must survive the plan.
+	dataBusyUntil := env.Duration(0)
+	kinds := 6
+	if g.DataNodes > 0 {
+		kinds = 7
+	}
 	n := 2 + rnd.Intn(3)
 	for i := 0; i < n; i++ {
 		from, to := window()
-		switch rnd.Intn(6) {
+		switch rnd.Intn(kinds) {
 		case 0: // crash/recover a server (each server at most once)
 			s := rnd.Intn(g.Servers)
 			if crashed[s] {
@@ -199,6 +256,17 @@ func RandomPlan(seed int64, g Geometry, horizon env.Duration) Plan {
 		case 4: // degrade a server's cores
 			s := rnd.Intn(g.Servers)
 			p.Events = append(p.Events, DegradeServer(from, s, 1), RestoreServer(to, s))
+		case 6: // crash/recover a data node (windows never overlap)
+			if from <= dataBusyUntil {
+				continue
+			}
+			d := rnd.Intn(g.DataNodes)
+			// The node stays down PAST the recover event until its
+			// re-replication pull completes; the margin keeps the next
+			// window clear of that tail so concurrent data failures stay
+			// at r−1 and the wipe taint never fires spuriously.
+			dataBusyUntil = to + ms
+			p.Events = append(p.Events, CrashDataNode(from, d), RecoverDataNode(to, d))
 		default: // slow a switch pipe
 			sw := rnd.Intn(max(1, g.Switches))
 			p.Events = append(p.Events,

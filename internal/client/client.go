@@ -27,6 +27,13 @@ type Config struct {
 	// RetryTimeout and MaxRetries bound request retransmission.
 	RetryTimeout env.Duration
 	MaxRetries   int
+	// DataRetryTimeout and DataMaxRetries bound data-node retransmission.
+	// Zero values derive from RetryTimeout: data accesses queue behind
+	// hundreds of microseconds of I/O plus a replication round, so the
+	// data timeout scales the configured metadata timeout up rather than
+	// ignoring it.
+	DataRetryTimeout env.Duration
+	DataMaxRetries   int
 }
 
 // Client is one LibFS instance bound to an env node.
@@ -65,6 +72,12 @@ func New(e env.Env, cfg Config) *Client {
 		// participant holds a change-log lock for up to 100 retransmission
 		// rounds before giving up (§5.4.1 recovery interplay).
 		cfg.MaxRetries = 250
+	}
+	if cfg.DataRetryTimeout == 0 {
+		cfg.DataRetryTimeout = 20 * cfg.RetryTimeout
+	}
+	if cfg.DataMaxRetries == 0 {
+		cfg.DataMaxRetries = 8
 	}
 	c := &Client{
 		cfg:       cfg,
@@ -145,23 +158,41 @@ func (c *Client) applyInval(from env.NodeID, rc *wire.RespCommon) {
 	c.mu.Unlock()
 }
 
-// invalidatePrefix drops every cached path with the given prefix (stale-cache
-// retry).
+// invalidatePrefix drops every cached path at or under the given path
+// (stale-cache retry). Matching is component-wise: invalidating /a drops
+// /a and /a/b but not /ab — a raw string-prefix match would erase an
+// unrelated sibling's cache entries.
 func (c *Client) invalidatePrefix(prefix string) {
 	c.mu.Lock()
 	for path, e := range c.cache {
-		if len(path) >= len(prefix) && path[:len(prefix)] == prefix {
-			delete(c.cache, path)
-			paths := c.byID[e.ref.ID]
-			for i, q := range paths {
-				if q == path {
-					c.byID[e.ref.ID] = append(paths[:i], paths[i+1:]...)
-					break
-				}
+		if !underPath(path, prefix) {
+			continue
+		}
+		delete(c.cache, path)
+		paths := c.byID[e.ref.ID]
+		for i, q := range paths {
+			if q == path {
+				c.byID[e.ref.ID] = append(paths[:i], paths[i+1:]...)
+				break
 			}
+		}
+		if len(c.byID[e.ref.ID]) == 0 {
+			delete(c.byID, e.ref.ID)
 		}
 	}
 	c.mu.Unlock()
+}
+
+// underPath reports whether path equals prefix or lies beneath it as a
+// directory component (prefix "/" covers everything).
+func underPath(path, prefix string) bool {
+	for len(prefix) > 1 && prefix[len(prefix)-1] == '/' {
+		prefix = prefix[:len(prefix)-1]
+	}
+	if prefix == "/" || path == prefix {
+		return true
+	}
+	return len(path) > len(prefix) && path[:len(prefix)] == prefix && path[len(prefix)] == '/'
 }
 
 // ownerOfFP maps a fingerprint to its owner server node.

@@ -1,0 +1,96 @@
+package client
+
+import (
+	"testing"
+
+	"switchfs/internal/core"
+)
+
+// mkClient builds a bare client with a seeded cache (no environment needed:
+// invalidation is pure map surgery).
+func mkClient(paths ...string) *Client {
+	c := &Client{
+		cache: make(map[string]cachedDir),
+		byID:  make(map[core.DirID][]string),
+	}
+	for i, p := range paths {
+		ref := core.DirRef{ID: core.DirID{0, 0, 0, uint64(i + 1)}}
+		c.cache[p] = cachedDir{ref: ref}
+		c.byID[ref.ID] = append(c.byID[ref.ID], p)
+	}
+	return c
+}
+
+// TestInvalidatePrefixComponentWise: invalidating /a must drop /a and its
+// descendants but NOT the sibling /ab — the old raw string-prefix match
+// erased unrelated entries sharing a name prefix.
+func TestInvalidatePrefixComponentWise(t *testing.T) {
+	c := mkClient("/a", "/a/x", "/a/x/y", "/ab", "/ab/z", "/b")
+	c.invalidatePrefix("/a")
+	for _, gone := range []string{"/a", "/a/x", "/a/x/y"} {
+		if _, ok := c.cache[gone]; ok {
+			t.Errorf("%s survived invalidatePrefix(/a)", gone)
+		}
+	}
+	for _, kept := range []string{"/ab", "/ab/z", "/b"} {
+		if _, ok := c.cache[kept]; !ok {
+			t.Errorf("%s was dropped by invalidatePrefix(/a) — raw prefix match", kept)
+		}
+	}
+}
+
+// TestInvalidatePrefixRoot: "/" (the stale-cache full flush) clears
+// everything.
+func TestInvalidatePrefixRoot(t *testing.T) {
+	c := mkClient("/a", "/ab", "/b/c")
+	c.invalidatePrefix("/")
+	if len(c.cache) != 0 {
+		t.Errorf("%d cache entries survived a root invalidation", len(c.cache))
+	}
+	if len(c.byID) != 0 {
+		t.Errorf("%d byID entries survived a root invalidation", len(c.byID))
+	}
+}
+
+// TestInvalidatePrefixKeepsByIDConsistent: every dropped path leaves byID,
+// emptied id buckets are deleted, and surviving aliases (hard-linked or
+// renamed directories cached under two paths) stay indexed.
+func TestInvalidatePrefixKeepsByIDConsistent(t *testing.T) {
+	c := mkClient("/a/x", "/b")
+	// Alias /keep/x to the same directory id as /a/x.
+	ref := c.cache["/a/x"].ref
+	c.cache["/keep/x"] = cachedDir{ref: ref}
+	c.byID[ref.ID] = append(c.byID[ref.ID], "/keep/x")
+
+	c.invalidatePrefix("/a")
+	paths := c.byID[ref.ID]
+	if len(paths) != 1 || paths[0] != "/keep/x" {
+		t.Errorf("byID[%v]=%v, want just /keep/x", ref.ID, paths)
+	}
+	bID := c.cache["/b"].ref.ID
+	c.invalidatePrefix("/b")
+	if _, ok := c.byID[bID]; ok {
+		t.Errorf("emptied byID bucket for /b survived")
+	}
+}
+
+// TestUnderPath pins the component-matching rule.
+func TestUnderPath(t *testing.T) {
+	cases := []struct {
+		path, prefix string
+		want         bool
+	}{
+		{"/a", "/a", true},
+		{"/a/b", "/a", true},
+		{"/ab", "/a", false},
+		{"/ab/c", "/a", false},
+		{"/a", "/a/", true},
+		{"/a/b", "/", true},
+		{"/a", "/a/b", false},
+	}
+	for _, cse := range cases {
+		if got := underPath(cse.path, cse.prefix); got != cse.want {
+			t.Errorf("underPath(%q, %q)=%v, want %v", cse.path, cse.prefix, got, cse.want)
+		}
+	}
+}

@@ -260,13 +260,14 @@ func (c *Client) Link(p *env.Proc, src, dst string) error {
 	return c.twoPath(p, core.OpLink, src, dst)
 }
 
-// Data performs a data-node read or write (end-to-end workloads, §7.6).
-// Data accesses queue behind hundreds of microseconds of I/O; the timeout is
-// far above the metadata RPC timeout so queuing does not trigger retransmit
-// storms.
-func (c *Client) Data(p *env.Proc, node env.NodeID, op core.Op, bytes int64) error {
+// dataCall performs one data-node round trip. Data accesses queue behind
+// hundreds of microseconds of I/O (plus a replication round), so the
+// timeout scales from the session's configured retry policy instead of the
+// raw metadata RPC timeout — retransmitting at metadata pace would trigger
+// retransmit storms against a busy data node.
+func (c *Client) dataCall(p *env.Proc, node env.NodeID, op core.Op, chunk wire.ChunkKey, bytes int64) (*wire.DataResp, error) {
 	rpc := c.nextRPC()
-	req := &wire.DataReq{ReqCommon: c.reqCommon(rpc, node, nil), Op: op, Bytes: bytes}
+	req := &wire.DataReq{ReqCommon: c.reqCommon(rpc, node, nil), Op: op, Chunk: chunk, Bytes: bytes}
 	fut := env.NewFuture()
 	c.mu.Lock()
 	c.pending[rpc] = fut
@@ -276,12 +277,42 @@ func (c *Client) Data(p *env.Proc, node env.NodeID, op core.Op, bytes int64) err
 		delete(c.pending, rpc)
 		c.mu.Unlock()
 	}()
-	for try := 0; try < 8; try++ {
+	for try := 0; try < c.cfg.DataMaxRetries; try++ {
 		p.Send(node, &wire.Packet{Dst: node, Origin: c.cfg.ID, Body: req})
-		if v, ok := fut.WaitTimeout(p, 40*env.Millisecond); ok {
-			return v.(*wire.DataResp).Err.Err()
+		if v, ok := fut.WaitTimeout(p, c.cfg.DataRetryTimeout); ok {
+			resp := v.(*wire.DataResp)
+			return resp, resp.Err.Err()
 		}
 		c.Retries++
 	}
-	return core.ErrTimeout
+	return nil, core.ErrTimeout
+}
+
+// WriteChunk writes one content chunk to its primary data node. The ack —
+// carrying the primary-assigned version — arrives only after the chunk is
+// applied on the full replica set (§7.6 durability discipline).
+func (c *Client) WriteChunk(p *env.Proc, node env.NodeID, chunk wire.ChunkKey, bytes int64) (uint64, error) {
+	resp, err := c.dataCall(p, node, core.OpWrite, chunk, bytes)
+	if err != nil {
+		return 0, err
+	}
+	return resp.Ver, nil
+}
+
+// ReadChunk reads one content chunk from its primary data node, returning
+// the stored version and length (version 0: never written — the empty
+// read).
+func (c *Client) ReadChunk(p *env.Proc, node env.NodeID, chunk wire.ChunkKey) (uint64, int64, error) {
+	resp, err := c.dataCall(p, node, core.OpRead, chunk, 0)
+	if err != nil {
+		return 0, 0, err
+	}
+	return resp.Ver, resp.Bytes, nil
+}
+
+// Data performs a data-node read or write of one chunk (legacy
+// shard-addressed surface of the end-to-end workloads, §7.6).
+func (c *Client) Data(p *env.Proc, node env.NodeID, op core.Op, chunk wire.ChunkKey, bytes int64) error {
+	_, err := c.dataCall(p, node, op, chunk, bytes)
+	return err
 }

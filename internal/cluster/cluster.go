@@ -9,11 +9,11 @@ import (
 
 	"switchfs/internal/client"
 	"switchfs/internal/core"
+	"switchfs/internal/datanode"
 	"switchfs/internal/env"
 	"switchfs/internal/pswitch"
 	"switchfs/internal/server"
 	"switchfs/internal/wal"
-	"switchfs/internal/wire"
 )
 
 // Node id layout (the "MAC addresses" of the L2 network).
@@ -31,6 +31,10 @@ type Options struct {
 	CoresPerServer int
 	Clients        int
 	DataNodes      int
+	// DataReplication is the data-plane replication factor r: a chunk is
+	// acked only after its primary and r−1 backups applied (default 2,
+	// capped at DataNodes).
+	DataReplication int
 	// Switches > 1 range-partitions fingerprints over spine switches (§6.4).
 	Switches int
 	Costs    env.Costs
@@ -76,6 +80,12 @@ func (o *Options) Defaults() {
 	if o.TrackerOpCost == 0 {
 		o.TrackerOpCost = 1 * env.Microsecond
 	}
+	if o.DataReplication == 0 {
+		o.DataReplication = 2
+	}
+	if o.DataNodes > 0 && o.DataReplication > o.DataNodes {
+		o.DataReplication = o.DataNodes
+	}
 }
 
 // Cluster is a wired deployment.
@@ -87,7 +97,13 @@ type Cluster struct {
 	Switches  []*pswitch.Switch
 	Clients   []*client.Client
 	DataNodes []env.NodeID
-	wals      []wal.Log
+	// DataServers are the data-plane nodes behind the DataNodes ids.
+	DataServers []*datanode.Server
+	wals        []wal.Log
+	// dataDown counts data nodes currently fail-stopped (a recovering node
+	// counts until its re-replication pull completes): while dataDown >= r,
+	// a chunk's whole replica set may be gone at once.
+	dataDown int
 	// reconfiguring marks an in-flight Reconfigure; a concurrently
 	// recovering server must not resume serving until step 4 does it.
 	reconfiguring bool
@@ -186,6 +202,7 @@ func NewWithModes(e env.Env, opts Options) *Cluster {
 			Coordinator:  ServerOf(0),
 			WAL:          w,
 			Tracker:      opts.Tracker,
+			DataNodes:    opts.DataNodes,
 			Async:        opts.Async,
 			Compaction:   opts.Compaction,
 			PushEntries:  opts.PushEntries,
@@ -199,37 +216,44 @@ func NewWithModes(e env.Env, opts Options) *Cluster {
 	// Clients.
 	for i := 0; i < opts.Clients; i++ {
 		cl := client.New(e, client.Config{
-			ID:          clientBase + env.NodeID(i),
-			Placement:   c.Placement,
-			ServerOf:    ServerOf,
-			SwitchFor:   switchFor,
-			Coordinator: ServerOf(0),
-			Tracker:     opts.Tracker,
-			Costs:       opts.Costs,
+			ID:           clientBase + env.NodeID(i),
+			Placement:    c.Placement,
+			ServerOf:     ServerOf,
+			SwitchFor:    switchFor,
+			Coordinator:  ServerOf(0),
+			Tracker:      opts.Tracker,
+			Costs:        opts.Costs,
+			RetryTimeout: opts.RetryTimeout,
 		})
 		c.Clients = append(c.Clients, cl)
 	}
 
-	// Data nodes (end-to-end workloads, §7.6).
+	// Data nodes (end-to-end workloads, §7.6): real replicated chunk
+	// servers, not cost-burning stubs — writes are acked only after the
+	// replication factor is satisfied, and retransmissions are deduped.
 	for i := 0; i < opts.DataNodes; i++ {
-		id := dataBase + env.NodeID(i)
+		id := DataNodeOf(i)
 		c.DataNodes = append(c.DataNodes, id)
-		cost := opts.Costs.DataIO
-		e.AddNode(id, env.NodeConfig{Cores: 4, Handler: func(p *env.Proc, from env.NodeID, msg any) {
-			pkt, ok := msg.(*wire.Packet)
-			if !ok {
-				return
-			}
-			req, ok := pkt.Body.(*wire.DataReq)
-			if !ok {
-				return
-			}
-			p.Compute(cost)
-			p.Send(req.Client, &wire.Packet{Dst: req.Client, Origin: id,
-				Body: &wire.DataResp{RespCommon: wire.RespCommon{RPC: req.RPC}}})
-		}})
+		c.DataServers = append(c.DataServers, datanode.New(e, dataNodeConfigOf(c, i)))
 	}
 	return c
+}
+
+// DataNodeOf maps a data placement slot to a node id.
+func DataNodeOf(slot int) env.NodeID { return dataBase + env.NodeID(slot) }
+
+// dataNodeConfigOf builds data node i's config.
+func dataNodeConfigOf(c *Cluster, i int) datanode.Config {
+	return datanode.Config{
+		ID:           DataNodeOf(i),
+		Slot:         i,
+		Nodes:        c.Opts.DataNodes,
+		Replication:  c.Opts.DataReplication,
+		Cores:        4,
+		Costs:        c.Opts.Costs,
+		NodeOf:       DataNodeOf,
+		RetryTimeout: c.Opts.RetryTimeout,
+	}
 }
 
 // Client returns the i-th client (mod the pool).
@@ -364,6 +388,7 @@ func serverConfigOf(c *Cluster, i int) server.Config {
 		SwitchFor:    switchFor,
 		Coordinator:  ServerOf(0),
 		Tracker:      c.Opts.Tracker,
+		DataNodes:    c.Opts.DataNodes,
 		Async:        c.Opts.Async,
 		Compaction:   c.Opts.Compaction,
 		PushEntries:  c.Opts.PushEntries,
@@ -372,6 +397,44 @@ func serverConfigOf(c *Cluster, i int) server.Config {
 		RetryTimeout: c.Opts.RetryTimeout,
 	}
 }
+
+// CrashDataNode fail-stops data node i: the volatile chunk store is lost
+// with the incarnation; surviving replicas carry the durability.
+func (c *Cluster) CrashDataNode(i int) {
+	c.DataServers[i].Crash()
+	c.dataDown++
+}
+
+// RecoverDataNode restarts data node i with an empty store and
+// re-replicates its stripes from the surviving peers before it serves
+// again. The returned future completes with the virtual duration (or an
+// error). The node counts as down until the pull completes; a recovery
+// whose pull reaches no peer fails and re-fail-stops the node, so a later
+// attempt (the chaos harness retries after healing) can succeed instead of
+// serving an empty store.
+func (c *Cluster) RecoverDataNode(i int) *env.Future {
+	fut := env.NewFuture()
+	id := c.DataServers[i].ID()
+	c.Env.Spawn(id, func(p *env.Proc) {
+		start := p.Now()
+		srv := datanode.Restart(c.Env, dataNodeConfigOf(c, i))
+		c.DataServers[i] = srv
+		if err := srv.Recover(p); err != nil {
+			srv.Crash() // stay fail-stopped (and still counted down)
+			fut.Complete(err)
+			return
+		}
+		c.dataDown--
+		fut.Complete(p.Now() - start)
+	})
+	return fut
+}
+
+// DataNodesDown reports how many data nodes are currently fail-stopped or
+// still re-replicating. A caller watching durability compares it against
+// Opts.DataReplication: at >= r concurrent failures a chunk's whole
+// replica set may have been wiped.
+func (c *Cluster) DataNodesDown() int { return c.dataDown }
 
 // CrashSwitch reboots the switches (§5.4.2 "Switch failure"): all dirty-set
 // state clears and the switch drops off the network until RecoverSwitch

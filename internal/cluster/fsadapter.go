@@ -73,7 +73,8 @@ func (a *fsAdapter) Data(p *env.Proc, shard int, write bool, bytes int64) error 
 	if write {
 		op = core.OpWrite
 	}
-	return a.cl.Data(p, a.c.DataNodes[shard%len(a.c.DataNodes)], op, bytes)
+	chunk := wire.ChunkKey{File: uint32(shard)}
+	return a.cl.Data(p, a.c.DataNodes[shard%len(a.c.DataNodes)], op, chunk, bytes)
 }
 
 var _ fsapi.System = (*Cluster)(nil)

@@ -1,0 +1,591 @@
+// Package datanode implements the SwitchFS data-plane server: the nodes the
+// end-to-end workloads (§7.6) route file content to. Content is modeled as
+// versioned chunks — one chunk per (file, stripe) — striped across the data
+// nodes by the DataLoc slots the metadata server assigns at create time.
+//
+// Each chunk lives on r replicas (its primary plus the next r−1 placement
+// slots in ring order). A write is addressed to the chunk's primary, which
+// assigns the next version, applies locally, replicates to the backups, and
+// acknowledges the client only after every backup applied — the durability
+// contract the chaos data oracle checks: an acknowledged write must survive
+// any ≤ r−1 data-node fail-stops.
+//
+// Data nodes have no WAL: a fail-stop loses the volatile chunk store, and
+// durability comes from replication alone. Recovery pulls the records the
+// restarted node is a replica of back from its peers (re-replication of
+// under-replicated stripes) before the node serves again.
+//
+// Client requests are deduplicated per (client, RPC) exactly like the
+// metadata servers (§5.4.1): a retransmitted DataReq replays the cached
+// response instead of re-executing, so duplicated or reordered packets
+// cannot bump a chunk's version twice. Replication packets need no cache —
+// backups apply by version comparison, which is idempotent.
+package datanode
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"switchfs/internal/core"
+	"switchfs/internal/env"
+	"switchfs/internal/wire"
+)
+
+// Config parameterizes one data node.
+type Config struct {
+	ID env.NodeID
+	// Slot is this node's placement slot index in [0, Nodes).
+	Slot int
+	// Nodes is the deployed data-node count (the placement ring size).
+	Nodes int
+	// Replication is r: a chunk lives on its primary plus r−1 backups.
+	Replication int
+	Cores       int
+	Costs       env.Costs
+	// NodeOf maps a placement slot to a node id.
+	NodeOf func(slot int) env.NodeID
+	// RetryTimeout paces replication and recovery-pull retransmissions.
+	RetryTimeout env.Duration
+}
+
+// Defaults fills zero fields.
+func (c *Config) Defaults() {
+	if c.Cores == 0 {
+		c.Cores = 4
+	}
+	if c.Replication == 0 {
+		c.Replication = 2
+	}
+	if c.Replication > c.Nodes && c.Nodes > 0 {
+		c.Replication = c.Nodes
+	}
+	if c.RetryTimeout == 0 {
+		c.RetryTimeout = 2 * env.Millisecond
+	}
+}
+
+// maxRepRetries bounds a primary's replication retransmissions: a backup
+// that stays down past the budget leaves the write unacknowledged (the
+// client has long timed out) and the in-flight dedup marker is released so
+// a later retransmission can re-execute.
+const maxRepRetries = 200
+
+// maxPullRetries bounds recovery-pull retransmissions per peer. An
+// unreachable peer is skipped: its records are only at risk if every other
+// replica is also down, which the chaos harness classifies as a wipe.
+const maxPullRetries = 8
+
+// chunkRec is one stored chunk: the highest applied version, the highest
+// COMMITTED (fully replicated) version — the only one reads may serve — the
+// modeled length of each, and the primary slot whose stripe set the record
+// belongs to.
+type chunkRec struct {
+	ver       uint64
+	bytes     int64
+	committed uint64
+	cbytes    int64
+	primary   uint32
+}
+
+type dedupKey struct {
+	client env.NodeID
+	rpc    uint64
+}
+
+// repState tracks one in-flight replication round on the primary.
+type repState struct {
+	need map[env.NodeID]bool
+	done *env.Future
+}
+
+// Stats counts data-plane activity (deterministic under Sim).
+type Stats struct {
+	Reads        uint64
+	Writes       uint64
+	Replicated   uint64 // backup-side applies
+	RepRounds    uint64 // primary-side replication rounds completed
+	Retries      uint64
+	DedupHits    uint64
+	PulledChunks uint64 // records installed during recovery
+}
+
+// Server is one data node.
+type Server struct {
+	cfg  Config
+	env  env.Env
+	node *env.Node
+
+	mu       sync.Mutex
+	store    map[wire.ChunkKey]chunkRec
+	dedup    map[dedupKey]wire.Msg
+	dedupLog []dedupKey
+	repWait  map[uint64]*repState
+	ctlWait  map[uint64]*env.Future
+	nextSeq  uint64
+	nextCtl  uint64
+
+	serving bool
+	// dead marks a fail-stopped incarnation: its in-flight processes must
+	// unwind without replying or acking (a restarted successor owns the
+	// node id).
+	dead bool
+
+	Stats Stats
+}
+
+const dedupWindow = 4096
+
+// New builds a data node and registers it with the environment.
+func New(e env.Env, cfg Config) *Server {
+	cfg.Defaults()
+	s := &Server{
+		cfg:     cfg,
+		env:     e,
+		store:   make(map[wire.ChunkKey]chunkRec),
+		dedup:   make(map[dedupKey]wire.Msg),
+		repWait: make(map[uint64]*repState),
+		ctlWait: make(map[uint64]*env.Future),
+		serving: true,
+	}
+	// Seed per-origin counters from the clock so a restarted incarnation
+	// never reuses its predecessor's sequence space (the same discipline as
+	// the metadata servers).
+	base := uint64(e.Now())
+	s.nextSeq = base
+	s.nextCtl = base
+	s.node = e.AddNode(cfg.ID, env.NodeConfig{Cores: cfg.Cores, Handler: s.handle})
+	return s
+}
+
+// ID returns the node id.
+func (s *Server) ID() env.NodeID { return s.cfg.ID }
+
+// Node returns the env node.
+func (s *Server) Node() *env.Node { return s.node }
+
+// Slot returns the placement slot.
+func (s *Server) Slot() int { return s.cfg.Slot }
+
+// Chunks reports the stored chunk count (diagnostics and tests).
+func (s *Server) Chunks() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.store)
+}
+
+// ChunkVer returns the stored version of a chunk (0 when absent).
+func (s *Server) ChunkVer(k wire.ChunkKey) uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.store[k].ver
+}
+
+// Crash simulates a fail-stop: the node drops off the network and the
+// volatile chunk store is lost with this incarnation. Restart builds the
+// successor.
+func (s *Server) Crash() {
+	s.serving = false
+	s.dead = true
+	s.node.SetDown(true)
+}
+
+// Restart builds a fresh (empty) data node over the same id. The caller
+// then runs Recover on a process to re-replicate before it serves.
+func Restart(e env.Env, cfg Config) *Server {
+	s := New(e, cfg)
+	s.serving = false
+	return s
+}
+
+// Recover re-replicates this node's stripes: every peer is asked for the
+// chunk records whose replica set includes this slot, newest version wins.
+// Unreachable peers are skipped after a bounded retry budget — their
+// records are only lost if every replica was down at once — but a pull that
+// reaches NO peer fails the recovery outright. Serving resumes when the
+// pull completes, so a half-recovered store is never read.
+func (s *Server) Recover(p *env.Proc) error {
+	s.serving = false
+	reached := 0
+	for slot := 0; slot < s.cfg.Nodes; slot++ {
+		if slot == s.cfg.Slot {
+			continue
+		}
+		peer := s.cfg.NodeOf(slot)
+		v, err := s.ctlCall(p, peer, func(ctl uint64) wire.Msg {
+			return &wire.DataPullReq{Ctl: ctl, From: s.cfg.ID, Slot: uint32(s.cfg.Slot)}
+		})
+		if err != nil {
+			continue // peer down; replication covers unless wiped
+		}
+		reached++
+		resp := v.(*wire.DataPullResp)
+		s.mu.Lock()
+		for _, rec := range resp.Chunks {
+			if rec.Ver > s.store[rec.Chunk].ver {
+				s.store[rec.Chunk] = chunkRec{ver: rec.Ver, bytes: rec.Bytes,
+					committed: rec.Ver, cbytes: rec.Bytes, primary: rec.Primary}
+				s.Stats.PulledChunks++
+			}
+		}
+		s.mu.Unlock()
+	}
+	if s.cfg.Nodes > 1 && reached == 0 {
+		// No peer answered: nothing was re-replicated, and serving an empty
+		// store would read acked chunks as version 0. Recovery fails; the
+		// caller re-fail-stops the node and a later attempt retries.
+		return fmt.Errorf("datanode %d: recovery pull reached no peer", s.cfg.Slot)
+	}
+	s.serving = true
+	return nil
+}
+
+// replicaSlots returns the placement slots holding a chunk whose primary
+// sits at slot p: p and the next r−1 slots in ring order.
+func replicaSlots(p uint32, nodes, r int) []int {
+	if r > nodes {
+		r = nodes
+	}
+	out := make([]int, 0, r)
+	for i := 0; i < r; i++ {
+		out = append(out, (int(p)+i)%nodes)
+	}
+	return out
+}
+
+// holdsSlot reports whether slot is in the replica set of a chunk with the
+// given primary slot.
+func holdsSlot(primary uint32, nodes, r, slot int) bool {
+	for _, sl := range replicaSlots(primary, nodes, r) {
+		if sl == slot {
+			return true
+		}
+	}
+	return false
+}
+
+// PrimarySlot maps a chunk key to its default primary placement slot — the
+// hash used when no DataLoc placement is available (harnesses, legacy
+// shard-addressed accesses).
+func PrimarySlot(chunk wire.ChunkKey, nodes int) int {
+	if nodes <= 0 {
+		return 0
+	}
+	h := uint64(chunk.File)*0x9E3779B1 + uint64(chunk.Stripe)*0x85EBCA77
+	return int(h % uint64(nodes))
+}
+
+// StripeSlot maps stripe s of a file with DataLoc placement loc onto a data
+// slot: loc[s mod len(loc)], clamped into the deployed ring. This is THE
+// striping rule — File.Write and the figure harnesses share it.
+func StripeSlot(loc []uint32, stripe, nodes int) int {
+	if nodes <= 0 || len(loc) == 0 {
+		return 0
+	}
+	return int(loc[stripe%len(loc)]) % nodes
+}
+
+// handle dispatches inbound packets.
+func (s *Server) handle(p *env.Proc, from env.NodeID, msg any) {
+	pkt, ok := msg.(*wire.Packet)
+	if !ok {
+		return
+	}
+	switch b := pkt.Body.(type) {
+	case *wire.DataReq:
+		if !s.serving {
+			// A recovering node must not serve reads of a half-pulled
+			// store (a wiped chunk would read as version 0 — a lost
+			// acknowledged write). Dropping makes the client retry.
+			return
+		}
+		s.handleData(p, b)
+	case *wire.DataRepReq:
+		// Replication flows even while recovering: applies are idempotent
+		// by version and keep the store converging.
+		s.handleRep(p, b)
+	case *wire.DataRepAck:
+		s.handleRepAck(b)
+	case *wire.DataPullReq:
+		s.handlePull(p, b)
+	case *wire.DataPullResp:
+		s.completeCtl(b.Ctl, b)
+	}
+}
+
+// handleData serves one client chunk access with (client, RPC) dedup.
+func (s *Server) handleData(p *env.Proc, req *wire.DataReq) {
+	if s.replayIfDuplicate(p, &req.ReqCommon) {
+		return
+	}
+	if !s.begin(&req.ReqCommon) {
+		return // another delivery of this RPC is executing; it will answer
+	}
+	p.Compute(s.cfg.Costs.DataIO)
+	resp := &wire.DataResp{RespCommon: wire.RespCommon{RPC: req.RPC}}
+	switch req.Op {
+	case core.OpRead:
+		// Reads serve the committed version only: an applied-but-not-yet-
+		// replicated write is still at the mercy of a single fail-stop, and
+		// surfacing it would let a reader observe content that then
+		// vanishes under <= r-1 failures.
+		s.mu.Lock()
+		rec := s.store[req.Chunk]
+		s.Stats.Reads++
+		s.mu.Unlock()
+		resp.Ver, resp.Bytes = rec.committed, rec.cbytes
+	case core.OpWrite:
+		s.mu.Lock()
+		rec := s.store[req.Chunk]
+		ver := rec.ver + 1
+		rec.ver, rec.bytes, rec.primary = ver, req.Bytes, uint32(s.cfg.Slot)
+		s.store[req.Chunk] = rec
+		s.Stats.Writes++
+		s.mu.Unlock()
+		if err := s.replicate(p, req.Chunk, ver, req.Bytes); err != nil {
+			// Not durably replicated: never acknowledge (and never serve —
+			// the committed watermark stays put). Release the in-flight
+			// marker so a post-heal retransmission re-executes
+			// (at-least-once; the fresh attempt assigns a newer version).
+			s.forget(&req.ReqCommon)
+			return
+		}
+		s.commit(req.Chunk, ver, req.Bytes)
+		resp.Ver = ver
+	default:
+		resp.Err = core.ErrnoOf(core.ErrInvalid)
+	}
+	s.remember(req.Client, req.RPC, resp)
+	s.reply(p, req.Client, resp)
+}
+
+// commit advances a chunk's committed watermark after replication.
+func (s *Server) commit(chunk wire.ChunkKey, ver uint64, bytes int64) {
+	s.mu.Lock()
+	rec := s.store[chunk]
+	if ver > rec.committed {
+		rec.committed, rec.cbytes = ver, bytes
+		s.store[chunk] = rec
+	}
+	s.mu.Unlock()
+}
+
+// replicate ships one chunk version to the backups and waits for every ack,
+// retransmitting to the stragglers.
+func (s *Server) replicate(p *env.Proc, chunk wire.ChunkKey, ver uint64, bytes int64) error {
+	r := s.cfg.Replication
+	if r <= 1 || s.cfg.Nodes <= 1 {
+		return nil
+	}
+	st := &repState{need: make(map[env.NodeID]bool), done: env.NewFuture()}
+	backups := replicaSlots(uint32(s.cfg.Slot), s.cfg.Nodes, r)[1:]
+	for _, slot := range backups {
+		st.need[s.cfg.NodeOf(slot)] = true
+	}
+	s.mu.Lock()
+	s.nextSeq++
+	seq := s.nextSeq
+	s.repWait[seq] = st
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.repWait, seq)
+		s.mu.Unlock()
+	}()
+	for try := 0; try < maxRepRetries && !s.dead; try++ {
+		s.mu.Lock()
+		pending := make([]env.NodeID, 0, len(st.need))
+		for n := range st.need {
+			pending = append(pending, n)
+		}
+		if len(pending) == 0 {
+			s.Stats.RepRounds++
+			s.mu.Unlock()
+			return nil
+		}
+		s.mu.Unlock()
+		sort.Slice(pending, func(i, j int) bool { return pending[i] < pending[j] })
+		for _, n := range pending {
+			s.reply(p, n, &wire.DataRepReq{
+				Seq: seq, From: s.cfg.ID, Primary: uint32(s.cfg.Slot),
+				Chunk: chunk, Ver: ver, Bytes: bytes,
+			})
+		}
+		if _, ok := st.done.WaitTimeout(p, s.cfg.RetryTimeout); ok {
+			s.mu.Lock()
+			s.Stats.RepRounds++
+			s.mu.Unlock()
+			return nil
+		}
+		s.mu.Lock()
+		s.Stats.Retries++
+		s.mu.Unlock()
+	}
+	return core.ErrTimeout
+}
+
+// handleRep applies a replicated chunk version on a backup (idempotent by
+// version) and always acks, so the primary unblocks even on duplicates.
+func (s *Server) handleRep(p *env.Proc, req *wire.DataRepReq) {
+	s.mu.Lock()
+	if req.Ver > s.store[req.Chunk].ver {
+		s.mu.Unlock()
+		p.Compute(s.cfg.Costs.DataIO)
+		s.mu.Lock()
+		if req.Ver > s.store[req.Chunk].ver {
+			// A replica copy is commit-grade: the primary only ships
+			// versions it is about to ack, and a pulled copy must be
+			// servable after the puller becomes primary again.
+			s.store[req.Chunk] = chunkRec{ver: req.Ver, bytes: req.Bytes,
+				committed: req.Ver, cbytes: req.Bytes, primary: req.Primary}
+			s.Stats.Replicated++
+		}
+	}
+	s.mu.Unlock()
+	s.reply(p, req.From, &wire.DataRepAck{Seq: req.Seq, From: s.cfg.ID})
+}
+
+// handleRepAck marks one backup done for a pending replication round.
+func (s *Server) handleRepAck(ack *wire.DataRepAck) {
+	s.mu.Lock()
+	st := s.repWait[ack.Seq]
+	var done bool
+	if st != nil && st.need[ack.From] {
+		delete(st.need, ack.From)
+		done = len(st.need) == 0
+	}
+	s.mu.Unlock()
+	if done {
+		st.done.Complete(nil)
+	}
+}
+
+// handlePull answers a recovery pull: every stored record whose replica set
+// includes the requester's slot, sorted for determinism.
+func (s *Server) handlePull(p *env.Proc, req *wire.DataPullReq) {
+	s.mu.Lock()
+	var recs []wire.ChunkRec
+	for k, rec := range s.store {
+		if rec.committed == 0 {
+			continue // an uncommitted apply is not durable state to copy
+		}
+		if holdsSlot(rec.primary, s.cfg.Nodes, s.cfg.Replication, int(req.Slot)) {
+			recs = append(recs, wire.ChunkRec{Chunk: k, Ver: rec.committed, Bytes: rec.cbytes, Primary: rec.primary})
+		}
+	}
+	s.mu.Unlock()
+	sort.Slice(recs, func(i, j int) bool {
+		if recs[i].Chunk.File != recs[j].Chunk.File {
+			return recs[i].Chunk.File < recs[j].Chunk.File
+		}
+		return recs[i].Chunk.Stripe < recs[j].Chunk.Stripe
+	})
+	// Transfer cost scales with the volume re-replicated.
+	p.Compute(env.Duration(len(recs)) * s.cfg.Costs.DataIO / 8)
+	s.reply(p, req.From, &wire.DataPullResp{Ctl: req.Ctl, From: s.cfg.ID, Chunks: recs})
+}
+
+// ctlCall performs one retried control round trip (recovery pull).
+func (s *Server) ctlCall(p *env.Proc, to env.NodeID, build func(ctl uint64) wire.Msg) (wire.Msg, error) {
+	s.mu.Lock()
+	s.nextCtl++
+	ctl := uint64(s.cfg.ID)<<24 | (s.nextCtl & (1<<24 - 1))
+	fut := env.NewFuture()
+	s.ctlWait[ctl] = fut
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.ctlWait, ctl)
+		s.mu.Unlock()
+	}()
+	msg := build(ctl)
+	for try := 0; try < maxPullRetries && !s.dead; try++ {
+		s.reply(p, to, msg)
+		if v, ok := fut.WaitTimeout(p, s.cfg.RetryTimeout); ok {
+			return v.(wire.Msg), nil
+		}
+		s.mu.Lock()
+		s.Stats.Retries++
+		s.mu.Unlock()
+	}
+	return nil, core.ErrTimeout
+}
+
+func (s *Server) completeCtl(ctl uint64, v wire.Msg) {
+	s.mu.Lock()
+	fut := s.ctlWait[ctl]
+	s.mu.Unlock()
+	if fut != nil {
+		fut.Complete(v)
+	}
+}
+
+// reply sends a packet unless this incarnation fail-stopped.
+func (s *Server) reply(p *env.Proc, to env.NodeID, body wire.Msg) {
+	if s.dead {
+		return
+	}
+	p.Send(to, &wire.Packet{Dst: to, Origin: s.cfg.ID, Body: body})
+}
+
+// replayIfDuplicate answers a retransmitted RPC from the dedup cache. A nil
+// cached response marks an execution in progress; the duplicate is dropped.
+func (s *Server) replayIfDuplicate(p *env.Proc, req *wire.ReqCommon) bool {
+	k := dedupKey{client: req.Client, rpc: req.RPC}
+	s.mu.Lock()
+	resp, ok := s.dedup[k]
+	if ok {
+		s.Stats.DedupHits++
+	}
+	s.mu.Unlock()
+	if !ok {
+		return false
+	}
+	if resp != nil {
+		s.reply(p, req.Client, resp)
+	}
+	return true
+}
+
+// begin marks (client, rpc) in flight so concurrent deliveries of the same
+// RPC execute at most once.
+func (s *Server) begin(req *wire.ReqCommon) bool {
+	k := dedupKey{client: req.Client, rpc: req.RPC}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.dedup[k]; ok {
+		return false
+	}
+	s.dedup[k] = nil
+	s.dedupLog = append(s.dedupLog, k)
+	if len(s.dedupLog) > dedupWindow {
+		old := s.dedupLog[0]
+		s.dedupLog = s.dedupLog[1:]
+		delete(s.dedup, old)
+	}
+	return true
+}
+
+// remember caches the response for retransmission replay.
+func (s *Server) remember(client env.NodeID, rpc uint64, resp wire.Msg) {
+	s.mu.Lock()
+	s.dedup[dedupKey{client: client, rpc: rpc}] = resp
+	s.mu.Unlock()
+}
+
+// forget releases an in-flight marker whose execution gave up unacked. The
+// dedupLog slot goes with it: a stale slot would otherwise evict a
+// re-execution's cached response one full window early, re-opening the
+// duplicate-write hole.
+func (s *Server) forget(req *wire.ReqCommon) {
+	k := dedupKey{client: req.Client, rpc: req.RPC}
+	s.mu.Lock()
+	delete(s.dedup, k)
+	for i, q := range s.dedupLog {
+		if q == k {
+			s.dedupLog = append(s.dedupLog[:i], s.dedupLog[i+1:]...)
+			break
+		}
+	}
+	s.mu.Unlock()
+}

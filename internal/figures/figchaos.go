@@ -28,7 +28,8 @@ func FigChaosSeed(sc Scale, seed int64) Table {
 		},
 	}
 
-	g := chaos.Geometry{Servers: sc.ServerCounts[0], Clients: 2, Switches: 1}
+	g := chaos.Geometry{Servers: sc.ServerCounts[0], Clients: 2, Switches: 1,
+		DataNodes: 4, DataReplication: 2}
 	workers := sc.Workers / 8
 	if workers < 4 {
 		workers = 4
@@ -44,6 +45,7 @@ func FigChaosSeed(sc Scale, seed int64) Table {
 		sim := env.NewSim(seed)
 		c := cluster.New(sim, cluster.Options{
 			Servers: g.Servers, Clients: g.Clients, Switches: g.Switches,
+			DataNodes: g.DataNodes, DataReplication: g.DataReplication,
 			SwitchIndexBits: 12, Costs: env.DefaultCosts(),
 		})
 		rep := chaos.Run(sim, c, plan, chaos.Options{Workers: workers, Seed: seed})

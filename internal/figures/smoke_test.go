@@ -1,6 +1,7 @@
 package figures
 
 import (
+	"fmt"
 	"testing"
 
 	"switchfs/internal/core"
@@ -67,5 +68,40 @@ func TestFigChaosShape(t *testing.T) {
 		if len(row) != len(tab.Header) {
 			t.Fatalf("ragged row %v", row)
 		}
+	}
+}
+
+// TestFigDataShape runs the data-plane figure at a reduced scale: one row
+// per (nodes, replication) config plus the recovery row, and — because
+// FigData panics on a lost acknowledged content write — a durability pass
+// over the crash/re-replication cycle.
+func TestFigDataShape(t *testing.T) {
+	sc := Scale{Dirs: 8, FilesPerDir: 8, Workers: 32, OpsPerWorker: 10,
+		ServerCounts: []int{4}, CoreCounts: []int{2}, BurstSizes: []int{10}}
+	tab := FigData(sc)
+	if tab.ID != "data" {
+		t.Fatalf("id=%q", tab.ID)
+	}
+	if len(tab.Rows) != 6 {
+		t.Fatalf("%d rows, want 5 throughput configs + 1 recovery row", len(tab.Rows))
+	}
+	if len(tab.Meta) != len(tab.Rows) {
+		t.Fatalf("%d counter rows for %d rows", len(tab.Meta), len(tab.Rows))
+	}
+	for i, row := range tab.Rows {
+		if len(row) != len(tab.Header) {
+			t.Fatalf("ragged row %v", row)
+		}
+		if tab.Meta[i].IsZero() {
+			t.Errorf("row %d has empty counters", i)
+		}
+	}
+	// Replication must cost writes something: r=1 strictly beats r=2 at the
+	// same node count.
+	var r1, r2 float64
+	fmt.Sscanf(tab.Rows[1][3], "%f", &r1) // 4 nodes r=1
+	fmt.Sscanf(tab.Rows[2][3], "%f", &r2) // 4 nodes r=2
+	if r1 <= r2 {
+		t.Errorf("r=1 write throughput %.1f not above r=2's %.1f — replication is free?", r1, r2)
 	}
 }

@@ -75,6 +75,7 @@ func (s *Server) doMutate(p *env.Proc, req *wire.MutateReq) {
 		now := p.Now()
 		in.Attr = core.Attr{Type: core.TypeRegular, Perm: perm, Nlink: 1,
 			Atime: now, Mtime: now, Ctime: now}
+		in.DataLoc = s.assignDataLoc(key)
 		entry.Op, entry.Type, entry.Perm = core.OpCreate, core.TypeRegular, perm
 	case core.OpMkdir:
 		if exists {

@@ -49,6 +49,10 @@ type Config struct {
 	Coordinator env.NodeID
 	WAL         wal.Log
 	Tracker     TrackerMode
+	// DataNodes is the deployed data-node count. When nonzero, creates
+	// assign the file's content placement: a DataLoc slot list the client
+	// stripes chunks across (returned at Open, §7.6).
+	DataNodes int
 
 	// Async enables asynchronous metadata updates; false degrades every
 	// double-inode op to the synchronous cross-server protocol ("Baseline"

@@ -27,6 +27,32 @@ func mustMark(l wal.Log, lsn wal.LSN) {
 	}
 }
 
+// maxStripeWidth caps how many data slots one file stripes over: wide
+// enough to spread a multi-chunk file, narrow enough that small files keep
+// locality (§7.6 files are mostly under 256 KB).
+const maxStripeWidth = 4
+
+// assignDataLoc picks a file's content placement at create time: a ring
+// window of data slots starting at a fingerprint-derived base. The client
+// stripes chunk s to DataLoc[s mod len] (returned at Open); deployments
+// without data nodes get none (metadata-only runs).
+func (s *Server) assignDataLoc(key core.Key) []uint32 {
+	n := s.cfg.DataNodes
+	if n <= 0 {
+		return nil
+	}
+	w := n
+	if w > maxStripeWidth {
+		w = maxStripeWidth
+	}
+	base := uint32(uint64(key.Fingerprint()) % uint64(n))
+	loc := make([]uint32, w)
+	for j := range loc {
+		loc[j] = (base + uint32(j)) % uint32(n)
+	}
+	return loc
+}
+
 // fileAttrKey derives the storage key of a hard-linked file's shared
 // attribute object (§5.5): a reserved parent id namespace keyed by FileID.
 func fileAttrKey(id core.FileID) core.Key {

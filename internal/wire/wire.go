@@ -453,16 +453,81 @@ type FlushAllResp struct {
 
 // --- Data access (end-to-end workloads, §7.6) -------------------------------
 
-// DataReq reads or writes file content on a data node.
+// ChunkKey names one stripe of one file's content on the data plane. File is
+// the client-stable file hash (or the workload shard); Stripe indexes the
+// stripe within the file. Striping spreads a file's chunks across data nodes
+// via the DataLoc slots the metadata server assigns at create.
+type ChunkKey struct {
+	File   uint32
+	Stripe uint32
+}
+
+// DataReq reads or writes one content chunk on its primary data node. The
+// addressed node IS the chunk's primary; its backups are the next
+// placement slots in ring order. Writes are acknowledged only after the
+// replication factor is satisfied (primary + r−1 backups applied).
 type DataReq struct {
 	ReqCommon
 	Op    core.Op // OpRead or OpWrite
+	Chunk ChunkKey
 	Bytes int64
 }
 
-// DataResp completes a data access.
+// DataResp completes a data access. Ver is the chunk version the primary
+// assigned (write) or currently stores (read; 0 for never-written chunks —
+// the empty-file read). Bytes echoes the stored length on reads.
 type DataResp struct {
 	RespCommon
+	Ver   uint64
+	Bytes int64
+}
+
+// DataRepReq is the primary→backup replication leg of a chunk write: the
+// backup applies the record iff Ver is newer than its copy (idempotent, so
+// duplicated or reordered replication packets are harmless) and always acks.
+type DataRepReq struct {
+	// Seq matches acks to the primary's pending replication round.
+	Seq  uint64
+	From env.NodeID
+	// Primary is the chunk's primary placement slot — recorded with the
+	// replica so recovery can tell which node's stripes a record belongs to.
+	Primary uint32
+	Chunk   ChunkKey
+	Ver     uint64
+	Bytes   int64
+}
+
+// DataRepAck confirms one backup applied (or already held) a replicated
+// chunk version.
+type DataRepAck struct {
+	Seq  uint64
+	From env.NodeID
+}
+
+// ChunkRec is one chunk record in a recovery pull response.
+type ChunkRec struct {
+	Chunk   ChunkKey
+	Ver     uint64
+	Bytes   int64
+	Primary uint32
+}
+
+// DataPullReq asks a peer data node for every chunk record whose replica
+// set includes the requesting node's slot (re-replication after a
+// fail-stop: the restarted node's volatile store is empty).
+type DataPullReq struct {
+	Ctl  uint64
+	From env.NodeID
+	// Slot is the requester's placement slot.
+	Slot uint32
+}
+
+// DataPullResp returns the matching chunk records, sorted by chunk key so
+// recovery is deterministic.
+type DataPullResp struct {
+	Ctl    uint64
+	From   env.NodeID
+	Chunks []ChunkRec
 }
 
 func (*LookupReq) msg()      {}
@@ -502,3 +567,7 @@ func (*AggNowReq) msg()      {}
 func (*AggNowResp) msg()     {}
 func (*DataReq) msg()        {}
 func (*DataResp) msg()       {}
+func (*DataRepReq) msg()     {}
+func (*DataRepAck) msg()     {}
+func (*DataPullReq) msg()    {}
+func (*DataPullResp) msg()   {}

@@ -9,21 +9,23 @@ import (
 // config collects the deployment knobs set by Options. Zero fields take the
 // paper's evaluation defaults in defaultConfig.
 type config struct {
-	servers        int
-	coresPerServer int
-	clients        int
-	switches       int
-	dataNodes      int
-	retryTimeout   env.Duration
+	servers         int
+	coresPerServer  int
+	clients         int
+	switches        int
+	dataNodes       int
+	dataReplication int
+	retryTimeout    env.Duration
 }
 
 func defaultConfig() config {
 	return config{
-		servers:        8,
-		coresPerServer: 4,
-		clients:        1,
-		switches:       1,
-		dataNodes:      0,
+		servers:         8,
+		coresPerServer:  4,
+		clients:         1,
+		switches:        1,
+		dataNodes:       0,
+		dataReplication: 2,
 	}
 }
 
@@ -41,6 +43,7 @@ func (c config) validate() error {
 		{"clients", c.clients, 1},
 		{"switches", c.switches, 1},
 		{"data nodes", c.dataNodes, 0},
+		{"data replication", c.dataReplication, 1},
 	} {
 		if f.v < f.min {
 			return fmt.Errorf("switchfs: %s must be >= %d, got %d", f.name, f.min, f.v)
@@ -70,6 +73,13 @@ func WithSwitches(n int) Option { return func(c *config) { c.switches = n } }
 // File.Read and File.Write are charged against these nodes.
 func WithDataNodes(n int) Option { return func(c *config) { c.dataNodes = n } }
 
+// WithDataReplication sets the data-plane replication factor r (default 2,
+// capped at the deployed data-node count): a File.Write chunk is
+// acknowledged only after its primary data node and r−1 backups applied it,
+// so acked content survives any r−1 data-node fail-stops.
+func WithDataReplication(r int) Option { return func(c *config) { c.dataReplication = r } }
+
 // WithRetryTimeout bounds client request retransmission (default 2ms of
-// virtual time).
+// virtual time). Data-node accesses scale this same timeout up (20×) so
+// queuing behind replicated I/O does not trigger retransmit storms.
 func WithRetryTimeout(d env.Duration) Option { return func(c *config) { c.retryTimeout = d } }

@@ -3,7 +3,9 @@ package switchfs
 import (
 	"switchfs/internal/client"
 	"switchfs/internal/core"
+	"switchfs/internal/datanode"
 	"switchfs/internal/env"
+	"switchfs/internal/wire"
 )
 
 // Session is one client's os-like view of a deployed filesystem. A session
@@ -184,16 +186,25 @@ func (f *File) Chmod(perm Perm) error {
 	return f.s.Chmod(f.path, perm)
 }
 
-// Read models reading n bytes of content from the file's data node (§7.6).
+// Read models reading n bytes of content from the file's data nodes (§7.6).
 // Deployments without data nodes complete immediately (metadata-only runs).
 func (f *File) Read(n int64) error {
 	return f.data("read", core.OpRead, n)
 }
 
-// Write models writing n bytes of content to the file's data node (§7.6).
+// Write models writing n bytes of content to the file's data nodes (§7.6).
+// Content is striped in stripeUnit chunks across the DataLoc placement the
+// metadata server assigned at create; each chunk is acknowledged by its
+// primary data node only after the deployment's replication factor is
+// satisfied.
 func (f *File) Write(n int64) error {
 	return f.data("write", core.OpWrite, n)
 }
+
+// stripeUnit is the content stripe size: one chunk per stripeUnit bytes,
+// spread round-robin over the file's DataLoc slots (§7.6 files are mostly
+// small — one or two stripes).
+const stripeUnit int64 = 64 << 10
 
 func (f *File) data(opName string, op core.Op, n int64) error {
 	if f.closed {
@@ -206,10 +217,45 @@ func (f *File) data(opName string, op core.Op, n int64) error {
 	if len(nodes) == 0 || n == 0 {
 		return nil
 	}
-	node := nodes[f.shard()%len(nodes)]
+	loc := f.loc
+	if len(loc) == 0 {
+		// Pre-v2 inodes (preloaded fixtures) carry no placement; fall back
+		// to a stable hash of the path.
+		loc = []uint32{uint32(f.shard())}
+	}
+	file := f.fileKey()
+	stripes := int((n + stripeUnit - 1) / stripeUnit)
 	return wrapPath(opName, f.path, f.s.run(func(p *env.Proc) error {
-		return f.s.cl.Data(p, node, op, n)
+		left := n
+		for s := 0; s < stripes; s++ {
+			bytes := left
+			if bytes > stripeUnit {
+				bytes = stripeUnit
+			}
+			left -= bytes
+			node := nodes[datanode.StripeSlot(loc, s, len(nodes))]
+			chunk := wire.ChunkKey{File: file, Stripe: uint32(s)}
+			var err error
+			if op == core.OpWrite {
+				_, err = f.s.cl.WriteChunk(p, node, chunk, bytes)
+			} else {
+				_, _, err = f.s.cl.ReadChunk(p, node, chunk)
+			}
+			if err != nil {
+				return err
+			}
+		}
+		return nil
 	}))
+}
+
+// fileKey is the chunk-key file hash: stable per path.
+func (f *File) fileKey() uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(f.path); i++ {
+		h = (h ^ uint32(f.path[i])) * 16777619
+	}
+	return h
 }
 
 // shard picks the data node slot: the placement recorded at open when the
@@ -218,12 +264,8 @@ func (f *File) shard() int {
 	if len(f.loc) > 0 {
 		return int(f.loc[0] & 0x7fffffff)
 	}
-	h := uint32(2166136261)
-	for i := 0; i < len(f.path); i++ {
-		h = (h ^ uint32(f.path[i])) * 16777619
-	}
 	// Mask to keep the index non-negative on 32-bit ints.
-	return int(h & 0x7fffffff)
+	return int(f.fileKey() & 0x7fffffff)
 }
 
 // Close releases the handle at the metadata service. Closing twice returns

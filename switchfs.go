@@ -91,12 +91,13 @@ func New(e Env, opts ...Option) (*FS, error) {
 		return nil, err
 	}
 	copts := cluster.Options{
-		Servers:        cfg.servers,
-		CoresPerServer: cfg.coresPerServer,
-		Clients:        cfg.clients,
-		Switches:       cfg.switches,
-		DataNodes:      cfg.dataNodes,
-		RetryTimeout:   cfg.retryTimeout,
+		Servers:         cfg.servers,
+		CoresPerServer:  cfg.coresPerServer,
+		Clients:         cfg.clients,
+		Switches:        cfg.switches,
+		DataNodes:       cfg.dataNodes,
+		DataReplication: cfg.dataReplication,
+		RetryTimeout:    cfg.retryTimeout,
 	}
 	if _, isSim := e.(*env.Sim); isSim {
 		copts.Costs = env.DefaultCosts()
@@ -148,6 +149,12 @@ func (f *FS) RecoverServer(i int) { f.c.RecoverServer(i) }
 // consistency by flushing every change-log (§5.4.2).
 func (f *FS) CrashSwitch()   { f.c.CrashSwitch() }
 func (f *FS) RecoverSwitch() { f.c.RecoverSwitch() }
+
+// CrashDataNode fail-stops data node i (its volatile chunk store is lost;
+// surviving replicas carry the durability). RecoverDataNode restarts it and
+// re-replicates its stripes from the peers before it serves again.
+func (f *FS) CrashDataNode(i int)   { f.c.CrashDataNode(i) }
+func (f *FS) RecoverDataNode(i int) { f.c.RecoverDataNode(i) }
 
 // Cluster exposes the underlying deployment for advanced use (fault
 // injection, statistics, preloading, workload harnesses).
