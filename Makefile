@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: verify fmt vet build test bench figures lint race bench-json bench-compare bench-baseline chaos-smoke
+.PHONY: verify fmt vet build test bench figures lint race bench-json bench-compare bench-baseline chaos-smoke lincheck-smoke lincheck-sweep
 
 verify: fmt vet build test
 
@@ -29,10 +29,10 @@ bench-json:
 # against a self-compare. Refresh the baseline with bench-baseline when a
 # change legitimately moves the numbers (and say why in the commit).
 bench-compare:
-	$(GO) run ./cmd/fsbench -fig 12a,14,chaos,data -scale tiny -compare bench/baseline.json
+	$(GO) run ./cmd/fsbench -fig 12a,14,chaos,data,lincheck -scale tiny -compare bench/baseline.json
 
 bench-baseline:
-	$(GO) run ./cmd/fsbench -fig 12a,14,chaos,data -scale tiny -format json -out bench/baseline.json
+	$(GO) run ./cmd/fsbench -fig 12a,14,chaos,data,lincheck -scale tiny -format json -out bench/baseline.json
 	$(GO) run ./cmd/fsbench -validate bench/baseline.json
 
 # chaos-smoke runs the fault-plan availability harness (metadata AND
@@ -44,6 +44,21 @@ bench-baseline:
 chaos-smoke:
 	$(GO) run ./cmd/fsbench -fig chaos -scale tiny -seed 7 -format json -out chaos.json
 	$(GO) run ./cmd/fsbench -fig chaos -scale tiny -seed 7 -compare chaos.json
+
+# lincheck-smoke runs the linearizability + differential-model checker over a
+# bounded seed range (sequential diffs vs the baseline, concurrent histories
+# fault-free and across the fault-plan catalog) twice with one seed: run 1
+# fails on any divergence or non-linearizable history (the figure panics with
+# a minimized counterexample), run 2 re-generates and diffs cell-by-cell with
+# counter checking so any nondeterminism fails too.
+lincheck-smoke:
+	$(GO) run ./cmd/fsbench -fig lincheck -scale tiny -seed 7 -format json -out lincheck.json
+	$(GO) run ./cmd/fsbench -fig lincheck -scale tiny -seed 7 -compare lincheck.json
+
+# lincheck-sweep is the long-form acceptance sweep: 64 seeds through every
+# lincheck test mode (go test entry point).
+lincheck-sweep:
+	LINCHECK_SEEDS=64 $(GO) test ./internal/lincheck/ -run 'TestSweep' -v
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \

@@ -10,12 +10,16 @@
 //	fsbench -validate BENCH_12a_14.json
 //
 // Figure ids: 2a 2b 2c 2d 12a 12b 13 14 overflow 15a 15b 16 17 18a 18b 19
-// recovery chaos data. Scales: tiny, quick, paper (paper takes minutes per
-// figure). The chaos figure runs the fault-plan availability harness; -seed
-// selects its random plan (and simulation seeds), and any checker violation
-// aborts the run non-zero. The data figure benchmarks the replicated
-// striped data plane and its crash recovery; a lost acknowledged content
-// write aborts it the same way.
+// recovery chaos data lincheck. Scales: tiny, quick, paper (paper takes
+// minutes per figure). The chaos figure runs the fault-plan availability
+// harness; -seed selects its random plan (and simulation seeds), and any
+// checker violation aborts the run non-zero. The data figure benchmarks the
+// replicated striped data plane and its crash recovery; a lost acknowledged
+// content write aborts it the same way. The lincheck figure sweeps seeds
+// through the linearizability + differential-model checker (sequential
+// diffs against the baseline, concurrent histories fault-free and under
+// fault plans); any divergence or non-linearizable history aborts with a
+// minimized counterexample trace.
 //
 // -format json emits the versioned internal/bench schema (figure cells,
 // per-row op/packet counters, wall time); -compare re-runs the selected
@@ -59,6 +63,7 @@ var registry = []struct {
 	{"recovery", figures.Recovery},
 	{"chaos", figures.FigChaos},
 	{"data", figures.FigData},
+	{"lincheck", figures.FigLincheck},
 }
 
 func usageRegistry(w *os.File) {
@@ -175,6 +180,8 @@ func main() {
 			return func(sc figures.Scale) figures.Table { return figures.FigChaosSeed(sc, *seedFlag) }
 		case "data":
 			return func(sc figures.Scale) figures.Table { return figures.FigDataSeed(sc, *seedFlag) }
+		case "lincheck":
+			return func(sc figures.Scale) figures.Table { return figures.FigLincheckSeed(sc, *seedFlag) }
 		}
 		return fn
 	}

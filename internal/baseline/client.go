@@ -113,6 +113,17 @@ func joinPath(comps []string) string {
 
 // do routes one operation and returns its error.
 func (cl *bclient) do(p *env.Proc, op core.Op, path string) (*bresp, error) {
+	if (op == core.OpStatDir || op == core.OpReadDir) && path == "/" {
+		// The root needs no resolution (it is pre-cached as "/").
+		owner := cl.c.ownerForDirID(core.RootDirID, "/")
+		resp, err := cl.call(p, owner.id, func(rpc uint64) any {
+			return &breq{RPC: rpc, From: cl.id, Op: op, Dir: core.RootDirID, DirPath: "/"}
+		})
+		if err != nil {
+			return nil, err
+		}
+		return resp, resp.Err.Err()
+	}
 	dir, name, dirPath, err := cl.resolve(p, path)
 	if err != nil {
 		return nil, err
@@ -201,11 +212,22 @@ func (cl *bclient) Mkdir(p *env.Proc, path string) error {
 func (cl *bclient) Rmdir(p *env.Proc, path string) error {
 	_, err := cl.do(p, core.OpRmdir, path)
 	if err == nil {
-		cl.mu.Lock()
-		delete(cl.cache, path)
-		cl.mu.Unlock()
+		cl.invalidatePrefix(path)
 	}
 	return err
+}
+
+// invalidatePrefix drops every cached resolution at or under path: after a
+// rmdir or rename, a recreated or moved directory gets a different id, and a
+// stale hit would route operations to the old one.
+func (cl *bclient) invalidatePrefix(path string) {
+	cl.mu.Lock()
+	for k := range cl.cache {
+		if k == path || (len(k) > len(path)+1 && k[:len(path)] == path && k[len(path)] == '/') {
+			delete(cl.cache, k)
+		}
+	}
+	cl.mu.Unlock()
 }
 
 // statAttr builds the attribute block for a stat/open response from the
@@ -265,7 +287,8 @@ func (cl *bclient) ReadDir(p *env.Proc, path string) ([]core.DirEntry, error) {
 	return resp.Entries, nil
 }
 
-func (cl *bclient) Rename(p *env.Proc, src, dst string) error {
+// twoPath routes rename and link to the source's server.
+func (cl *bclient) twoPath(p *env.Proc, op core.Op, src, dst string) error {
 	sdir, sname, sdirPath, err := cl.resolve(p, src)
 	if err != nil {
 		return err
@@ -276,7 +299,7 @@ func (cl *bclient) Rename(p *env.Proc, src, dst string) error {
 	}
 	owner := cl.c.fileServerForPath(sdir, sname, sdirPath)
 	resp, err := cl.call(p, owner.id, func(rpc uint64) any {
-		return &breq{RPC: rpc, From: cl.id, Op: core.OpRename,
+		return &breq{RPC: rpc, From: cl.id, Op: op,
 			Dir: sdir, DirPath: sdirPath, Name: sname,
 			Dir2: ddir, Dir2Path: ddirPath, Name2: dname}
 	})
@@ -284,6 +307,19 @@ func (cl *bclient) Rename(p *env.Proc, src, dst string) error {
 		return err
 	}
 	return resp.Err.Err()
+}
+
+func (cl *bclient) Rename(p *env.Proc, src, dst string) error {
+	err := cl.twoPath(p, core.OpRename, src, dst)
+	if err == nil {
+		// A renamed directory's descendants are cached under the old path.
+		cl.invalidatePrefix(src)
+	}
+	return err
+}
+
+func (cl *bclient) Link(p *env.Proc, src, dst string) error {
+	return cl.twoPath(p, core.OpLink, src, dst)
 }
 
 func (cl *bclient) Data(p *env.Proc, shard int, write bool, bytes int64) error {

@@ -1,0 +1,150 @@
+package baseline
+
+import (
+	"errors"
+	"testing"
+
+	"switchfs/internal/core"
+	"switchfs/internal/env"
+	"switchfs/internal/fsapi"
+)
+
+// Regression tests for the POSIX-shape divergences the lincheck differential
+// harness held the baseline to. Before these fixes the emulated systems
+// disagreed with SwitchFS (and POSIX) on every case below, so no
+// differential comparison of the full API was possible.
+
+func checkErr(t *testing.T, what string, err, sentinel error) {
+	t.Helper()
+	if !errors.Is(err, sentinel) {
+		t.Errorf("%s: got %v, want %v", what, err, sentinel)
+	}
+}
+
+func TestSemanticsErrors(t *testing.T) {
+	sim, c := deployTest(t, InfiniFS)
+	run(sim, c, func(p *env.Proc, fs fsapi.FS) {
+		if err := fs.Mkdir(p, "/d"); err != nil {
+			t.Errorf("mkdir: %v", err)
+			return
+		}
+		if err := fs.Create(p, "/f"); err != nil {
+			t.Errorf("create: %v", err)
+			return
+		}
+		// Deleting a directory is rmdir's job.
+		checkErr(t, "delete of dir", fs.Delete(p, "/d"), core.ErrIsDir)
+		// Rmdir of a regular file.
+		checkErr(t, "rmdir of file", fs.Rmdir(p, "/f"), core.ErrNotDir)
+		// A file used as a path component is ENOTDIR, not ENOENT.
+		checkErr(t, "lookup through file", fs.Create(p, "/f/x"), core.ErrNotDir)
+		// Missing intermediate component stays ENOENT.
+		checkErr(t, "lookup through missing", fs.Create(p, "/nope/x"), core.ErrNotExist)
+		// The directory must still be intact after the failed delete.
+		if _, err := fs.StatDir(p, "/d"); err != nil {
+			t.Errorf("statdir after rejected delete: %v", err)
+		}
+	})
+}
+
+func TestSemanticsRename(t *testing.T) {
+	sim, c := deployTest(t, InfiniFS)
+	run(sim, c, func(p *env.Proc, fs fsapi.FS) {
+		for _, err := range []error{
+			fs.Mkdir(p, "/d"), fs.Create(p, "/d/f"), fs.Create(p, "/g"),
+		} {
+			if err != nil {
+				t.Errorf("setup: %v", err)
+				return
+			}
+		}
+		// Missing source (and no phantom destination may appear).
+		checkErr(t, "rename missing", fs.Rename(p, "/nope", "/x"), core.ErrNotExist)
+		if _, err := fs.Stat(p, "/x"); !errors.Is(err, core.ErrNotExist) {
+			t.Errorf("rename of missing source created destination: %v", err)
+		}
+		// Rename to itself is a no-op success.
+		if err := fs.Rename(p, "/g", "/g"); err != nil {
+			t.Errorf("self-rename: %v", err)
+		}
+		// Existing destination (file and dir) is EEXIST — before the fix the
+		// baseline silently overwrote it.
+		checkErr(t, "rename onto file", fs.Rename(p, "/g", "/d/f"), core.ErrExist)
+		checkErr(t, "rename onto dir", fs.Rename(p, "/g", "/d"), core.ErrExist)
+		// A directory cannot move under its own subtree.
+		checkErr(t, "rename into own subtree", fs.Rename(p, "/d", "/d/sub"), core.ErrLoop)
+
+		// A renamed directory keeps its identity: children resolve through
+		// the new path, the old path is dead (client caches invalidated),
+		// and the moved record keeps its type — before the fix the pointer
+		// record was rewritten as a regular file, stranding the subtree.
+		if err := fs.Rename(p, "/d", "/e"); err != nil {
+			t.Errorf("dir rename: %v", err)
+			return
+		}
+		if a, err := fs.Stat(p, "/e"); err != nil || a.Type != core.TypeDir {
+			t.Errorf("renamed dir type=%v err=%v", a.Type, err)
+		}
+		if _, err := fs.Stat(p, "/e/f"); err != nil {
+			t.Errorf("child through renamed dir: %v", err)
+		}
+		if _, err := fs.Stat(p, "/d/f"); !errors.Is(err, core.ErrNotExist) {
+			t.Errorf("child through old dir path: %v, want ErrNotExist", err)
+		}
+		if a, err := fs.StatDir(p, "/e"); err != nil || a.Size != 1 {
+			t.Errorf("renamed dir size=%d err=%v, want 1", a.Size, err)
+		}
+	})
+}
+
+func TestSemanticsLink(t *testing.T) {
+	sim, c := deployTest(t, InfiniFS)
+	run(sim, c, func(p *env.Proc, fs fsapi.FS) {
+		if err := fs.Mkdir(p, "/d"); err != nil {
+			t.Errorf("mkdir: %v", err)
+			return
+		}
+		if err := fs.Create(p, "/d/f"); err != nil {
+			t.Errorf("create: %v", err)
+			return
+		}
+		checkErr(t, "link missing", fs.Link(p, "/nope", "/l"), core.ErrNotExist)
+		checkErr(t, "link of dir", fs.Link(p, "/d", "/l"), core.ErrIsDir)
+		if err := fs.Link(p, "/d/f", "/l"); err != nil {
+			t.Errorf("link: %v", err)
+			return
+		}
+		checkErr(t, "link onto existing", fs.Link(p, "/d/f", "/l"), core.ErrExist)
+		// Both references resolve; deleting one leaves the other.
+		if err := fs.Delete(p, "/d/f"); err != nil {
+			t.Errorf("delete source ref: %v", err)
+		}
+		if _, err := fs.Stat(p, "/l"); err != nil {
+			t.Errorf("surviving reference: %v", err)
+		}
+	})
+}
+
+func TestSemanticsRootReads(t *testing.T) {
+	sim, c := deployTest(t, InfiniFS)
+	run(sim, c, func(p *env.Proc, fs fsapi.FS) {
+		if err := fs.Mkdir(p, "/d"); err != nil {
+			t.Errorf("mkdir: %v", err)
+			return
+		}
+		if err := fs.Create(p, "/f"); err != nil {
+			t.Errorf("create: %v", err)
+			return
+		}
+		// Root statdir/readdir work without resolution (they used to fail
+		// with ErrInvalid, making a full-tree walk impossible).
+		a, err := fs.StatDir(p, "/")
+		if err != nil || a.Size != 2 {
+			t.Errorf("root statdir size=%d err=%v, want 2", a.Size, err)
+		}
+		es, err := fs.ReadDir(p, "/")
+		if err != nil || len(es) != 2 {
+			t.Errorf("root readdir %d entries err=%v, want 2", len(es), err)
+		}
+	})
+}

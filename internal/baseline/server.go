@@ -50,6 +50,9 @@ type bsub struct {
 	Name string
 	Put  bool // parent update: insert (true) or remove (false)
 	Type core.FileType
+	// Raw is the record body for subPutFile (rename/link move records
+	// verbatim so markers and directory pointers survive).
+	Raw []byte
 }
 
 type subKind uint8
@@ -239,8 +242,14 @@ func (s *bserver) handleReq(p *env.Proc, m *breq, resp *bresp) {
 		p.Compute(c.KVGet)
 		raw, ok := s.kv.GetView(fileKey(m.Dir, m.Name))
 		l.RUnlock()
-		if !ok || len(raw) < 1 || raw[0] != 2 {
+		if !ok || len(raw) < 1 {
 			fail(core.ErrnoNotExist)
+			return
+		}
+		if raw[0] != 2 {
+			// Path component exists but is not a directory: ENOTDIR, as in
+			// the real systems (and SwitchFS's lookup).
+			fail(core.ErrnoNotDir)
 			return
 		}
 		resp.Dir = core.DirIDFromBytes(raw[2:]) // skip marker + 'D'
@@ -316,6 +325,9 @@ func (s *bserver) handleReq(p *env.Proc, m *breq, resp *bresp) {
 	case core.OpRename:
 		s.rename(p, m, resp)
 
+	case core.OpLink:
+		s.link(p, m, resp)
+
 	default:
 		fail(core.ErrnoInvalid)
 	}
@@ -332,7 +344,7 @@ func (s *bserver) createDelete(p *env.Proc, m *breq, resp *bresp) {
 	parentSrv := s.c.ownerForDirID(m.Dir, m.DirPath)
 
 	p.Compute(c.KVGet)
-	exists := s.kv.Has(fileKey(m.Dir, m.Name))
+	raw, exists := s.kv.GetView(fileKey(m.Dir, m.Name))
 	if put && exists {
 		resp.Err = core.ErrnoExist
 		p.Send(m.From, resp)
@@ -340,6 +352,13 @@ func (s *bserver) createDelete(p *env.Proc, m *breq, resp *bresp) {
 	}
 	if !put && !exists {
 		resp.Err = core.ErrnoNotExist
+		p.Send(m.From, resp)
+		return
+	}
+	if !put && len(raw) > 0 && raw[0] == 2 {
+		// Unlinking a directory is rmdir's job: EISDIR (deleting the pointer
+		// record here would strand the directory inode and its entries).
+		resp.Err = core.ErrnoIsDir
 		p.Send(m.From, resp)
 		return
 	}
@@ -433,8 +452,13 @@ func (s *bserver) rmdir(p *env.Proc, m *breq, resp *bresp) {
 	}
 	p.Compute(c.KVGet)
 	raw, ok := s.kv.GetView(fileKey(m.Dir, m.Name))
-	if !ok || len(raw) < 1 || raw[0] != 2 {
+	if !ok || len(raw) < 1 {
 		resp.Err = core.ErrnoNotExist
+		p.Send(m.From, resp)
+		return
+	}
+	if raw[0] != 2 {
+		resp.Err = core.ErrnoNotDir
 		p.Send(m.From, resp)
 		return
 	}
@@ -467,52 +491,155 @@ func (s *bserver) rmdir(p *env.Proc, m *breq, resp *bresp) {
 	p.Send(m.From, resp)
 }
 
-// rename moves a file between directories: synchronous multi-inode update.
+// joinFull assembles a full path from a parent directory path and a leaf
+// name (dirPath is "/" for root children).
+func joinFull(dirPath, name string) string {
+	if dirPath == "/" || dirPath == "" {
+		return "/" + name
+	}
+	return dirPath + "/" + name
+}
+
+// dstExists checks the destination record of a two-path op at its server.
+func (s *bserver) dstExists(p *env.Proc, m *breq) (bool, core.Errno) {
+	dstSrv := s.c.fileServerForPath(m.Dir2, m.Name2, m.Dir2Path)
+	if dstSrv == s {
+		p.Compute(s.c.Opts.Costs.KVGet)
+		return s.kv.Has(fileKey(m.Dir2, m.Name2)), core.ErrnoOK
+	}
+	sub := s.call(p, dstSrv.id, func(rpc uint64) any {
+		return &bsub{RPC: rpc, From: s.id, Kind: subGetFile, Dir: m.Dir2, Name: m.Name2}
+	})
+	switch sub.Err {
+	case core.ErrnoOK:
+		return true, core.ErrnoOK
+	case core.ErrnoNotExist:
+		return false, core.ErrnoOK
+	default:
+		return false, sub.Err
+	}
+}
+
+// putDst installs a record (preserving its marker byte and any directory
+// pointer) at the destination's server.
+func (s *bserver) putDst(p *env.Proc, m *breq, raw []byte) {
+	c := &s.c.Opts.Costs
+	dstSrv := s.c.fileServerForPath(m.Dir2, m.Name2, m.Dir2Path)
+	if dstSrv == s {
+		p.Compute(c.WALAppend + c.KVPut)
+		s.kv.Put(fileKey(m.Dir2, m.Name2), append([]byte(nil), raw...))
+		return
+	}
+	s.call(p, dstSrv.id, func(rpc uint64) any {
+		return &bsub{RPC: rpc, From: s.id, Kind: subPutFile,
+			Dir: m.Dir2, Name: m.Name2, Raw: append([]byte(nil), raw...)}
+	})
+}
+
+// applyParentAt routes a dentry insert/remove to the named directory's owner.
+func (s *bserver) applyParentAt(p *env.Proc, dir core.DirID, dirPath, name string,
+	put bool, t core.FileType) {
+
+	c := &s.c.Opts.Costs
+	owner := s.c.ownerForDirID(dir, dirPath)
+	if owner == s {
+		l := s.lockOf(dir)
+		l.Lock(p)
+		p.Compute(c.WALAppend + c.TxnOverhead)
+		s.applyParent(p, dir, name, put, t)
+		l.Unlock()
+		return
+	}
+	s.call(p, owner.id, func(rpc uint64) any {
+		return &bsub{RPC: rpc, From: s.id, Kind: subParentApply,
+			Dir: dir, Name: name, Put: put, Type: t}
+	})
+}
+
+// rename moves a file or directory: synchronous multi-inode update with the
+// POSIX-shaped checks SwitchFS applies — missing source is ENOENT, an
+// existing destination is EEXIST, a directory renamed under its own subtree
+// is ELOOP, and renaming an object to itself is a no-op. The moved record
+// keeps its marker byte, so a renamed directory's pointer (and therefore its
+// id and children) survives the move.
 func (s *bserver) rename(p *env.Proc, m *breq, resp *bresp) {
 	c := &s.c.Opts.Costs
 	p.Compute(c.KVGet)
-	if !s.kv.Has(fileKey(m.Dir, m.Name)) {
+	raw, ok := s.kv.GetView(fileKey(m.Dir, m.Name))
+	if !ok || len(raw) < 1 {
 		resp.Err = core.ErrnoNotExist
 		p.Send(m.From, resp)
 		return
 	}
+	if m.Dir == m.Dir2 && m.Name == m.Name2 {
+		p.Send(m.From, resp) // rename to itself: no-op success
+		return
+	}
+	typ := core.FileType(raw[0])
+	srcFull := joinFull(m.DirPath, m.Name)
+	dstFull := joinFull(m.Dir2Path, m.Name2)
+	if typ == core.TypeDir &&
+		(dstFull == srcFull || len(dstFull) > len(srcFull)+1 &&
+			dstFull[:len(srcFull)] == srcFull && dstFull[len(srcFull)] == '/') {
+		resp.Err = core.ErrnoLoop
+		p.Send(m.From, resp)
+		return
+	}
+	exists, errno := s.dstExists(p, m)
+	if errno != core.ErrnoOK {
+		resp.Err = errno
+		p.Send(m.From, resp)
+		return
+	}
+	if exists {
+		resp.Err = core.ErrnoExist
+		p.Send(m.From, resp)
+		return
+	}
+
 	// Remove source (local: the request is routed to the source's server).
-	srcParent := s.c.ownerForDirID(m.Dir, m.DirPath)
+	moved := append([]byte(nil), raw...)
 	l := s.lockOf(m.Dir)
 	l.Lock(p)
 	p.Compute(c.WALAppend + 2*c.TxnOverhead + c.KVDel)
 	s.kv.Delete(fileKey(m.Dir, m.Name))
-	if srcParent == s {
-		s.applyParent(p, m.Dir, m.Name, false, core.TypeRegular)
-	} else {
-		s.call(p, srcParent.id, func(rpc uint64) any {
-			return &bsub{RPC: rpc, From: s.id, Kind: subParentApply,
-				Dir: m.Dir, Name: m.Name, Put: false, Type: core.TypeRegular}
-		})
-	}
 	l.Unlock()
-	// Install destination.
-	dstFile := s.c.fileServerForPath(m.Dir2, m.Name2, m.Dir2Path)
-	if dstFile == s {
-		p.Compute(c.KVPut)
-		s.kv.Put(fileKey(m.Dir2, m.Name2), []byte{1})
-	} else {
-		s.call(p, dstFile.id, func(rpc uint64) any {
-			return &bsub{RPC: rpc, From: s.id, Kind: subPutFile, Dir: m.Dir2, Name: m.Name2}
-		})
+	s.applyParentAt(p, m.Dir, m.DirPath, m.Name, false, typ)
+	// Install destination with the preserved record.
+	s.putDst(p, m, moved)
+	s.applyParentAt(p, m.Dir2, m.Dir2Path, m.Name2, true, typ)
+	p.Send(m.From, resp)
+}
+
+// link creates a hard link: the baselines store no shared attribute object,
+// so observably the link is a second reference record with the same type.
+func (s *bserver) link(p *env.Proc, m *breq, resp *bresp) {
+	c := &s.c.Opts.Costs
+	p.Compute(c.KVGet)
+	raw, ok := s.kv.GetView(fileKey(m.Dir, m.Name))
+	if !ok || len(raw) < 1 {
+		resp.Err = core.ErrnoNotExist
+		p.Send(m.From, resp)
+		return
 	}
-	dstParent := s.c.ownerForDirID(m.Dir2, m.Dir2Path)
-	if dstParent == s {
-		l2 := s.lockOf(m.Dir2)
-		l2.Lock(p)
-		s.applyParent(p, m.Dir2, m.Name2, true, core.TypeRegular)
-		l2.Unlock()
-	} else {
-		s.call(p, dstParent.id, func(rpc uint64) any {
-			return &bsub{RPC: rpc, From: s.id, Kind: subParentApply,
-				Dir: m.Dir2, Name: m.Name2, Put: true, Type: core.TypeRegular}
-		})
+	if raw[0] == 2 {
+		resp.Err = core.ErrnoIsDir
+		p.Send(m.From, resp)
+		return
 	}
+	exists, errno := s.dstExists(p, m)
+	if errno != core.ErrnoOK {
+		resp.Err = errno
+		p.Send(m.From, resp)
+		return
+	}
+	if exists {
+		resp.Err = core.ErrnoExist
+		p.Send(m.From, resp)
+		return
+	}
+	s.putDst(p, m, raw)
+	s.applyParentAt(p, m.Dir2, m.Dir2Path, m.Name2, true, core.FileType(raw[0]))
 	p.Send(m.From, resp)
 }
 
@@ -574,7 +701,11 @@ func (s *bserver) handleSub(p *env.Proc, m *bsub, resp *bsubResp) {
 		resp.Err = s.deleteDirIfEmpty(p, m.Dir)
 	case subPutFile:
 		p.Compute(c.WALAppend + c.KVPut)
-		s.kv.Put(fileKey(m.Dir, m.Name), []byte{1})
+		raw := m.Raw
+		if len(raw) == 0 {
+			raw = []byte{1}
+		}
+		s.kv.Put(fileKey(m.Dir, m.Name), raw)
 	case subDelFile:
 		p.Compute(c.WALAppend + c.KVDel)
 		s.kv.Delete(fileKey(m.Dir, m.Name))

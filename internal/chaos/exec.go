@@ -229,3 +229,32 @@ func (inj *Injector) ForceHeal() {
 		inj.c.SlowSwitch(i, 0)
 	}
 }
+
+// HealAndRecover is the shared post-run epilogue of the checking harnesses
+// (chaos.Run, lincheck): collect the plan's completion issues, force-heal
+// whatever it left behind, restart every still-crashed server and data node,
+// and drive the simulation until those recoveries finish. Validated plans
+// recover their own crashes — this is defense against hand-written plans and
+// the precondition for a final audit over a healthy cluster.
+func (inj *Injector) HealAndRecover(sim *env.Sim) []string {
+	issues := inj.AwaitClean()
+	inj.ForceHeal()
+	recovering := false
+	for i := range inj.c.Servers {
+		if inj.c.Servers[i].Node().Down() {
+			inj.track(fmt.Sprintf("post-run recover-server %d", i), inj.c.RecoverServer(i))
+			recovering = true
+		}
+	}
+	for i := range inj.c.DataServers {
+		if inj.c.DataServers[i].Node().Down() {
+			inj.track(fmt.Sprintf("post-run recover-datanode %d", i), inj.c.RecoverDataNode(i))
+			recovering = true
+		}
+	}
+	if recovering {
+		sim.Run()
+		issues = append(issues, inj.AwaitClean()...)
+	}
+	return issues
+}

@@ -248,29 +248,10 @@ func Run(sim *env.Sim, c *cluster.Cluster, plan Plan, o Options) *Report {
 		}
 	}
 
-	rep.Issues = append(rep.Issues, inj.AwaitClean()...)
-
 	// Heal whatever the plan left behind and bring every server back before
 	// the audit (validated plans recover their own crashes; this is defense
 	// against hand-written ones).
-	inj.ForceHeal()
-	recovering := false
-	for i := range c.Servers {
-		if c.Servers[i].Node().Down() {
-			inj.track(fmt.Sprintf("post-run recover-server %d", i), c.RecoverServer(i))
-			recovering = true
-		}
-	}
-	for i := range c.DataServers {
-		if c.DataServers[i].Node().Down() {
-			inj.track(fmt.Sprintf("post-run recover-datanode %d", i), c.RecoverDataNode(i))
-			recovering = true
-		}
-	}
-	if recovering {
-		sim.Run()
-		rep.Issues = append(rep.Issues, inj.AwaitClean()...)
-	}
+	rep.Issues = append(rep.Issues, inj.HealAndRecover(sim)...)
 
 	// Drain deferred work, then check change-log/dirty-set consistency: a
 	// healed, drained cluster holds no pending change-log entries.

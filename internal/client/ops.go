@@ -65,6 +65,21 @@ func (c *Client) DeleteR(p *env.Proc, path string) (bool, error) {
 	return resent, err
 }
 
+// MkdirR is Mkdir, reporting whether any retransmission happened.
+func (c *Client) MkdirR(p *env.Proc, path string, perm core.Perm) (bool, error) {
+	_, resent, err := c.mutateR(p, core.OpMkdir, path, perm)
+	return resent, err
+}
+
+// RmdirR is Rmdir, reporting whether any retransmission happened.
+func (c *Client) RmdirR(p *env.Proc, path string) (bool, error) {
+	_, resent, err := c.mutateR(p, core.OpRmdir, path, 0)
+	if err == nil {
+		c.invalidatePrefix(path)
+	}
+	return resent, err
+}
+
 // Create makes a regular file.
 func (c *Client) Create(p *env.Proc, path string, perm core.Perm) error {
 	_, err := c.mutate(p, core.OpCreate, path, perm)
@@ -85,17 +100,17 @@ func (c *Client) Mkdir(p *env.Proc, path string, perm core.Perm) error {
 
 // Rmdir removes an empty directory.
 func (c *Client) Rmdir(p *env.Proc, path string) error {
-	_, err := c.mutate(p, core.OpRmdir, path, 0)
-	if err == nil {
-		c.invalidatePrefix(path)
-	}
+	_, err := c.RmdirR(p, path)
 	return err
 }
 
-// fileOp drives stat/open/close/chmod.
-func (c *Client) fileOp(p *env.Proc, op core.Op, path string, perm core.Perm) (core.Attr, []uint32, error) {
+// fileOp drives stat/open/close/chmod, reporting whether the final request
+// round was retransmitted (chmod is a mutation; fault harnesses need the
+// at-least-once flag).
+func (c *Client) fileOp(p *env.Proc, op core.Op, path string, perm core.Perm) (core.Attr, []uint32, bool, error) {
 	var attr core.Attr
 	var loc []uint32
+	var resent bool
 	err := c.withResolution(p, path, func(r resolved) error {
 		p.Compute(c.cfg.Costs.ClientOp)
 		key := core.Key{PID: r.parent.ID, Name: r.name}
@@ -108,7 +123,8 @@ func (c *Client) fileOp(p *env.Proc, op core.Op, path string, perm core.Perm) (c
 			Name:      r.name,
 			Perm:      perm,
 		}
-		v, _, err := c.call(p, dst, &wire.Packet{Dst: dst, Origin: c.cfg.ID, Body: req}, rpc)
+		v, re, err := c.call(p, dst, &wire.Packet{Dst: dst, Origin: c.cfg.ID, Body: req}, rpc)
+		resent = resent || re
 		if err != nil {
 			return err
 		}
@@ -117,30 +133,37 @@ func (c *Client) fileOp(p *env.Proc, op core.Op, path string, perm core.Perm) (c
 		loc = resp.DataLoc
 		return resp.Err.Err()
 	})
-	return attr, loc, err
+	return attr, loc, resent, err
 }
 
 // Stat reads a file's attributes.
 func (c *Client) Stat(p *env.Proc, path string) (core.Attr, error) {
-	a, _, err := c.fileOp(p, core.OpStat, path, 0)
+	a, _, _, err := c.fileOp(p, core.OpStat, path, 0)
 	return a, err
 }
 
 // Open opens a file and returns its attributes and data locations.
 func (c *Client) Open(p *env.Proc, path string) (core.Attr, []uint32, error) {
-	return c.fileOp(p, core.OpOpen, path, 0)
+	a, loc, _, err := c.fileOp(p, core.OpOpen, path, 0)
+	return a, loc, err
 }
 
 // Close closes a file.
 func (c *Client) Close(p *env.Proc, path string) error {
-	_, _, err := c.fileOp(p, core.OpClose, path, 0)
+	_, _, _, err := c.fileOp(p, core.OpClose, path, 0)
 	return err
 }
 
 // Chmod updates a file's permissions.
 func (c *Client) Chmod(p *env.Proc, path string, perm core.Perm) error {
-	_, _, err := c.fileOp(p, core.OpChmod, path, perm)
+	_, err := c.ChmodR(p, path, perm)
 	return err
+}
+
+// ChmodR is Chmod, reporting whether any retransmission happened.
+func (c *Client) ChmodR(p *env.Proc, path string, perm core.Perm) (bool, error) {
+	_, _, resent, err := c.fileOp(p, core.OpChmod, path, perm)
+	return resent, err
 }
 
 // dirRead drives statdir/readdir (§5.2.2): the request carries a dirty-set
@@ -210,9 +233,12 @@ func (c *Client) ReadDir(p *env.Proc, path string) ([]core.DirEntry, error) {
 	return es, err
 }
 
-// twoPath drives rename and link through the coordinator.
-func (c *Client) twoPath(p *env.Proc, op core.Op, src, dst string) error {
-	return c.withResolution(p, src, func(rs resolved) error {
+// twoPath drives rename and link through the coordinator, reporting whether
+// the final request round was retransmitted (at-least-once ambiguity for the
+// fault harnesses, like mutateR).
+func (c *Client) twoPath(p *env.Proc, op core.Op, src, dst string) (bool, error) {
+	var resent bool
+	err := c.withResolution(p, src, func(rs resolved) error {
 		return c.withResolution(p, dst, func(rd resolved) error {
 			p.Compute(c.cfg.Costs.ClientOp)
 			anc := append(append([]core.DirID(nil), rs.ancestors...), rd.ancestors...)
@@ -232,7 +258,8 @@ func (c *Client) twoPath(p *env.Proc, op core.Op, src, dst string) error {
 					DstParent: rd.parent, DstName: rd.name,
 				}
 			}
-			v, _, err := c.call(p, coord, &wire.Packet{Dst: coord, Origin: c.cfg.ID, Body: body}, rpc)
+			v, re, err := c.call(p, coord, &wire.Packet{Dst: coord, Origin: c.cfg.ID, Body: body}, rpc)
+			resent = resent || re
 			if err != nil {
 				return err
 			}
@@ -244,19 +271,32 @@ func (c *Client) twoPath(p *env.Proc, op core.Op, src, dst string) error {
 			return rc.Err.Err()
 		})
 	})
+	return resent, err
 }
 
 // Rename moves a file or directory.
 func (c *Client) Rename(p *env.Proc, src, dst string) error {
-	err := c.twoPath(p, core.OpRename, src, dst)
+	_, err := c.RenameR(p, src, dst)
+	return err
+}
+
+// RenameR is Rename, reporting whether any retransmission happened.
+func (c *Client) RenameR(p *env.Proc, src, dst string) (bool, error) {
+	resent, err := c.twoPath(p, core.OpRename, src, dst)
 	if err == nil {
 		c.invalidatePrefix(src)
 	}
-	return err
+	return resent, err
 }
 
 // Link creates a hard link dst pointing at src's file (§5.5).
 func (c *Client) Link(p *env.Proc, src, dst string) error {
+	_, err := c.LinkR(p, src, dst)
+	return err
+}
+
+// LinkR is Link, reporting whether any retransmission happened.
+func (c *Client) LinkR(p *env.Proc, src, dst string) (bool, error) {
 	return c.twoPath(p, core.OpLink, src, dst)
 }
 

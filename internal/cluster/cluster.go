@@ -57,6 +57,10 @@ type Options struct {
 	PushIdle     env.Duration
 	OwnerQuiesce env.Duration
 	RetryTimeout env.Duration
+	// ClientMaxRetries bounds client request retransmission (zero keeps the
+	// client default). Fault harnesses shrink it so operations give up —
+	// and become observably ambiguous — inside a plan's horizon.
+	ClientMaxRetries int
 }
 
 // Defaults fills zero fields with the paper's evaluation setup (§7.1): eight
@@ -224,6 +228,7 @@ func NewWithModes(e env.Env, opts Options) *Cluster {
 			Tracker:      opts.Tracker,
 			Costs:        opts.Costs,
 			RetryTimeout: opts.RetryTimeout,
+			MaxRetries:   opts.ClientMaxRetries,
 		})
 		c.Clients = append(c.Clients, cl)
 	}

@@ -65,6 +65,8 @@ func (a *fsAdapter) ReadDir(p *env.Proc, path string) ([]core.DirEntry, error) {
 
 func (a *fsAdapter) Rename(p *env.Proc, src, dst string) error { return a.cl.Rename(p, src, dst) }
 
+func (a *fsAdapter) Link(p *env.Proc, src, dst string) error { return a.cl.Link(p, src, dst) }
+
 func (a *fsAdapter) Data(p *env.Proc, shard int, write bool, bytes int64) error {
 	if len(a.c.DataNodes) == 0 {
 		return nil

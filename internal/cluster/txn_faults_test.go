@@ -1,0 +1,277 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"switchfs/internal/client"
+	"switchfs/internal/core"
+	"switchfs/internal/env"
+	"switchfs/internal/wire"
+)
+
+// Regression tests for the 2PC lock-leak class the lincheck work closed:
+// a prepared participant holds its key locks until it learns the outcome,
+// so (a) a prepare phase that gives up must drive an explicit abort, (b)
+// decisions must retransmit until every participant acked, and (c) a
+// coordinator crash must leave participants a way to terminate (status
+// query against the WAL-backed decision record, presumed abort otherwise).
+// Before the fix, a lost vote wedged the transaction's keys forever: every
+// later operation on them — including plain stats, which share the inode
+// locks — timed out.
+
+// remoteFileName returns root-child names whose inode owner is NOT server 0
+// (the coordinator), so transaction votes must cross the network.
+func remoteFileName(c *Cluster, tag string, skip int) string {
+	n := 0
+	for i := 0; ; i++ {
+		name := fmt.Sprintf("%s%d", tag, i)
+		if c.Placement.OwnerOfFile(core.RootDirID, name) != 0 {
+			if n == skip {
+				return "/" + name
+			}
+			n++
+		}
+	}
+}
+
+// dropVotes installs a network filter losing every transaction vote sent to
+// the coordinator — the prepared-participant-in-doubt scenario.
+func dropVotes(s *env.Sim) {
+	s.Net().Filter = func(from, to env.NodeID, msg any) env.Verdict {
+		pkt, ok := msg.(*wire.Packet)
+		if !ok {
+			return env.Pass
+		}
+		if _, isVote := pkt.Body.(*wire.TxnVote); isVote {
+			return env.Drop
+		}
+		return env.Pass
+	}
+}
+
+func wantNoTimeout(t *testing.T, what string, err error) bool {
+	t.Helper()
+	if errors.Is(err, core.ErrTimeout) {
+		t.Errorf("%s timed out: a 2PC participant is still holding its key locks", what)
+		return false
+	}
+	return true
+}
+
+// TestRenamePrepareGiveUpReleasesLocks loses every vote until the prepare
+// phase exhausts its budget: the coordinator must drive an explicit abort so
+// the prepared participants release their locks, and once the fault clears
+// the same rename must go through.
+func TestRenamePrepareGiveUpReleasesLocks(t *testing.T) {
+	s, c := sim(t, Options{Servers: 4, Clients: 1, RetryTimeout: 200 * env.Microsecond})
+	src := remoteFileName(c, "s", 0)
+	dst := remoteFileName(c, "d", 0)
+	c.Run(0, func(p *env.Proc, cl *client.Client) {
+		if err := cl.Create(p, src, 0); err != nil {
+			t.Errorf("create %s: %v", src, err)
+		}
+	})
+	dropVotes(s)
+	s.After(30*env.Millisecond, func() { s.Net().Filter = nil })
+	c.Run(0, func(p *env.Proc, cl *client.Client) {
+		// The first attempts fail while votes are lost; the client retries
+		// through the transparent ErrRetry path and succeeds after the heal.
+		err := cl.Rename(p, src, dst)
+		if !wantNoTimeout(t, "rename", err) {
+			return
+		}
+		if err != nil {
+			t.Errorf("rename after heal: %v", err)
+			return
+		}
+		// The transaction keys must be free: reads share the inode locks.
+		_, err = cl.Stat(p, dst)
+		if !wantNoTimeout(t, "stat dst", err) {
+			return
+		}
+		if err != nil {
+			t.Errorf("stat %s: %v", dst, err)
+			return
+		}
+		if _, err = cl.Stat(p, src); !errors.Is(err, core.ErrNotExist) {
+			if wantNoTimeout(t, "stat src", err) {
+				t.Errorf("stat %s after rename: %v, want ErrNotExist", src, err)
+			}
+		}
+	})
+}
+
+// TestCoordinatorCrashResolvesInDoubtTxn crashes the coordinator while a
+// participant sits prepared with its vote lost. The participant's
+// termination protocol must resolve the transaction against the recovered
+// coordinator (presumed abort — no commit record survived), releasing the
+// locks; rename must stay atomic: exactly one of src/dst exists afterwards.
+func TestCoordinatorCrashResolvesInDoubtTxn(t *testing.T) {
+	s, c := sim(t, Options{Servers: 4, Clients: 1, RetryTimeout: 200 * env.Microsecond})
+	src := remoteFileName(c, "s", 0)
+	dst := remoteFileName(c, "d", 0)
+	c.Run(0, func(p *env.Proc, cl *client.Client) {
+		if err := cl.Create(p, src, 0); err != nil {
+			t.Errorf("create %s: %v", src, err)
+		}
+	})
+	dropVotes(s)
+	s.After(5*env.Millisecond, func() { c.CrashServer(0) })
+	s.After(10*env.Millisecond, func() { c.RecoverServer(0) })
+	s.After(12*env.Millisecond, func() { s.Net().Filter = nil })
+	var renameErr error
+	c.Run(0, func(p *env.Proc, cl *client.Client) {
+		renameErr = cl.Rename(p, src, dst)
+	})
+	// The rename itself may have succeeded (a post-recovery retry) or given
+	// up; what must hold afterwards is liveness on the keys and atomicity.
+	c.Run(0, func(p *env.Proc, cl *client.Client) {
+		_, serr := cl.Stat(p, src)
+		_, derr := cl.Stat(p, dst)
+		if !wantNoTimeout(t, "stat src", serr) || !wantNoTimeout(t, "stat dst", derr) {
+			return
+		}
+		srcThere := serr == nil
+		dstThere := derr == nil
+		if srcThere == dstThere {
+			t.Errorf("rename atomicity broken after coordinator crash: src=%v dst=%v (rename err: %v)",
+				serr, derr, renameErr)
+		}
+	})
+}
+
+// TestCoordinatorCrashRedrivesCommit loses every decision ack so the
+// participants apply a committed rename but the coordinator never collects
+// the acks, then crashes it. The recovered incarnation must re-drive the
+// WAL-logged commit decision: the rename stays fully applied, and the
+// commit record retires (marked applied) instead of replaying forever.
+func TestCoordinatorCrashRedrivesCommit(t *testing.T) {
+	s, c := sim(t, Options{Servers: 4, Clients: 1, RetryTimeout: 200 * env.Microsecond})
+	src := remoteFileName(c, "s", 0)
+	dst := remoteFileName(c, "d", 0)
+	c.Run(0, func(p *env.Proc, cl *client.Client) {
+		if err := cl.Create(p, src, 0); err != nil {
+			t.Errorf("create %s: %v", src, err)
+		}
+	})
+	s.Net().Filter = func(from, to env.NodeID, msg any) env.Verdict {
+		if pkt, ok := msg.(*wire.Packet); ok {
+			if _, isDone := pkt.Body.(*wire.TxnDone); isDone {
+				return env.Drop
+			}
+		}
+		return env.Pass
+	}
+	s.After(5*env.Millisecond, func() { c.CrashServer(0) })
+	s.After(10*env.Millisecond, func() { s.Net().Filter = nil })
+	s.After(11*env.Millisecond, func() { c.RecoverServer(0) })
+	c.Run(0, func(p *env.Proc, cl *client.Client) {
+		// The client may observe success, the resent ENOENT of its own
+		// committed rename, or a timeout — all at-least-once realities.
+		_ = cl.Rename(p, src, dst)
+	})
+	c.Run(0, func(p *env.Proc, cl *client.Client) {
+		if _, err := cl.Stat(p, dst); err != nil {
+			if wantNoTimeout(t, "stat dst", err) {
+				t.Errorf("committed rename lost after coordinator crash: stat %s: %v", dst, err)
+			}
+			return
+		}
+		if _, err := cl.Stat(p, src); !errors.Is(err, core.ErrNotExist) {
+			t.Errorf("stat %s after committed rename: %v, want ErrNotExist", src, err)
+		}
+	})
+	// The re-driven decision must have retired its WAL record.
+	if pending := c.Servers[0].PendingTxnCommitRecords(); pending != 0 {
+		t.Errorf("%d unacknowledged commit-decision records survive recovery; redrive did not retire them", pending)
+	}
+}
+
+// TestParticipantCrashPreservesPreparedCommit crashes a PARTICIPANT after
+// it voted but before any decision reaches it, with decisions suppressed so
+// the transaction commits on its vote while it is down. The restarted
+// incarnation must rebuild the prepared ops from its WAL and APPLY the
+// commit — before the fix it acked the re-driven decision vacuously and the
+// rename ended half-applied (source deleted, destination never created).
+func TestParticipantCrashPreservesPreparedCommit(t *testing.T) {
+	s, c := sim(t, Options{Servers: 4, Clients: 1, RetryTimeout: 200 * env.Microsecond})
+	src := remoteFileName(c, "s", 0)
+	dst := remoteFileName(c, "d", 0)
+	// The destination inode's owner is the participant that must apply the
+	// TxnPutInode; crash that one.
+	dstOwner := int(c.Placement.OwnerOfFile(core.RootDirID, dst[1:]))
+	c.Run(0, func(p *env.Proc, cl *client.Client) {
+		if err := cl.Create(p, src, 0); err != nil {
+			t.Errorf("create %s: %v", src, err)
+		}
+	})
+	s.Net().Filter = func(from, to env.NodeID, msg any) env.Verdict {
+		if pkt, ok := msg.(*wire.Packet); ok {
+			if _, isDec := pkt.Body.(*wire.TxnDecision); isDec {
+				return env.Drop
+			}
+		}
+		return env.Pass
+	}
+	// The crash must land inside the in-doubt window: after the vote left
+	// (~0.3ms: one prepare round trip) but before the participant's
+	// termination monitor first polls (prepare + 4×RetryTimeout ≈ 1.1ms)
+	// would resolve the transaction while it is still alive.
+	s.After(600*env.Microsecond, func() { c.CrashServer(dstOwner) })
+	s.After(8*env.Millisecond, func() { c.RecoverServer(dstOwner) })
+	s.After(10*env.Millisecond, func() { s.Net().Filter = nil })
+	c.Run(0, func(p *env.Proc, cl *client.Client) {
+		// The client outcome may be success or an at-least-once artifact;
+		// the committed transaction's effects are what must survive.
+		_ = cl.Rename(p, src, dst)
+	})
+	c.Run(0, func(p *env.Proc, cl *client.Client) {
+		_, derr := cl.Stat(p, dst)
+		_, serr := cl.Stat(p, src)
+		if !wantNoTimeout(t, "stat dst", derr) || !wantNoTimeout(t, "stat src", serr) {
+			return
+		}
+		if derr != nil {
+			t.Errorf("committed rename lost its destination after participant crash: %v (src: %v)",
+				derr, serr)
+		}
+		if !errors.Is(serr, core.ErrNotExist) {
+			t.Errorf("stat %s after committed rename: %v, want ErrNotExist", src, serr)
+		}
+	})
+}
+
+// TestLinkVotesLostReleasesLocks runs the same give-up scenario through the
+// link transaction path.
+func TestLinkVotesLostReleasesLocks(t *testing.T) {
+	s, c := sim(t, Options{Servers: 4, Clients: 1, RetryTimeout: 200 * env.Microsecond})
+	src := remoteFileName(c, "s", 0)
+	dst := remoteFileName(c, "d", 0)
+	c.Run(0, func(p *env.Proc, cl *client.Client) {
+		if err := cl.Create(p, src, 0); err != nil {
+			t.Errorf("create %s: %v", src, err)
+		}
+	})
+	dropVotes(s)
+	s.After(30*env.Millisecond, func() { s.Net().Filter = nil })
+	c.Run(0, func(p *env.Proc, cl *client.Client) {
+		err := cl.Link(p, src, dst)
+		if !wantNoTimeout(t, "link", err) {
+			return
+		}
+		if err != nil {
+			t.Errorf("link after heal: %v", err)
+			return
+		}
+		for _, path := range []string{src, dst} {
+			if _, err := cl.Stat(p, path); err != nil {
+				if wantNoTimeout(t, "stat "+path, err) {
+					t.Errorf("stat %s after link: %v", path, err)
+				}
+				return
+			}
+		}
+	})
+}

@@ -71,6 +71,39 @@ func TestFigChaosShape(t *testing.T) {
 	}
 }
 
+// TestFigLincheckShape runs the lincheck figure at a reduced scale: one row
+// per mode (differential, concurrent, one per fault plan), each with a zero
+// violation cell — the figure panics on any divergence or non-linearizable
+// history, so completing at all is the correctness pass.
+func TestFigLincheckShape(t *testing.T) {
+	sc := Scale{Dirs: 8, FilesPerDir: 8, Workers: 16, OpsPerWorker: 10,
+		ServerCounts: []int{4}, CoreCounts: []int{2}, BurstSizes: []int{10}}
+	tab := FigLincheck(sc)
+	if tab.ID != "lincheck" {
+		t.Fatalf("id=%q", tab.ID)
+	}
+	// two differential modes + concurrent + 5 plan rows.
+	if len(tab.Rows) != 8 {
+		t.Fatalf("%d rows, want 8 modes", len(tab.Rows))
+	}
+	if len(tab.Meta) != len(tab.Rows) {
+		t.Fatalf("%d counter rows for %d rows", len(tab.Meta), len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		if len(row) != len(tab.Header) {
+			t.Fatalf("ragged row %v", row)
+		}
+		if row[len(row)-1] != "0" {
+			t.Fatalf("mode %s reports violations: %v", row[0], row)
+		}
+	}
+	for _, c := range tab.Meta {
+		if c.Ops == 0 || c.PacketsDelivered == 0 {
+			t.Fatalf("mode with zero ops/packets: %+v", tab.Meta)
+		}
+	}
+}
+
 // TestFigDataShape runs the data-plane figure at a reduced scale: one row
 // per (nodes, replication) config plus the recovery row, and — because
 // FigData panics on a lost acknowledged content write — a durability pass

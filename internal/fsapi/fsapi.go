@@ -30,6 +30,8 @@ type FS interface {
 	// ReadDir returns the directory's entry list.
 	ReadDir(p *env.Proc, path string) ([]core.DirEntry, error)
 	Rename(p *env.Proc, src, dst string) error
+	// Link creates a hard link dst pointing at src's file (§5.5).
+	Link(p *env.Proc, src, dst string) error
 	// Data models a small-file content access on a data node (§7.6).
 	Data(p *env.Proc, shard int, write bool, bytes int64) error
 }

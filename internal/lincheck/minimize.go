@@ -1,0 +1,29 @@
+package lincheck
+
+// Minimize shrinks a non-linearizable history to a small subhistory that
+// still fails the check: repeatedly drop events whose removal preserves the
+// violation, to fixpoint. Any divergence report prints the minimized trace,
+// so the failing interleaving is readable instead of buried in a full run.
+func Minimize(h History) History {
+	return MinimizeAgainst(func(sub History) CheckResult { return Check(sub) }, h)
+}
+
+// MinimizeAgainst is Minimize with a caller-supplied check (seeded or
+// deliberately-broken models).
+func MinimizeAgainst(check func(History) CheckResult, h History) History {
+	cur := append(History(nil), h...)
+	// Coarse passes first (drop halves, then quarters, ...), then single
+	// events — ddmin-shaped, with the greedy tail guaranteeing a 1-minimal
+	// result.
+	for chunk := len(cur) / 2; chunk >= 1; chunk /= 2 {
+		for start := 0; start+chunk <= len(cur); {
+			cand := append(append(History(nil), cur[:start]...), cur[start+chunk:]...)
+			if r := check(cand); !r.Ok && !r.Undecided {
+				cur = cand
+				continue // same start now covers the next chunk
+			}
+			start += chunk
+		}
+	}
+	return cur
+}

@@ -1,0 +1,168 @@
+// Package lincheck checks SwitchFS's full metadata API for linearizability
+// and for agreement with the in-repo baseline implementation.
+//
+// Three pieces compose:
+//
+//   - Model, a pure sequential reference implementation of the fsapi surface
+//     (plus hard links) with the exact error semantics of the public Session
+//     API — ErrNotExist/ErrExist/ErrNotDir/ErrIsDir/ErrNotEmpty/ErrInvalid/
+//     ErrLoop, in the order the servers check them;
+//   - a history recorder that logs each operation's invocation/response
+//     interval in virtual time, tolerant of the at-least-once ambiguity of
+//     UDP RPC (a timed-out mutation may apply late or never; a retransmitted
+//     one may observe its own earlier effect) — the same taint discipline as
+//     the chaos checker, in interval form;
+//   - Check, a WGL/porcupine-style linearizability search over recorded
+//     concurrent histories, with Minimize shrinking any counterexample to a
+//     small printable trace.
+//
+// Programs are generated deterministically from a seed (GenProgram), run
+// concurrently against SwitchFS — fault-free or under chaos plans
+// (RunConcurrent) — and sequentially against SwitchFS, the baseline, and the
+// model at once (RunDiff), diffing per-op results and final namespace trees.
+package lincheck
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"switchfs/internal/core"
+	"switchfs/internal/env"
+)
+
+// Op is one generated operation.
+type Op struct {
+	Kind core.Op
+	Path string
+	// Path2 is the rename/link destination.
+	Path2 string
+	// Perm parameterizes create/mkdir/chmod (zero means the server default
+	// for create/mkdir, and literal zero for chmod, matching the servers).
+	Perm core.Perm
+}
+
+func (o Op) String() string {
+	switch o.Kind {
+	case core.OpRename, core.OpLink:
+		return fmt.Sprintf("%s %s -> %s", o.Kind, o.Path, o.Path2)
+	case core.OpCreate, core.OpMkdir, core.OpChmod:
+		return fmt.Sprintf("%s %s %#o", o.Kind, o.Path, o.Perm)
+	default:
+		return fmt.Sprintf("%s %s", o.Kind, o.Path)
+	}
+}
+
+// Outcome is an operation's observed (or modeled) result. Only the fields
+// meaningful for the op kind are set: Attr for stat/open/close/statdir,
+// Entries for readdir.
+type Outcome struct {
+	Err     error
+	Attr    core.Attr
+	Entries []core.DirEntry
+}
+
+func (o Outcome) String() string {
+	if o.Err != nil {
+		return o.Err.Error()
+	}
+	var b strings.Builder
+	b.WriteString("ok")
+	if o.Attr.Type != 0 {
+		fmt.Fprintf(&b, " %s perm=%#o size=%d", o.Attr.Type, o.Attr.Perm, o.Attr.Size)
+	}
+	if o.Entries != nil {
+		names := make([]string, len(o.Entries))
+		for i, e := range o.Entries {
+			names[i] = fmt.Sprintf("%s(%s)", e.Name, e.Type)
+		}
+		fmt.Fprintf(&b, " [%s]", strings.Join(names, " "))
+	}
+	return b.String()
+}
+
+// sortEntries canonicalizes a listing (servers scan in key order, which is
+// name order, but the model and diff comparisons never rely on it).
+func sortEntries(es []core.DirEntry) []core.DirEntry {
+	out := append([]core.DirEntry(nil), es...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Event is one completed operation of a concurrent history.
+type Event struct {
+	// Client identifies the issuing session (audit reads use a fresh id).
+	Client int
+	Op     Op
+	Out    Outcome
+	// Call and Ret are the invocation/response instants in virtual time.
+	Call, Ret env.Time
+	// TimedOut marks an ambiguous operation: the client gave up, but the
+	// request (or a retransmission still queued) may execute at any later
+	// point — or never. The checker linearizes it anywhere after Call or
+	// drops it entirely.
+	TimedOut bool
+	// Resent marks a retransmitted mutation: if a server crash discarded the
+	// RPC dedup cache between tries, the retry re-executed and may have
+	// observed the operation's own earlier effect (EEXIST from its own
+	// create, ENOENT from its own delete/rename). The checker then accepts
+	// the success interpretation too.
+	Resent bool
+}
+
+func (e Event) String() string {
+	who := fmt.Sprintf("c%d", e.Client)
+	if e.Client < 0 {
+		who = "ghost"
+	}
+	ret := fmt.Sprintf("%8d", e.Ret)
+	flag := ""
+	if e.TimedOut {
+		ret = "       ∞"
+		flag = "  (timed out: may apply late, twice, or never)"
+	} else if e.Resent {
+		flag = "  (resent)"
+	}
+	return fmt.Sprintf("%-5s [%8d, %s] %-28s = %s%s", who, e.Call, ret, e.Op, e.Out, flag)
+}
+
+// History is a recorded concurrent execution, in completion order.
+type History []Event
+
+func (h History) String() string {
+	var b strings.Builder
+	for i, e := range h {
+		fmt.Fprintf(&b, "%3d: %s\n", i, e.String())
+	}
+	return b.String()
+}
+
+// Recorder accumulates events. Under the simulator exactly one process runs
+// at a time, so appends are totally ordered and deterministic.
+type Recorder struct {
+	events History
+}
+
+// NewRecorder builds an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Record appends one completed operation.
+func (r *Recorder) Record(ev Event) { r.events = append(r.events, ev) }
+
+// History returns the recorded events.
+func (r *Recorder) History() History { return r.events }
+
+// errno compresses an error to a comparable code. Timeouts must be filtered
+// by the caller first (core.ErrnoOf folds unknown errors to ErrnoInvalid).
+func errno(err error) core.Errno { return core.ErrnoOf(err) }
+
+// sameErr reports whether two non-timeout errors are the same sentinel.
+func sameErr(a, b error) bool {
+	if (a == nil) != (b == nil) {
+		return false
+	}
+	if a == nil {
+		return true
+	}
+	return errno(a) == errno(b)
+}

@@ -1,0 +1,134 @@
+package lincheck
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"testing"
+
+	"switchfs/internal/chaos"
+	"switchfs/internal/core"
+)
+
+// sweepSeeds returns the seed budget: 4 under -short, 12 by default, and
+// whatever LINCHECK_SEEDS says (the acceptance sweep exports
+// LINCHECK_SEEDS=64).
+func sweepSeeds(t *testing.T) int64 {
+	if s := os.Getenv("LINCHECK_SEEDS"); s != "" {
+		n, err := strconv.ParseInt(s, 10, 64)
+		if err != nil || n <= 0 {
+			t.Fatalf("bad LINCHECK_SEEDS=%q", s)
+		}
+		return n
+	}
+	if testing.Short() {
+		return 4
+	}
+	return 12
+}
+
+func reportFailure(t *testing.T, what string, seed int64, rep *Report) {
+	t.Helper()
+	t.Errorf("%s seed %d failed: issues=%v linearizable=%v undecided=%v",
+		what, seed, rep.Run.Issues, rep.Check.Ok, rep.Check.Undecided)
+	if rep.Counterexample != nil {
+		t.Errorf("minimized counterexample (%d events):\n%s",
+			len(rep.Counterexample), rep.Counterexample)
+	}
+}
+
+// TestSweepFaultFree checks concurrent histories on a healthy cluster.
+func TestSweepFaultFree(t *testing.T) {
+	for seed := int64(1); seed <= sweepSeeds(t); seed++ {
+		prog := GenProgram(seed, 4, 7)
+		if rep := CheckConcurrent(seed, prog, nil); rep.Failed() {
+			reportFailure(t, "fault-free", seed, rep)
+		}
+	}
+}
+
+// TestSweepFaulty checks concurrent histories across the plan catalog.
+func TestSweepFaulty(t *testing.T) {
+	for seed := int64(1); seed <= sweepSeeds(t); seed++ {
+		prog := GenProgram(seed, 3, 6)
+		for _, plan := range Plans(seed) {
+			if rep := CheckConcurrent(seed, prog, &plan); rep.Failed() {
+				reportFailure(t, "plan "+plan.Name, seed, rep)
+			}
+		}
+	}
+}
+
+// TestSweepDifferential diffs model, SwitchFS and baseline over sequential
+// programs: the adversarial small-pool generator and the PanguMix-derived
+// trace shape (workload.Program).
+func TestSweepDifferential(t *testing.T) {
+	for seed := int64(1); seed <= sweepSeeds(t); seed++ {
+		for name, ops := range map[string][]Op{
+			"pool": GenProgram(seed, 3, 40).Flatten(),
+			"mix":  MixProgram(seed, 60),
+		} {
+			if rep := RunDiff(seed, ops); rep.Failed() {
+				t.Errorf("differential %s seed %d: %d divergences", name, seed, len(rep.Divergences))
+				for _, d := range rep.Divergences {
+					t.Errorf("  %s", d)
+				}
+			}
+		}
+	}
+}
+
+// TestRunConcurrentDeterministic pins the recorder: one seed, two runs,
+// byte-identical histories.
+func TestRunConcurrentDeterministic(t *testing.T) {
+	prog := GenProgram(3, 3, 6)
+	plan, _ := chaos.BuiltinPlan(Geometry, "server-crash")
+	a := RunConcurrent(3, prog, &plan)
+	b := RunConcurrent(3, prog, &plan)
+	if a.History.String() != b.History.String() {
+		t.Fatalf("same seed produced different histories:\n--- a ---\n%s--- b ---\n%s",
+			a.History, b.History)
+	}
+	if fmt.Sprint(a.Issues) != fmt.Sprint(b.Issues) || a.Packets != b.Packets {
+		t.Fatalf("same seed produced different issues/counters: %v/%d vs %v/%d",
+			a.Issues, a.Packets, b.Issues, b.Packets)
+	}
+}
+
+// TestGenProgramDeterministic pins the generator.
+func TestGenProgramDeterministic(t *testing.T) {
+	a, b := GenProgram(7, 3, 20), GenProgram(7, 3, 20)
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Fatal("same seed produced different programs")
+	}
+	if fmt.Sprint(a) == fmt.Sprint(GenProgram(8, 3, 20)) {
+		t.Fatal("different seeds produced identical programs")
+	}
+	if len(a.Paths) == 0 || len(a.Paths) > 12 {
+		t.Fatalf("path universe %d outside the audit budget", len(a.Paths))
+	}
+}
+
+// TestRegressionRenamedDirChangeLog pins the phantom-dentry bug the first
+// differential sweep found (seed 15): a deferred update committed through a
+// directory's post-rename path landed in a change-log still keyed to the
+// directory's old fingerprint, so the new owner's aggregations never
+// collected it — readdir listed a deleted entry forever and statdir
+// overcounted. Fixed by re-keying the change-log on the first
+// current-ancestry request after the rename (server.rekeyClog).
+func TestRegressionRenamedDirChangeLog(t *testing.T) {
+	ops := []Op{
+		{Kind: core.OpMkdir, Path: "/a"},
+		{Kind: core.OpCreate, Path: "/a/x"},
+		{Kind: core.OpRename, Path: "/a", Path2: "/b"},
+		{Kind: core.OpDelete, Path: "/b/x"},
+	}
+	if rep := RunDiff(15, ops); rep.Failed() {
+		t.Fatalf("renamed-directory change-log regression:\n%s", rep.Divergences)
+	}
+	// The same shape through rmdir: the emptied dir must be removable.
+	ops = append(ops, Op{Kind: core.OpRmdir, Path: "/b"})
+	if rep := RunDiff(15, ops); rep.Failed() {
+		t.Fatalf("rmdir after renamed-directory delete:\n%s", rep.Divergences)
+	}
+}

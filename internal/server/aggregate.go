@@ -131,10 +131,7 @@ func (s *Server) runAggregation(p *env.Proc, fp core.Fingerprint, opts *aggOpts)
 		t.Cancel()
 		delete(s.quiesce, fp)
 	}
-	locals := make([]*dirLog, 0, len(s.clogsByFP[fp]))
-	for _, dl := range s.clogsByFP[fp] {
-		locals = append(locals, dl)
-	}
+	locals := sortedClogs(s.clogsByFP[fp])
 	s.mu.Unlock()
 
 	// Collect the local change-logs of the group under their exclusive
@@ -381,10 +378,7 @@ func (s *Server) handleAggFetch(p *env.Proc, f *wire.AggFetch) {
 		s.peerAggs = make(map[uint64]*peerAggState)
 	}
 	s.peerAggs[f.AggID] = st
-	var dls []*dirLog
-	for _, dl := range s.clogsByFP[f.FP] {
-		dls = append(dls, dl)
-	}
+	dls := sortedClogs(s.clogsByFP[f.FP])
 	s.mu.Unlock()
 
 	for _, dl := range dls {
@@ -843,6 +837,9 @@ func (s *Server) doRmdir(p *env.Proc, req *wire.MutateReq) {
 		fail(err)
 		return
 	}
+	// Parent ref is current (stale caches rejected above): re-key the
+	// change-log if the parent was renamed since it was created.
+	s.rekeyClog(parentLog, req.Parent)
 	// Re-validate under the lock: the directory may have raced away.
 	if !s.kv.Has(key.Encode()) {
 		fail(core.ErrNotExist)

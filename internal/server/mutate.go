@@ -57,6 +57,11 @@ func (s *Server) doMutate(p *env.Proc, req *wire.MutateReq) {
 		fail(err)
 		return
 	}
+	// The parent ref is current (stale caches were just rejected): if the
+	// directory was renamed since this change-log was created, re-key the
+	// log so this entry aggregates under the directory's current
+	// fingerprint.
+	s.rekeyClog(parentLog, req.Parent)
 	p.Compute(c.KVGet)
 	raw, exists := s.kv.GetView(key.Encode())
 	var newDir core.DirID

@@ -74,15 +74,16 @@ func (s *Server) Recover(p *env.Proc) error {
 	// (§7.7; checkpointing would shrink it, as the paper notes).
 	p.Compute(env.Duration(n) * s.cfg.Costs.WALReplay)
 
+	// Rebuild in-doubt 2PC participant state (locks, replayed votes,
+	// termination monitors) before anything else can touch those keys.
+	s.rearmPreparedTxns(p)
+
 	// Re-deliver rebuilt change-logs: their fingerprints may have been
 	// inserted before the crash (reads will aggregate) or may never have
 	// made it to the switch — pushing them to their owners restores
 	// visibility either way.
 	s.mu.Lock()
-	logs := make([]*dirLog, 0, len(s.clogs))
-	for _, dl := range s.clogs {
-		logs = append(logs, dl)
-	}
+	logs := sortedClogs(s.clogs)
 	s.mu.Unlock()
 	for _, dl := range logs {
 		dl.qmu.Lock()
@@ -99,6 +100,11 @@ func (s *Server) Recover(p *env.Proc) error {
 	for _, fp := range s.ownedDirFingerprints() {
 		s.aggregateFP(p, fp, &aggOpts{force: true})
 	}
+
+	// Re-drive un-acked 2PC commit decisions rebuilt from the WAL: in-doubt
+	// participants apply and ack, already-resolved ones ack the duplicate;
+	// fully-acked records retire so they stop replaying.
+	s.redriveCommits(p)
 
 	// Clone the invalidation list from the first reachable peer.
 	for _, peer := range s.cfg.Peers {
@@ -201,6 +207,30 @@ func (s *Server) replayWAL() error {
 			})
 			for _, k := range keys {
 				s.kv.Delete(k)
+			}
+		case recTxnCommit:
+			// A commit decision some participant may not have learned yet
+			// (the record is marked applied once every participant acked):
+			// rebuild it so in-doubt status queries are answered with commit
+			// instead of presumed-abort, and queue it for re-delivery so the
+			// record can retire instead of replaying forever.
+			if !r.Applied {
+				txn := binary.BigEndian.Uint64(r.Payload)
+				s.txnDecided[txn] = true
+				s.txnWAL[txn] = r.LSN
+				var parts []env.NodeID
+				for off := 8; off+8 <= len(r.Payload); off += 8 {
+					parts = append(parts, env.NodeID(binary.BigEndian.Uint64(r.Payload[off:])))
+				}
+				s.txnRedrive = append(s.txnRedrive, txnRedrive{txn: txn, parts: parts})
+			}
+		case recTxnPrepare:
+			// A prepared, undecided transaction: this incarnation must hold
+			// its locks and be able to apply the (possibly already-decided)
+			// commit — rebuilt after replay by rearmPreparedTxns.
+			if !r.Applied {
+				txn, coord, ops := decodeTxnPrepare(r.Payload)
+				s.txnRearm = append(s.txnRearm, txnRearm{txn: txn, coord: coord, ops: ops, lsn: r.LSN})
 			}
 		default:
 			return fmt.Errorf("server: unknown WAL record kind %d", r.Kind)
@@ -315,10 +345,7 @@ func (s *Server) handleCloneInval(p *env.Proc, req *wire.CloneInvalReq) {
 func (s *Server) FlushAll(p *env.Proc) {
 	s.serving = false
 	s.mu.Lock()
-	logs := make([]*dirLog, 0, len(s.clogs))
-	for _, dl := range s.clogs {
-		logs = append(logs, dl)
-	}
+	logs := sortedClogs(s.clogs)
 	s.mu.Unlock()
 	for _, dl := range logs {
 		dl.qmu.Lock()
@@ -415,6 +442,20 @@ func (s *Server) Serving() bool { return s.serving }
 
 // SetServing toggles request serving (cluster reconfiguration).
 func (s *Server) SetServing(v bool) { s.serving = v }
+
+// PendingTxnCommitRecords counts un-retired 2PC commit-decision records in
+// the WAL (diagnostics; the redrive regression tests assert recovery
+// retires them instead of replaying them forever).
+func (s *Server) PendingTxnCommitRecords() int {
+	n := 0
+	_ = s.wal.Replay(func(r wal.Record) error {
+		if r.Kind == recTxnCommit && !r.Applied {
+			n++
+		}
+		return nil
+	})
+	return n
+}
 
 // PendingClogEntries counts not-yet-applied change-log entries across all
 // directories (diagnostics).

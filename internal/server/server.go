@@ -7,6 +7,7 @@ package server
 
 import (
 	"encoding/binary"
+	"sort"
 	"sync"
 
 	"switchfs/internal/core"
@@ -221,6 +222,19 @@ type Server struct {
 	txnStarted map[uint64]bool
 	txnVoted   map[uint64]core.Errno
 	txnLog     []uint64
+	// txnDecided records coordinator-side commit decisions for the
+	// participant termination protocol (TxnStatusReq), WAL-backed (with the
+	// participant set) before the first decision packet leaves so a
+	// restarted coordinator still answers — and re-drives — them; anything
+	// absent is a presumed abort. Entries retire once every participant
+	// acked the decision.
+	txnDecided map[uint64]bool
+	txnWAL     map[uint64]wal.LSN
+	// txnRedrive holds replayed, unacknowledged commit decisions awaiting
+	// re-delivery during recovery; txnRearm holds replayed, undecided
+	// prepared transactions awaiting lock/vote/monitor rebuild.
+	txnRedrive []txnRedrive
+	txnRearm   []txnRearm
 	renameMu   env.Mutex
 
 	// ctlWait matches control-plane responses (ReadInode, ScanDir, AggNow,
@@ -241,6 +255,21 @@ type Server struct {
 type appliedKey struct {
 	src env.NodeID
 	dir core.DirID
+}
+
+// txnRedrive is one commit decision rebuilt from the WAL whose acks the
+// crashed incarnation never finished collecting.
+type txnRedrive struct {
+	txn   uint64
+	parts []env.NodeID
+}
+
+// txnRearm is one prepared, undecided transaction rebuilt from the WAL.
+type txnRearm struct {
+	txn   uint64
+	coord env.NodeID
+	ops   []wire.TxnOp
+	lsn   wal.LSN
 }
 
 type dedupKey struct {
@@ -284,6 +313,8 @@ func New(e env.Env, cfg Config) *Server {
 		txns:       make(map[uint64]*txnState),
 		txnVotes:   make(map[uint64]*txnVotes),
 		txnDones:   make(map[uint64]*txnVotes),
+		txnDecided: make(map[uint64]bool),
+		txnWAL:     make(map[uint64]wal.LSN),
 		ctlWait:    make(map[uint64]*env.Future),
 		peerAggs:   make(map[uint64]*peerAggState),
 		doneAggs:   make(map[uint64]map[env.NodeID]*wire.AggAck),
@@ -390,6 +421,59 @@ func (s *Server) clogOf(ref core.DirRef) *dirLog {
 	return dl
 }
 
+// rekeyClog re-points a directory's change-log at the directory's current
+// key. A rename changes a directory's key — and with it its fingerprint and
+// owner — while the id (and so the clogs index slot) stays. Entries left
+// under the old fingerprint would never be collected again: dirty-set
+// inserts and aggregations run against the new fingerprint, so an
+// acknowledged post-rename update would stay invisible to every directory
+// read (the phantom-dentry divergence the lincheck harness found). Callers
+// pass the request's parent ref only after its staleness checks passed — a
+// stale pre-rename client must not re-key the log backwards.
+func (s *Server) rekeyClog(dl *dirLog, ref core.DirRef) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if dl.ref.Key == ref.Key {
+		return
+	}
+	if m := s.clogsByFP[dl.ref.FP]; m != nil {
+		delete(m, ref.ID)
+		if len(m) == 0 {
+			delete(s.clogsByFP, dl.ref.FP)
+		}
+	}
+	dl.ref = ref
+	m := s.clogsByFP[ref.FP]
+	if m == nil {
+		m = make(map[core.DirID]*dirLog)
+		s.clogsByFP[ref.FP] = m
+	}
+	m[ref.ID] = dl
+}
+
+// sortedClogs snapshots a change-log map ordered by directory id. Map
+// iteration order is randomized per process, and any order that leaks into
+// message emission (pushes, aggregation collection) breaks the simulator's
+// cross-process determinism guarantee — the chaos/lincheck smoke gates diff
+// two separate runs byte for byte.
+func sortedClogs(m map[core.DirID]*dirLog) []*dirLog {
+	out := make([]*dirLog, 0, len(m))
+	for _, dl := range m {
+		out = append(out, dl)
+	}
+	sort.Slice(out, func(i, j int) bool { return lessDirID(out[i].ref.ID, out[j].ref.ID) })
+	return out
+}
+
+func lessDirID(a, b core.DirID) bool {
+	for k := 0; k < len(a); k++ {
+		if a[k] != b[k] {
+			return a[k] < b[k]
+		}
+	}
+	return false
+}
+
 // fpOf returns (creating on demand) the per-fingerprint aggregation gate.
 func (s *Server) fpOf(fp core.Fingerprint) *fpState {
 	s.mu.Lock()
@@ -458,6 +542,10 @@ func (s *Server) handle(p *env.Proc, from env.NodeID, msg any) {
 		s.handleTxnVote(b)
 	case *wire.TxnDone:
 		s.handleTxnDone(b)
+	case *wire.TxnStatusReq:
+		s.handleTxnStatus(p, b)
+	case *wire.TxnStatusResp:
+		s.completeCtl(b.Ctl, b)
 	case *wire.ReadInodeReq:
 		s.handleReadInode(p, b)
 	case *wire.ScanDirReq:
@@ -648,6 +736,19 @@ const (
 	recAggEntry uint8 = 2 // change-log entry applied at the directory owner
 	recInode    uint8 = 3 // direct inode put/delete (sync ops, txns, mkdir)
 	recDirAttr  uint8 = 4 // direct directory attribute overwrite
+)
+
+// recTxnCommit (kind 8, see recover.go for kinds 5–7) persists a 2PC commit
+// decision at the coordinator before the first decision packet leaves: a
+// restarted coordinator must answer an in-doubt participant's status query
+// with commit, never presumed-abort, for a transaction whose decision some
+// participant may already have applied. recTxnPrepare persists a
+// participant's prepared op set before its vote leaves: a restarted
+// participant must still be able to apply a commit decided on that vote.
+// Both are marked applied once resolved (full ack / decision received).
+const (
+	recTxnCommit  uint8 = 8
+	recTxnPrepare uint8 = 9
 )
 
 func u64(b []byte, v uint64) []byte { return binary.BigEndian.AppendUint64(b, v) }

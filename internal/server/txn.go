@@ -2,10 +2,12 @@ package server
 
 import (
 	"bytes"
+	"encoding/binary"
 	"sort"
 
 	"switchfs/internal/core"
 	"switchfs/internal/env"
+	"switchfs/internal/wal"
 	"switchfs/internal/wire"
 )
 
@@ -21,6 +23,9 @@ type txnState struct {
 	locks []*env.RWMutex
 	ops   []wire.TxnOp
 	done  *env.Future
+	// lsn is the prepared-state WAL record, marked applied once the
+	// decision resolves the transaction.
+	lsn wal.LSN
 }
 
 // coordMutex serializes coordinator-side transactions. Stored per server but
@@ -53,9 +58,6 @@ func (s *Server) doRename(p *env.Proc, req *wire.RenameReq) error {
 	}
 	srcKey := core.Key{PID: req.SrcParent.ID, Name: req.SrcName}
 	dstKey := core.Key{PID: req.DstParent.ID, Name: req.DstName}
-	if srcKey == dstKey {
-		return nil
-	}
 
 	// Aggregate both parents first (outside the serialized section — these
 	// overlap across concurrent renames): the rename's direct directory
@@ -83,6 +85,12 @@ func (s *Server) doRename(p *env.Proc, req *wire.RenameReq) error {
 	in, derr := core.DecodeInode(raw)
 	if derr != nil {
 		return core.ErrInvalid
+	}
+	if srcKey == dstKey {
+		// Renaming an existing object to itself is a no-op; the existence
+		// read above already rejected the missing source (POSIX: rename of
+		// a nonexistent path to itself is ENOENT, not success).
+		return nil
 	}
 	isDir := in.Type == core.TypeDir
 
@@ -297,6 +305,19 @@ func (s *Server) doLink(p *env.Proc, req *wire.LinkReq) error {
 
 // runTxn drives two-phase commit over the participants. auto skips the
 // prepare phase for commutative single-participant updates.
+//
+// A prepared participant holds its key locks until it learns the outcome, so
+// the decision phase must terminate at every participant: giving up after a
+// retry budget would leave those locks held forever — every later operation
+// on the keys (including plain stats, which share the inode locks) would
+// park behind them. The coordinator therefore (a) drives an explicit abort
+// decision when the prepare phase gives up, and (b) retransmits the decision
+// until every participant acked or this incarnation fail-stops; a
+// participant that crashed meanwhile acks the duplicate from its fresh
+// incarnation. Coordinator crashes are covered by the participant-side
+// termination protocol (monitorTxn / handleTxnStatus): commits are persisted
+// to the WAL before the first decision packet, anything else is presumed
+// aborted.
 func (s *Server) runTxn(p *env.Proc, parts []env.NodeID, ops [][]wire.TxnOp,
 	checks [][]wire.TxnCheck, auto bool) error {
 
@@ -319,7 +340,11 @@ func (s *Server) runTxn(p *env.Proc, parts []env.NodeID, ops [][]wire.TxnOp,
 	}()
 
 	// Prepare.
+	prepared := true
 	for try := 0; ; try++ {
+		if s.dead {
+			return core.ErrTimeout
+		}
 		for i, n := range parts {
 			var ck []wire.TxnCheck
 			if checks != nil {
@@ -332,15 +357,65 @@ func (s *Server) runTxn(p *env.Proc, parts []env.NodeID, ops [][]wire.TxnOp,
 		}
 		s.Stats.Retries++
 		if try >= maxAggRetries {
-			return core.ErrRetry
+			prepared = false
+			break
 		}
 	}
-	commit := tv.err == nil
 	if auto {
+		// Auto participants apply at prepare time and take no locks — a
+		// given-up prepare leaves nothing to abort.
+		if !prepared {
+			return core.ErrRetry
+		}
 		return tv.err
+	}
+	commit := prepared && tv.err == nil
+	if commit {
+		s.recordCommit(p, id, parts)
 	}
 
 	// Decision.
+	if s.driveDecision(p, id, parts, commit) && commit {
+		s.ackDecision(id)
+	}
+	if s.dead {
+		return core.ErrTimeout
+	}
+	if !prepared {
+		return core.ErrRetry
+	}
+	return tv.err
+}
+
+// recordCommit fixes a commit outcome before any decision packet leaves:
+// WAL-logged with the participant set so a restarted coordinator both
+// answers in-doubt status queries with commit and re-drives the decision to
+// every participant. Aborts are never recorded — an incarnation with no
+// record answers presumed-abort, which is the same outcome.
+func (s *Server) recordCommit(p *env.Proc, id uint64, parts []env.NodeID) {
+	// WAL first, in-memory flag after: the compute parks, and a status
+	// query answered from the flag in that window would be a commit
+	// decision a crash could then erase — one participant committed, the
+	// restarted coordinator presuming abort for the rest. Until the append
+	// lands, queries see txnVotes and answer Pending.
+	p.Compute(s.cfg.Costs.WALAppend)
+	payload := u64(nil, id)
+	for _, n := range parts {
+		payload = u64(payload, uint64(n))
+	}
+	lsn := mustAppend(s.wal, recTxnCommit, payload)
+	s.mu.Lock()
+	s.txnDecided[id] = true
+	s.txnWAL[id] = lsn
+	s.mu.Unlock()
+}
+
+// driveDecision retransmits a decision until every participant acked. The
+// retry budget keeps a never-recovering participant from holding this
+// process alive forever; on give-up the recorded commit stays, and either
+// the participant's termination protocol pulls it (TxnStatusReq) or the
+// next coordinator recovery re-drives it. Reports whether all acks arrived.
+func (s *Server) driveDecision(p *env.Proc, id uint64, parts []env.NodeID, commit bool) bool {
 	s.mu.Lock()
 	td := &txnVotes{expect: make(map[env.NodeID]bool), done: env.NewFuture()}
 	for _, n := range parts {
@@ -354,18 +429,131 @@ func (s *Server) runTxn(p *env.Proc, parts []env.NodeID, ops [][]wire.TxnOp,
 		s.mu.Unlock()
 	}()
 	for try := 0; ; try++ {
+		if s.dead {
+			return false
+		}
 		for _, n := range parts {
 			s.reply(p, n, &wire.TxnDecision{Txn: id, Commit: commit})
 		}
 		if _, ok := td.done.WaitTimeout(p, s.cfg.RetryTimeout); ok {
-			break
+			return true
 		}
 		s.Stats.Retries++
 		if try >= maxAggRetries {
-			break
+			return false
 		}
 	}
-	return tv.err
+}
+
+// ackDecision retires a fully-acknowledged commit: every participant
+// acked, so no one can be in doubt anymore — the in-memory record is
+// droppable (bounding txnDecided to the in-flight set) and the WAL record
+// is marked applied so replay need not rebuild or re-drive it.
+func (s *Server) ackDecision(id uint64) {
+	s.mu.Lock()
+	delete(s.txnDecided, id)
+	lsn, ok := s.txnWAL[id]
+	delete(s.txnWAL, id)
+	s.mu.Unlock()
+	if ok {
+		mustMark(s.wal, lsn)
+	}
+}
+
+// handleTxnStatus answers a participant's termination-protocol query.
+func (s *Server) handleTxnStatus(p *env.Proc, req *wire.TxnStatusReq) {
+	p.Compute(s.cfg.Costs.Parse)
+	resp := &wire.TxnStatusResp{Ctl: req.Ctl, Txn: req.Txn}
+	s.mu.Lock()
+	if _, ok := s.txnDecided[req.Txn]; ok {
+		resp.Commit = true // only commits are recorded
+	} else if s.txnVotes[req.Txn] != nil || !s.serving {
+		// Still collecting votes (the decision phase will reach the
+		// participant), or this incarnation has not finished recovering —
+		// either way the outcome is not known *yet*.
+		resp.Pending = true
+	}
+	// Otherwise: no record of the transaction — presumed abort (aborts are
+	// never recorded; decided-but-unacked aborts resolve to the same answer
+	// once the abort's decision phase ends and txnVotes is dropped).
+	s.mu.Unlock()
+	s.reply(p, req.From, resp)
+}
+
+// redriveCommits re-sends every replayed, still-unacknowledged commit
+// decision after a coordinator restart (§5.4.2 extension): a participant
+// that already applied it acks the duplicate, an in-doubt one applies and
+// acks — once all participants answered, the record retires (WAL-marked)
+// instead of leaking into every future replay.
+func (s *Server) redriveCommits(p *env.Proc) {
+	redrives := s.txnRedrive
+	s.txnRedrive = nil
+	for _, rd := range redrives {
+		if s.driveDecision(p, rd.txn, rd.parts, true) {
+			s.ackDecision(rd.txn)
+		}
+	}
+}
+
+// inDoubtAfter is how long a prepared participant waits for the decision
+// before starting to poll the coordinator. Generous: with a live coordinator
+// the decision retransmits on RetryTimeout and always wins this race.
+func (s *Server) inDoubtAfter() env.Duration { return 4 * s.cfg.RetryTimeout }
+
+// watchTxn arms the participant-side termination protocol for a prepared
+// transaction: if the decision has not arrived after inDoubtAfter, a monitor
+// process polls the coordinator until the outcome is known and applies it.
+// Without this, a coordinator crash strands the participant's key locks
+// forever (every later operation on those keys would park behind them).
+func (s *Server) watchTxn(txn uint64, coord env.NodeID) {
+	s.env.After(s.inDoubtAfter(), func() {
+		s.mu.Lock()
+		_, pending := s.txns[txn]
+		s.mu.Unlock()
+		if !pending || s.dead {
+			return
+		}
+		s.env.Spawn(s.cfg.ID, func(p *env.Proc) { s.monitorTxn(p, txn, coord) })
+	})
+}
+
+func (s *Server) monitorTxn(p *env.Proc, txn uint64, coord env.NodeID) {
+	// Polling is bounded: against a coordinator that never comes back the
+	// transaction cannot be terminated safely (2PC's blocking case —
+	// unilateral abort could break atomicity against a commit some other
+	// participant applied), so after the budget the monitor stops and the
+	// keys stay locked. Operations on them then fail with client-side
+	// timeouts — a detectable wedge — instead of the monitor keeping the
+	// simulation alive forever. Validated plans always recover crashes, so
+	// the budget is only reachable under hand-written scenarios.
+	for try := 0; try < maxAggRetries; try++ {
+		if s.dead {
+			return
+		}
+		s.mu.Lock()
+		_, pending := s.txns[txn]
+		s.mu.Unlock()
+		if !pending {
+			return // decision arrived while we slept or polled
+		}
+		v, err := s.ctlCall(p, coord, func(ctl uint64) wire.Msg {
+			return &wire.TxnStatusReq{Ctl: ctl, From: s.cfg.ID, Txn: txn}
+		})
+		if err != nil {
+			// Coordinator unreachable (crashed or partitioned): keep
+			// waiting — presumed abort may only be applied on a definitive
+			// answer from a coordinator incarnation.
+			p.Sleep(s.inDoubtAfter())
+			continue
+		}
+		resp := v.(*wire.TxnStatusResp)
+		if resp.Pending {
+			p.Sleep(s.inDoubtAfter())
+			continue
+		}
+		s.handleTxnDecision(p, &wire.TxnDecision{Txn: txn, Commit: resp.Commit})
+		return
+	}
 }
 
 // runRemoteTxn is the commutative single-shot variant used by adjustNlink.
@@ -445,42 +633,8 @@ func (s *Server) handleTxnPrepare(p *env.Proc, tp *wire.TxnPrepare) {
 		return
 	}
 
-	// Collect and sort the lock set (global order avoids deadlock between
-	// a transaction and local operations? — local ops take single locks, so
-	// ordering only matters between transactions, which the coordinator
-	// already serializes; sorting is defense in depth).
-	type lk struct {
-		key  core.Key
-		lock *env.RWMutex
-	}
-	var lks []lk
-	seen := map[string]bool{}
-	addKey := func(k core.Key) {
-		ek := string(k.Encode())
-		if !seen[ek] {
-			seen[ek] = true
-			lks = append(lks, lk{key: k, lock: s.lockOf(k)})
-		}
-	}
-	for _, op := range tp.Ops {
-		switch op.Kind {
-		case wire.TxnPutInode, wire.TxnDelInode, wire.TxnAdjustNlink:
-			addKey(op.Key)
-		case wire.TxnDirUpdate:
-			addKey(op.Dir.Key)
-		}
-	}
-	for _, ck := range tp.Check {
-		addKey(ck.Key)
-	}
-	sort.Slice(lks, func(i, j int) bool {
-		return bytes.Compare(lks[i].key.Encode(), lks[j].key.Encode()) < 0
-	})
 	st := &txnState{id: tp.Txn, ops: tp.Ops}
-	for _, l := range lks {
-		l.lock.Lock(p)
-		st.locks = append(st.locks, l.lock)
-	}
+	st.locks = s.lockTxnKeys(p, tp.Ops, tp.Check)
 
 	var err error
 	for _, ck := range tp.Check {
@@ -508,11 +662,133 @@ func (s *Server) handleTxnPrepare(p *env.Proc, tp *wire.TxnPrepare) {
 		s.reply(p, tp.From, &wire.TxnVote{Txn: tp.Txn, From: s.cfg.ID, Err: core.ErrnoOf(err)})
 		return
 	}
+	// Persist the prepared state before the vote leaves: once the
+	// coordinator may commit on our vote, a restarted incarnation of this
+	// participant must still be able to APPLY that commit — acking a
+	// re-driven decision without the ops would retire a partially-applied
+	// transaction (a rename whose delete landed but whose insert vanished
+	// with the crash). Recovery rebuilds the locks, the vote, and the
+	// monitor from this record; the decision marks it applied.
+	p.Compute(c.WALAppend)
+	st.lsn = mustAppend(s.wal, recTxnPrepare, encodeTxnPrepare(tp.Txn, tp.From, tp.Ops))
 	s.mu.Lock()
 	s.txns[tp.Txn] = st
 	s.mu.Unlock()
 	s.recordVote(tp.Txn, core.ErrnoOK)
+	// Prepared and locked: arm the termination protocol in case the
+	// coordinator dies before the decision reaches us.
+	s.watchTxn(tp.Txn, tp.From)
 	s.reply(p, tp.From, &wire.TxnVote{Txn: tp.Txn, From: s.cfg.ID})
+}
+
+// lockTxnKeys collects, orders (global key order — defense in depth against
+// lock cycles between transactions) and acquires the locks a prepared
+// transaction holds until its decision.
+func (s *Server) lockTxnKeys(p *env.Proc, ops []wire.TxnOp, checks []wire.TxnCheck) []*env.RWMutex {
+	type lk struct {
+		key  core.Key
+		lock *env.RWMutex
+	}
+	var lks []lk
+	seen := map[string]bool{}
+	addKey := func(k core.Key) {
+		ek := string(k.Encode())
+		if !seen[ek] {
+			seen[ek] = true
+			lks = append(lks, lk{key: k, lock: s.lockOf(k)})
+		}
+	}
+	for _, op := range ops {
+		switch op.Kind {
+		case wire.TxnPutInode, wire.TxnDelInode, wire.TxnAdjustNlink:
+			addKey(op.Key)
+		case wire.TxnDirUpdate:
+			addKey(op.Dir.Key)
+		}
+	}
+	for _, ck := range checks {
+		addKey(ck.Key)
+	}
+	sort.Slice(lks, func(i, j int) bool {
+		return bytes.Compare(lks[i].key.Encode(), lks[j].key.Encode()) < 0
+	})
+	locks := make([]*env.RWMutex, 0, len(lks))
+	for _, l := range lks {
+		l.lock.Lock(p)
+		locks = append(locks, l.lock)
+	}
+	return locks
+}
+
+// encodeTxnPrepare packs a prepared transaction's durable state: txn id,
+// coordinator, and the op list (checks already validated — only the
+// appliable ops matter to a restarted incarnation).
+func encodeTxnPrepare(txn uint64, coord env.NodeID, ops []wire.TxnOp) []byte {
+	b := u64(nil, txn)
+	b = u64(b, uint64(coord))
+	b = u64(b, uint64(len(ops)))
+	for _, op := range ops {
+		b = append(b, byte(op.Kind))
+		k := op.Key.Encode()
+		b = u64(b, uint64(len(k)))
+		b = append(b, k...)
+		b = u64(b, uint64(len(op.Inode)))
+		b = append(b, op.Inode...)
+		b = encodeEntry(b, op.Dir, op.Entry)
+	}
+	return b
+}
+
+func decodeTxnPrepare(b []byte) (txn uint64, coord env.NodeID, ops []wire.TxnOp) {
+	txn = binary.BigEndian.Uint64(b)
+	coord = env.NodeID(binary.BigEndian.Uint64(b[8:]))
+	n := binary.BigEndian.Uint64(b[16:])
+	b = b[24:]
+	ops = make([]wire.TxnOp, 0, n)
+	for i := uint64(0); i < n; i++ {
+		var op wire.TxnOp
+		op.Kind = wire.TxnKind(b[0])
+		b = b[1:]
+		kl := binary.BigEndian.Uint64(b)
+		b = b[8:]
+		if key, err := core.DecodeKey(b[:kl]); err == nil {
+			op.Key = key
+		}
+		b = b[kl:]
+		il := binary.BigEndian.Uint64(b)
+		b = b[8:]
+		if il > 0 {
+			op.Inode = append([]byte(nil), b[:il]...)
+		}
+		b = b[il:]
+		op.Dir, op.Entry, b = decodeEntry(b)
+		ops = append(ops, op)
+	}
+	return txn, coord, ops
+}
+
+// rearmPreparedTxns rebuilds the in-doubt participant state replayed from
+// the WAL (§5.4.2 extension): re-acquire the key locks, replay the recorded
+// vote for retransmitted prepares, and arm the termination monitor. Runs on
+// the recovery process before this incarnation serves.
+func (s *Server) rearmPreparedTxns(p *env.Proc) {
+	rearms := s.txnRearm
+	s.txnRearm = nil
+	for _, ra := range rearms {
+		st := &txnState{id: ra.txn, ops: ra.ops, lsn: ra.lsn}
+		st.locks = s.lockTxnKeys(p, ra.ops, nil)
+		s.mu.Lock()
+		if s.txnVoted == nil {
+			s.txnVoted = make(map[uint64]core.Errno)
+			s.txnStarted = make(map[uint64]bool)
+		}
+		s.txns[ra.txn] = st
+		s.txnStarted[ra.txn] = true
+		s.txnVoted[ra.txn] = core.ErrnoOK
+		s.txnLog = append(s.txnLog, ra.txn)
+		s.mu.Unlock()
+		s.watchTxn(ra.txn, ra.coord)
+	}
 }
 
 // handleTxnDecision is the participant side of phase two.
@@ -576,5 +852,7 @@ func (s *Server) handleTxnDecision(p *env.Proc, td *wire.TxnDecision) {
 	for _, l := range st.locks {
 		l.Unlock()
 	}
+	// Resolved: the prepared-state record need not be rebuilt on replay.
+	mustMark(s.wal, st.lsn)
 	s.reply(p, s.cfg.Coordinator, &wire.TxnDone{Txn: td.Txn, From: s.cfg.ID})
 }

@@ -394,6 +394,26 @@ type TxnDone struct {
 	From env.NodeID
 }
 
+// TxnStatusReq asks the coordinator for a prepared transaction's outcome —
+// the participant-side termination protocol. A participant left in doubt
+// (prepared, locks held, no decision) polls the coordinator; an incarnation
+// with no record of the transaction answers abort (presumed abort).
+type TxnStatusReq struct {
+	Ctl  uint64
+	From env.NodeID
+	Txn  uint64
+}
+
+// TxnStatusResp carries the coordinator's answer. Pending means this
+// incarnation is still deciding — keep waiting. Otherwise Commit is the
+// decision (false for both aborted and unknown transactions).
+type TxnStatusResp struct {
+	Ctl     uint64
+	Txn     uint64
+	Commit  bool
+	Pending bool
+}
+
 // RenameReq is routed to the rename coordinator (§5.2 "Rename").
 type RenameReq struct {
 	ReqCommon
@@ -551,6 +571,8 @@ func (*TxnPrepare) msg()     {}
 func (*TxnVote) msg()        {}
 func (*TxnDecision) msg()    {}
 func (*TxnDone) msg()        {}
+func (*TxnStatusReq) msg()   {}
+func (*TxnStatusResp) msg()  {}
 func (*RenameReq) msg()      {}
 func (*RenameResp) msg()     {}
 func (*LinkReq) msg()        {}

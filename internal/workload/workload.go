@@ -208,6 +208,8 @@ func Apply(p *env.Proc, fs fsapi.FS, call OpCall) error {
 		_, err = fs.ReadDir(p, call.Path)
 	case core.OpRename:
 		err = fs.Rename(p, call.Path, call.Path2)
+	case core.OpLink:
+		err = fs.Link(p, call.Path, call.Path2)
 	case core.OpRead:
 		if call.Data > 0 {
 			err = fs.Data(p, call.Shard, false, call.Data)
@@ -225,6 +227,26 @@ func Apply(p *env.Proc, fs fsapi.FS, call OpCall) error {
 		}
 	}
 	return err
+}
+
+// Program materializes the deterministic operation lists Run would issue:
+// one per worker, drawn with the same per-worker seeding (seed + w*7919).
+// Checking harnesses replay programs op by op (recording each result)
+// instead of running the closed loop; the same gen and seed always produce
+// the same program. Stateful generators (Mix.Gen) accumulate per-worker
+// state across draws — pass a freshly-built gen, not one that has already
+// been sampled.
+func Program(gen Gen, seed int64, workers, opsPerWorker int) [][]OpCall {
+	prog := make([][]OpCall, workers)
+	for w := range prog {
+		rnd := newRand(seed + int64(w)*7919)
+		ops := make([]OpCall, opsPerWorker)
+		for i := range ops {
+			ops[i] = gen(rnd, w, i)
+		}
+		prog[w] = ops
+	}
+	return prog
 }
 
 // spawnOn starts a worker process on client i's env node. Cluster adapters

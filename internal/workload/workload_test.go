@@ -108,6 +108,105 @@ func TestMixRatios(t *testing.T) {
 	}
 }
 
+// TestProgramDeterministic pins Program: the same gen shape and seed always
+// materialize identical per-worker op lists (the replay contract of the
+// checking harnesses), and they match what Run's workers would draw.
+func TestProgramDeterministic(t *testing.T) {
+	ns := MultiDir(4, 8)
+	mixes := map[string]func() Gen{
+		"pangu":     func() Gen { return PanguMix().Gen(ns, false) },
+		"cnn":       func() Gen { return CNNTrainingMix(4096).Gen(ns, false) },
+		"thumbnail": func() Gen { return ThumbnailMix(4096).Gen(ns, false) },
+		"uniform":   func() Gen { return ns.UniformFiles(core.OpStat) },
+	}
+	for name, mk := range mixes {
+		// Stateful mix gens must be rebuilt per materialization; identical
+		// fresh gens must agree draw for draw.
+		a := Program(mk(), 11, 3, 50)
+		b := Program(mk(), 11, 3, 50)
+		if len(a) != 3 || len(a[0]) != 50 {
+			t.Fatalf("%s: program shape %dx%d", name, len(a), len(a[0]))
+		}
+		for w := range a {
+			for i := range a[w] {
+				if a[w][i] != b[w][i] {
+					t.Fatalf("%s: worker %d op %d differs: %+v vs %+v",
+						name, w, i, a[w][i], b[w][i])
+				}
+			}
+		}
+		c := Program(mk(), 12, 3, 50)
+		same := true
+		for w := range a {
+			for i := range a[w] {
+				if a[w][i] != c[w][i] {
+					same = false
+				}
+			}
+		}
+		if same {
+			t.Fatalf("%s: different seeds produced identical programs", name)
+		}
+	}
+}
+
+// mixFractions draws n ops from a fresh gen and returns per-op fractions.
+func mixFractions(gen Gen, n int) map[core.Op]float64 {
+	rnd := rand.New(rand.NewSource(2))
+	counts := map[core.Op]int{}
+	for i := 0; i < n; i++ {
+		counts[gen(rnd, 0, i).Op]++
+	}
+	out := make(map[core.Op]float64, len(counts))
+	for op, c := range counts {
+		out[op] = float64(c) / float64(n)
+	}
+	return out
+}
+
+// TestCNNTrainingMixRatios sanity-checks the CV-training trace shape:
+// open/close/stat dominate, data accesses carry the configured size.
+func TestCNNTrainingMixRatios(t *testing.T) {
+	ns := MultiDir(8, 16)
+	frac := mixFractions(CNNTrainingMix(4096).Gen(ns, false), 20000)
+	if f := frac[core.OpOpen] + frac[core.OpClose] + frac[core.OpStat]; f < 0.55 || f > 0.75 {
+		t.Errorf("open+close+stat fraction %.3f, want ~0.64", f)
+	}
+	if f := frac[core.OpRead]; f < 0.10 || f > 0.19 {
+		t.Errorf("read fraction %.3f, want ~0.142", f)
+	}
+	if f := frac[core.OpWrite]; f < 0.04 || f > 0.11 {
+		t.Errorf("write fraction %.3f, want ~0.071", f)
+	}
+	// Data sizes ride on the data-class draws.
+	gen := CNNTrainingMix(4096).Gen(ns, false)
+	rnd := rand.New(rand.NewSource(3))
+	for i := 0; i < 2000; i++ {
+		call := gen(rnd, 0, i)
+		if (call.Op == core.OpRead || call.Op == core.OpWrite) && call.Data != 4096 {
+			t.Fatalf("data op with %d bytes, want 4096", call.Data)
+		}
+	}
+}
+
+// TestThumbnailMixRatios sanity-checks the thumbnail-generation trace shape.
+func TestThumbnailMixRatios(t *testing.T) {
+	ns := MultiDir(8, 16)
+	frac := mixFractions(ThumbnailMix(8192).Gen(ns, false), 20000)
+	if f := frac[core.OpOpen] + frac[core.OpClose] + frac[core.OpStat]; f < 0.57 || f > 0.75 {
+		t.Errorf("open+close+stat fraction %.3f, want ~0.66", f)
+	}
+	if f := frac[core.OpCreate]; f < 0.07 || f > 0.16 {
+		t.Errorf("create fraction %.3f, want ~0.11", f)
+	}
+	if f := frac[core.OpRead]; f < 0.08 || f > 0.17 {
+		t.Errorf("read fraction %.3f, want ~0.122", f)
+	}
+	if frac[core.OpRmdir] != 0 {
+		t.Error("thumbnail mix has no rmdir class")
+	}
+}
+
 func TestMixDeleteTargetsOwnCreates(t *testing.T) {
 	ns := MultiDir(2, 4)
 	gen := CNNTrainingMix(0).Gen(ns, false)

@@ -30,6 +30,16 @@ type Session struct {
 // ClientID returns the env node id of the session's client (diagnostics).
 func (s *Session) ClientID() int { return int(s.cl.ID()) }
 
+// Now returns the current clock reading in nanoseconds — virtual time under
+// the simulated environment, wall time under the real one. History
+// recorders timestamp operation intervals with it.
+func (s *Session) Now() int64 {
+	if s.p != nil {
+		return int64(s.p.Now())
+	}
+	return int64(s.fs.c.Env.Now())
+}
+
 // run executes fn on the session's process, or dispatches a fresh process
 // for unbound sessions.
 func (s *Session) run(fn func(p *env.Proc) error) error {

@@ -1,0 +1,215 @@
+package switchfs
+
+import (
+	"errors"
+	"testing"
+)
+
+// Table-driven error-semantics coverage for the two-path operations and
+// chmod through the public Session API: every source/destination combination
+// of file, directory, missing and nested paths, each case asserting the
+// wrapped sentinel (ErrNotExist/ErrExist/ErrNotDir/ErrIsDir/ErrLoop) and the
+// *PathError/*LinkError envelope.
+
+// semanticsFS deploys a small simulated cluster with a fixture namespace:
+//
+//	/dir            (directory)
+//	/dir/file       (file)
+//	/dir/sub        (directory)
+//	/file           (file)
+//	/empty          (empty directory)
+func semanticsFS(t *testing.T) *FS {
+	t.Helper()
+	sim := NewSimEnv(11)
+	t.Cleanup(sim.Shutdown)
+	fs, err := New(sim, WithServers(4), WithClients(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs.RunSession(0, func(s *Session) {
+		for _, mk := range []struct {
+			dir  bool
+			path string
+		}{
+			{true, "/dir"}, {false, "/dir/file"}, {true, "/dir/sub"},
+			{false, "/file"}, {true, "/empty"},
+		} {
+			var err error
+			if mk.dir {
+				err = s.Mkdir(mk.path, 0)
+			} else {
+				err = s.Create(mk.path, 0)
+			}
+			if err != nil {
+				t.Errorf("fixture %s: %v", mk.path, err)
+			}
+		}
+	})
+	return fs
+}
+
+func TestRenameErrorSemantics(t *testing.T) {
+	cases := []struct {
+		name     string
+		src, dst string
+		want     error // nil means success
+	}{
+		{"file to fresh", "/file", "/fresh", nil},
+		{"file to nested fresh", "/dir/file", "/dir/sub/f", nil},
+		{"dir to fresh", "/empty", "/moved", nil},
+		{"file to itself", "/file", "/file", nil},
+		{"dir to itself", "/dir", "/dir", nil},
+		{"missing source", "/nope", "/fresh", ErrNotExist},
+		{"missing source to itself", "/nope", "/nope", ErrNotExist},
+		{"missing nested source", "/dir/nope", "/fresh", ErrNotExist},
+		{"source parent missing", "/nope/x", "/fresh", ErrNotExist},
+		{"source parent is file", "/file/x", "/fresh", ErrNotDir},
+		{"dest exists (file)", "/file", "/dir/file", ErrExist},
+		{"dest exists (dir)", "/file", "/empty", ErrExist},
+		{"dir onto existing file", "/empty", "/file", ErrExist},
+		{"dest parent missing", "/file", "/nope/x", ErrNotExist},
+		{"dest parent is file", "/file", "/dir/file/x", ErrNotDir},
+		{"dir into own subtree", "/dir", "/dir/sub/d", ErrLoop},
+		{"dir directly under itself", "/dir", "/dir/d", ErrLoop},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fs := semanticsFS(t)
+			fs.RunSession(0, func(s *Session) {
+				err := s.Rename(tc.src, tc.dst)
+				if tc.want == nil {
+					if err != nil {
+						t.Errorf("rename %s -> %s: %v, want success", tc.src, tc.dst, err)
+					}
+					return
+				}
+				if !errors.Is(err, tc.want) {
+					t.Errorf("rename %s -> %s: %v, want %v", tc.src, tc.dst, err, tc.want)
+					return
+				}
+				var le *LinkError
+				if !errors.As(err, &le) || le.Op != "rename" || le.Old != tc.src || le.New != tc.dst {
+					t.Errorf("rename error envelope %#v, want *LinkError{rename %s %s}", err, tc.src, tc.dst)
+				}
+			})
+		})
+	}
+}
+
+func TestRenameMovesSubtree(t *testing.T) {
+	fs := semanticsFS(t)
+	fs.RunSession(0, func(s *Session) {
+		if err := s.Rename("/dir", "/renamed"); err != nil {
+			t.Errorf("rename: %v", err)
+			return
+		}
+		if _, err := s.Stat("/renamed/file"); err != nil {
+			t.Errorf("child through new path: %v", err)
+		}
+		if _, err := s.StatDir("/renamed/sub"); err != nil {
+			t.Errorf("subdir through new path: %v", err)
+		}
+		if _, err := s.Stat("/dir/file"); !errors.Is(err, ErrNotExist) {
+			t.Errorf("child through old path: %v, want ErrNotExist", err)
+		}
+		if attr, err := s.StatDir("/renamed"); err != nil || attr.Size != 2 {
+			t.Errorf("renamed dir size=%d err=%v, want 2", attr.Size, err)
+		}
+	})
+}
+
+func TestLinkErrorSemantics(t *testing.T) {
+	cases := []struct {
+		name     string
+		src, dst string
+		want     error
+	}{
+		{"file to fresh", "/file", "/l", nil},
+		{"nested file to nested fresh", "/dir/file", "/dir/sub/l", nil},
+		{"missing source", "/nope", "/l", ErrNotExist},
+		{"source parent is file", "/file/x", "/l", ErrNotDir},
+		{"directory source", "/dir", "/l", ErrIsDir},
+		{"empty dir source", "/empty", "/l", ErrIsDir},
+		{"dest exists (file)", "/file", "/dir/file", ErrExist},
+		{"dest exists (dir)", "/file", "/empty", ErrExist},
+		{"dest equals source", "/file", "/file", ErrExist},
+		{"dest parent missing", "/file", "/nope/l", ErrNotExist},
+		{"dest parent is file", "/file", "/dir/file/l", ErrNotDir},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fs := semanticsFS(t)
+			fs.RunSession(0, func(s *Session) {
+				err := s.Link(tc.src, tc.dst)
+				if tc.want == nil {
+					if err != nil {
+						t.Errorf("link %s -> %s: %v, want success", tc.src, tc.dst, err)
+						return
+					}
+					// Both references resolve and survive the other's removal.
+					if _, err := s.Stat(tc.dst); err != nil {
+						t.Errorf("stat new link: %v", err)
+					}
+					if err := s.Remove(tc.src); err != nil {
+						t.Errorf("remove source ref: %v", err)
+					}
+					if _, err := s.Stat(tc.dst); err != nil {
+						t.Errorf("link after source removal: %v", err)
+					}
+					return
+				}
+				if !errors.Is(err, tc.want) {
+					t.Errorf("link %s -> %s: %v, want %v", tc.src, tc.dst, err, tc.want)
+					return
+				}
+				var le *LinkError
+				if !errors.As(err, &le) || le.Op != "link" {
+					t.Errorf("link error envelope %#v, want *LinkError{link}", err)
+				}
+			})
+		})
+	}
+}
+
+func TestChmodErrorSemantics(t *testing.T) {
+	cases := []struct {
+		name string
+		path string
+		want error
+	}{
+		{"file", "/file", nil},
+		{"nested file", "/dir/file", nil},
+		{"directory", "/dir", nil},
+		{"missing", "/nope", ErrNotExist},
+		{"missing nested", "/dir/nope", ErrNotExist},
+		{"parent missing", "/nope/x", ErrNotExist},
+		{"parent is file", "/file/x", ErrNotDir},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fs := semanticsFS(t)
+			fs.RunSession(0, func(s *Session) {
+				err := s.Chmod(tc.path, 0o600)
+				if tc.want == nil {
+					if err != nil {
+						t.Errorf("chmod %s: %v", tc.path, err)
+						return
+					}
+					attr, serr := s.Stat(tc.path)
+					if serr != nil || attr.Perm != 0o600 {
+						t.Errorf("chmod %s not visible: perm=%#o err=%v", tc.path, attr.Perm, serr)
+					}
+					return
+				}
+				if !errors.Is(err, tc.want) {
+					t.Errorf("chmod %s: %v, want %v", tc.path, err, tc.want)
+					return
+				}
+				var pe *PathError
+				if !errors.As(err, &pe) || pe.Op != "chmod" || pe.Path != tc.path {
+					t.Errorf("chmod error envelope %#v, want *PathError{chmod %s}", err, tc.path)
+				}
+			})
+		})
+	}
+}

@@ -139,6 +139,38 @@ func (f *FS) RunSession(i int, fn func(s *Session)) {
 	<-done
 }
 
+// RunSessions runs fn(i, session) concurrently for every i in [0, n): each
+// invocation executes as its own process on client i's node (mod the client
+// pool), so the sessions genuinely interleave — under the simulated
+// environment in deterministic virtual time. RunSessions returns when every
+// fn has completed. Checking harnesses use it to drive concurrent histories
+// through the public Session API.
+func (f *FS) RunSessions(n int, fn func(i int, s *Session)) {
+	done := make(chan struct{}, n)
+	for i := 0; i < n; i++ {
+		i := i
+		cl := f.c.Client(i)
+		f.c.Env.Spawn(cl.ID(), func(p *env.Proc) {
+			fn(i, &Session{fs: f, cl: cl, p: p})
+			done <- struct{}{}
+		})
+	}
+	if s, ok := f.c.Env.(*env.Sim); ok {
+		s.Run()
+		for i := 0; i < n; i++ {
+			select {
+			case <-done:
+			default:
+				panic("switchfs: simulation drained before every session finished (deadlock?)")
+			}
+		}
+		return
+	}
+	for i := 0; i < n; i++ {
+		<-done
+	}
+}
+
 // CrashServer fail-stops metadata server i (its WAL survives).
 func (f *FS) CrashServer(i int) { f.c.CrashServer(i) }
 
