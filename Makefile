@@ -2,18 +2,37 @@
 
 GO ?= go
 
-.PHONY: verify fmt vet build test bench figures lint race bench-json bench-compare bench-baseline chaos-smoke lincheck-smoke lincheck-sweep
+.PHONY: verify fmt vet build test bench figures lint race detlint determinism-smoke bench-json bench-compare bench-baseline chaos-smoke lincheck-smoke lincheck-sweep
 
 verify: fmt vet build test
 
-# lint runs vet plus staticcheck when available (CI installs it; locally it
-# is optional).
-lint: vet
+# lint is the one-command static gate: go vet, staticcheck (when available —
+# CI installs it, locally it is optional), and the repo's own determinism
+# analyzers (detlint).
+lint: vet detlint
 	@if command -v staticcheck >/dev/null 2>&1; then \
 		staticcheck ./...; \
 	else \
-		echo "staticcheck not installed; ran go vet only"; \
+		echo "staticcheck not installed; ran go vet + detlint only"; \
 	fi
+
+# detlint runs the determinism/protocol analyzer suite (internal/detlint)
+# over the whole tree through the vet driver. The build must be clean:
+# every diagnostic is either fixed or carries a //detlint:ignore with a
+# written reason.
+detlint:
+	$(GO) build -o bin/detlint ./cmd/detlint
+	$(GO) vet -vettool=$(CURDIR)/bin/detlint ./...
+
+# determinism-smoke is the end-to-end meta-check behind the static analyzers:
+# two same-seed fsbench runs with wall-clock stamping off must serialize to
+# byte-identical JSON.
+determinism-smoke:
+	$(GO) run ./cmd/fsbench -fig 12a -scale tiny -format json -stamp=false -out det1.json
+	$(GO) run ./cmd/fsbench -fig 12a -scale tiny -format json -stamp=false -out det2.json
+	cmp det1.json det2.json
+	@rm -f det1.json det2.json
+	@echo "determinism-smoke: byte-identical"
 
 race:
 	$(GO) test -race ./...

@@ -1,0 +1,20 @@
+// Command detlint runs the determinism and protocol-invariant analyzer
+// suite (internal/detlint). It is a unitchecker binary: the go command
+// drives it with per-package configuration, so it runs as
+//
+//	go vet -vettool=$(pwd)/bin/detlint ./...
+//
+// (which is what `make detlint` and the CI detlint job do), and composes
+// with the standard vet analyzers' build cache. Invoking it directly prints
+// usage; it is not meant to be run standalone.
+package main
+
+import (
+	"golang.org/x/tools/go/analysis/unitchecker"
+
+	"switchfs/internal/detlint"
+)
+
+func main() {
+	unitchecker.Main(detlint.Analyzers()...)
+}

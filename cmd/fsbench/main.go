@@ -83,6 +83,7 @@ func main() {
 	thresholdFlag := flag.Float64("threshold", 10, "regression threshold in percent for -compare")
 	validateFlag := flag.String("validate", "", "validate a json result file against the schema and exit")
 	seedFlag := flag.Int64("seed", 1, "seed for the chaos and data figures' plans and simulations")
+	stampFlag := flag.Bool("stamp", true, "record wall-clock metadata (CreatedAt, per-figure WallSeconds); -stamp=false zeroes both so same-seed runs are byte-identical")
 	flag.Parse()
 
 	if *validateFlag != "" {
@@ -170,7 +171,9 @@ func main() {
 		Tool:      "fsbench",
 		Scale:     *scaleFlag,
 		GoVersion: runtime.Version(),
-		CreatedAt: time.Now().UTC().Format(time.RFC3339),
+	}
+	if *stampFlag {
+		result.CreatedAt = time.Now().UTC().Format(time.RFC3339)
 	}
 	// Bind flag-dependent figures now that flags are parsed; dispatch stays
 	// uniform over the registry.
@@ -192,6 +195,10 @@ func main() {
 		start := time.Now()
 		tab := figFor(entry.id, entry.fn)(sc)
 		wall := time.Since(start).Seconds()
+		stampedWall := wall
+		if !*stampFlag {
+			stampedWall = 0
+		}
 		if *formatFlag == "text" && *compareFlag == "" {
 			fmt.Println(tab.String())
 			fmt.Printf("(generated in %.1fs wall time)\n\n", wall)
@@ -202,7 +209,7 @@ func main() {
 			Header:      tab.Header,
 			Rows:        tab.Rows,
 			Counters:    tab.Meta,
-			WallSeconds: wall,
+			WallSeconds: stampedWall,
 		})
 	}
 

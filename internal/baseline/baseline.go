@@ -74,7 +74,7 @@ type Cluster struct {
 	servers []*bserver
 	clients []*bclient
 	idgen   *core.IDGen
-	idmu    sync.Mutex
+	idmu    sync.Mutex //detlint:ignore rawgo -- Real-mode guard for the id generator; leaf section, never held across a park
 }
 
 // New deploys a baseline cluster.

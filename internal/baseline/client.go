@@ -14,7 +14,7 @@ type bclient struct {
 	c  *Cluster
 	id env.NodeID
 
-	mu    sync.Mutex
+	mu    sync.Mutex //detlint:ignore rawgo -- Real-mode guard for the resolution cache; leaf section, never held across a park
 	cache map[string]core.DirID
 	calls map[uint64]*env.Future
 	rpcs  uint64

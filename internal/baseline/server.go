@@ -92,7 +92,7 @@ type bserver struct {
 	id env.NodeID
 	kv *kv.Store
 
-	mu    sync.Mutex
+	mu    sync.Mutex //detlint:ignore rawgo -- Real-mode guard for the lock/call tables; leaf section, never held across a park
 	locks map[core.DirID]*env.RWMutex
 	calls map[uint64]*env.Future
 	rpcs  uint64

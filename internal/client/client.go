@@ -42,7 +42,7 @@ type Client struct {
 	env  env.Env
 	node *env.Node
 
-	mu        sync.Mutex
+	mu        sync.Mutex //detlint:ignore rawgo -- Real-mode guard for the name cache; leaf section, never held across a park
 	cache     map[string]cachedDir
 	byID      map[core.DirID][]string
 	invalSeen map[env.NodeID]uint64

@@ -1,0 +1,59 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+
+	"switchfs/internal/client"
+	"switchfs/internal/env"
+)
+
+// trackerOwnerTrace runs a TrackerOwner workload whose statdir aggregation
+// fans fetches out to the expected peer set, and returns the observable
+// signature of the run: the final virtual time plus every server's counters.
+func trackerOwnerTrace(seed int64) string {
+	s := env.NewSim(seed)
+	defer s.Shutdown()
+	// Asymmetric per-link delays make the fan-out order observable: with
+	// symmetric links the completion time is the max over interchangeable
+	// peers, which permuting the per-send jitter draws cannot change.
+	for i := env.NodeID(100); i < 104; i++ {
+		for j := env.NodeID(100); j < 104; j++ {
+			if i != j {
+				s.Net().SetLink(i, j, env.LinkRule{Delay: env.Duration(i*7+j) * 50 * env.Nanosecond})
+			}
+		}
+	}
+	c := New(s, Options{Servers: 4, Clients: 1, Tracker: 2 /* TrackerOwner */, SwitchIndexBits: 8})
+	c.Run(0, func(p *env.Proc, cl *client.Client) {
+		cl.Mkdir(p, "/d", 0)
+		for i := 0; i < 16; i++ {
+			cl.Create(p, fmt.Sprintf("/d/f%d", i), 0)
+		}
+		cl.StatDir(p, "/d")
+		for i := 0; i < 16; i++ {
+			cl.Stat(p, fmt.Sprintf("/d/f%d", i))
+		}
+		cl.StatDir(p, "/d")
+	})
+	out := fmt.Sprintf("now=%d", s.Now())
+	for i, srv := range c.Servers {
+		out += fmt.Sprintf(" s%d=%+v", i, srv.Stats)
+	}
+	return out
+}
+
+// TestTrackerOwnerDeterminism pins the PR6 aggregation fix: the owner-tracker
+// fetch multicast used to walk ctx.expect in map order, and each send draws
+// latency jitter from the seeded RNG, so two same-seed runs could order the
+// draws differently and diverge. The multicast now iterates sortedNodeIDs;
+// two fresh simulations of the same seed must agree exactly.
+func TestTrackerOwnerDeterminism(t *testing.T) {
+	for _, seed := range []int64{1, 7, 999} {
+		a := trackerOwnerTrace(seed)
+		b := trackerOwnerTrace(seed)
+		if a != b {
+			t.Errorf("seed %d: two runs diverged:\n  run1: %s\n  run2: %s", seed, a, b)
+		}
+	}
+}

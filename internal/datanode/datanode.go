@@ -116,7 +116,7 @@ type Server struct {
 	env  env.Env
 	node *env.Node
 
-	mu       sync.Mutex
+	mu       sync.Mutex //detlint:ignore rawgo -- Real-mode guard for the chunk store index; leaf section, never held across a park
 	store    map[wire.ChunkKey]chunkRec
 	dedup    map[dedupKey]wire.Msg
 	dedupLog []dedupKey

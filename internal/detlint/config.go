@@ -1,0 +1,97 @@
+package detlint
+
+import (
+	_ "embed"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"strings"
+)
+
+//go:embed detlint.json
+var configJSON []byte
+
+// Config is the compiled-in analyzer configuration (detlint.json). Each
+// analyzer exposes flags that override the relevant fields, so one-off runs
+// (and the testdata suites) can retarget the suite without editing the file.
+type Config struct {
+	// EnvPackage is the import path of the dual-mode runtime. Methods named
+	// Send, Spawn and After on types of this package are the packet-emission
+	// and scheduling roots the maprange and walorder analyzers trace.
+	EnvPackage string `json:"envPackage"`
+	// WalPackage is the import path of the write-ahead log; method Append on
+	// its types is the durability root the walorder analyzer traces.
+	WalPackage string `json:"walPackage"`
+	// SimPackages are the packages whose code is executed under the
+	// deterministic simulator (maprange, wallclock).
+	SimPackages []string `json:"simPackages"`
+	// RawgoPackages are the packages that must use env.Proc/env primitives
+	// instead of raw goroutines, channels and sync types (rawgo).
+	RawgoPackages []string `json:"rawgoPackages"`
+	// WallclockAllowFiles are file suffixes exempt from the wallclock
+	// analyzer (the Real runtime's own implementation).
+	WallclockAllowFiles []string `json:"wallclockAllowFiles"`
+}
+
+func loadConfig() Config {
+	var c Config
+	if err := json.Unmarshal(configJSON, &c); err != nil {
+		panic(fmt.Sprintf("detlint: embedded detlint.json is invalid: %v", err))
+	}
+	return c
+}
+
+// conf is the process-wide configuration; analyzer flags mutate the fields
+// they name before the first Run.
+var conf = loadConfig()
+
+// listFlag adapts a []string config field to a comma-separated flag value.
+type listFlag struct{ p *[]string }
+
+func (f listFlag) String() string {
+	if f.p == nil {
+		return ""
+	}
+	return strings.Join(*f.p, ",")
+}
+
+func (f listFlag) Set(s string) error {
+	if s == "" {
+		*f.p = nil
+		return nil
+	}
+	*f.p = strings.Split(s, ",")
+	return nil
+}
+
+func addListFlag(fs *flag.FlagSet, p *[]string, name, usage string) {
+	fs.Var(listFlag{p}, name, usage)
+}
+
+// pkgMatch reports whether path is one of the configured package paths.
+func pkgMatch(paths []string, path string) bool {
+	for _, p := range paths {
+		if path == p {
+			return true
+		}
+	}
+	return false
+}
+
+// fileAllowed reports whether filename matches one of the configured
+// allowlist suffixes.
+func fileAllowed(allow []string, filename string) bool {
+	for _, suf := range allow {
+		if strings.HasSuffix(filename, suf) {
+			return true
+		}
+	}
+	return false
+}
+
+// isTestFile reports whether filename is a Go test file. The determinism
+// invariants govern protocol code; tests drive both runtime modes and
+// legitimately use goroutines, wall-clock timeouts and unordered iteration.
+func isTestFile(filename string) bool {
+	return strings.HasSuffix(filename, "_test.go")
+}

@@ -1,0 +1,33 @@
+package detlint
+
+import (
+	"testing"
+
+	"switchfs/internal/detlint/dtest"
+)
+
+// Each suite analyzes a GOPATH-style tree under testdata/<analyzer>/src with
+// stub env/wal/stdlib packages whose import paths match the embedded config,
+// so the analyzers run exactly as they do over the real tree.
+
+func TestMaprange(t *testing.T) {
+	dtest.Run(t, "testdata/maprange", Maprange, "switchfs/internal/server")
+}
+
+func TestWallclock(t *testing.T) {
+	dtest.Run(t, "testdata/wallclock", Wallclock, "switchfs/internal/server")
+	// The Real runtime's own file is allowlisted by config, not comments.
+	dtest.Run(t, "testdata/wallclock", Wallclock, "switchfs/internal/env")
+}
+
+func TestRawgo(t *testing.T) {
+	dtest.Run(t, "testdata/rawgo", Rawgo, "switchfs/internal/server")
+}
+
+func TestWalorder(t *testing.T) {
+	dtest.Run(t, "testdata/walorder", Walorder, "switchfs/internal/server")
+}
+
+func TestDetdirective(t *testing.T) {
+	dtest.Run(t, "testdata/detdirective", Detdirective, "switchfs/internal/server")
+}

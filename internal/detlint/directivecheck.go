@@ -1,0 +1,66 @@
+package detlint
+
+import (
+	"go/ast"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// Detdirective validates the suite's own directives in every package:
+// suppressions must name known analyzers and carry a written reason, and
+// wal-before-send annotations must be well-formed and sit on a function
+// declaration. A suppression that cannot justify itself is a diagnostic —
+// the suppression policy is part of the invariant.
+var Detdirective = &analysis.Analyzer{
+	Name: "detdirective",
+	Doc:  "validate //detlint: directives (ignore reasons, annotation placement)",
+	Run:  runDetdirective,
+}
+
+func runDetdirective(pass *analysis.Pass) (any, error) {
+	r := newReporter(pass)
+	for _, f := range filesOf(pass) {
+		// Doc comments attached to function declarations are legal homes
+		// for wal-before-send; remember their comment groups.
+		funcDocs := make(map[*ast.CommentGroup]bool)
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Doc != nil {
+				funcDocs[fd.Doc] = true
+			}
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				checkDirectiveComment(r, c, funcDocs[cg])
+			}
+		}
+	}
+	return nil, nil
+}
+
+func checkDirectiveComment(r *reporter, c *ast.Comment, inFuncDoc bool) {
+	if !strings.HasPrefix(c.Text, directivePrefix) {
+		return
+	}
+	if rest, ok := cutDirective(c.Text, directiveIgnore); ok {
+		if d := parseIgnore(c.Pos(), rest); d.malformed != "" {
+			r.reportf(c.Pos(), "malformed //detlint:ignore: %s", d.malformed)
+		}
+		return
+	}
+	if rest, ok := cutDirective(c.Text, directiveWalSend); ok {
+		d := parseWalSend(c.Pos(), rest)
+		if d.bad != "" {
+			r.reportf(c.Pos(), "malformed //detlint:wal-before-send: %s", d.bad)
+		}
+		if !inFuncDoc {
+			r.reportf(c.Pos(), "//detlint:wal-before-send must be in a function declaration's doc comment")
+		}
+		return
+	}
+	name := c.Text[len(directivePrefix):]
+	if i := strings.IndexAny(name, " \t"); i >= 0 {
+		name = name[:i]
+	}
+	r.reportf(c.Pos(), "unknown detlint directive %q (known: ignore, wal-before-send)", name)
+}

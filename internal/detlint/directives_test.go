@@ -1,0 +1,53 @@
+package detlint
+
+import "testing"
+
+func TestParseIgnore(t *testing.T) {
+	cases := []struct {
+		rest      string
+		analyzers int
+		malformed bool
+	}{
+		{"rawgo -- guarded, never parks", 1, false},
+		{"maprange,walorder -- sorted upstream", 2, false},
+		{"rawgo", 1, true},              // no reason
+		{"rawgo --", 1, true},           // empty reason
+		{"-- some reason", 0, true},     // no analyzer
+		{"nosuch -- a reason", 1, true}, // unknown analyzer
+		{"rawgo --- odd", 1, false},     // "--- odd" still cuts at "--", reason "- odd"
+	}
+	for _, c := range cases {
+		d := parseIgnore(0, c.rest)
+		if got := len(d.analyzers); got != c.analyzers {
+			t.Errorf("parseIgnore(%q): %d analyzers, want %d", c.rest, got, c.analyzers)
+		}
+		if got := d.malformed != ""; got != c.malformed {
+			t.Errorf("parseIgnore(%q): malformed=%q, want malformed=%v", c.rest, d.malformed, c.malformed)
+		}
+	}
+}
+
+func TestParseWalSend(t *testing.T) {
+	d := parseWalSend(0, "recTxnCommit via=driveDecision,reply")
+	if d.bad != "" || d.record != "recTxnCommit" || len(d.via) != 2 {
+		t.Errorf("parseWalSend: got %+v", d)
+	}
+	if d := parseWalSend(0, ""); d.bad == "" {
+		t.Error("parseWalSend(empty): expected a parse problem")
+	}
+	if d := parseWalSend(0, "recX frobnicate=1"); d.bad == "" {
+		t.Error("parseWalSend(bad arg): expected a parse problem")
+	}
+}
+
+func TestCutDirective(t *testing.T) {
+	if rest, ok := cutDirective("//detlint:ignore rawgo -- x", "ignore"); !ok || rest != "rawgo -- x" {
+		t.Errorf("cutDirective: got %q, %v", rest, ok)
+	}
+	if _, ok := cutDirective("//detlint:ignorex", "ignore"); ok {
+		t.Error("cutDirective: ignorex must not match ignore")
+	}
+	if _, ok := cutDirective("// detlint:ignore x -- y", "ignore"); ok {
+		t.Error("cutDirective: spaced comment is not a directive")
+	}
+}

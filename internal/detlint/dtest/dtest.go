@@ -1,0 +1,322 @@
+// Package dtest is a minimal, offline replacement for
+// golang.org/x/tools/go/analysis/analysistest. The upstream harness depends
+// on go/packages, which this repository does not vendor (the build must work
+// with no module network access), so dtest loads GOPATH-style testdata
+// trees with go/parser + go/types directly.
+//
+// Layout and conventions match analysistest: sources live under
+// <testdata>/src/<import path>/, and expectations are `// want "regex"`
+// comments on the line a diagnostic is reported at. Imports resolve against
+// the testdata tree first — stub packages there may shadow the standard
+// library (the suites stub time, math/rand, sync and sort so runs stay
+// hermetic and fast) — and fall back to compiling the real standard library
+// from source.
+package dtest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"reflect"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// Run analyzes the package at <testdata>/src/<pkgPath> with a (running its
+// Requires transitively first) and compares the diagnostics against the
+// `// want` expectations in the package's sources.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgPath string) {
+	t.Helper()
+	l := newLoader(filepath.Join(testdata, "src"))
+	pi, err := l.load(pkgPath)
+	if err != nil {
+		t.Fatalf("dtest: loading %s: %v", pkgPath, err)
+	}
+	diags, err := execute(l, pi, a)
+	if err != nil {
+		t.Fatalf("dtest: running %s on %s: %v", a.Name, pkgPath, err)
+	}
+	matchWants(t, l.fset, pi.files, diags)
+}
+
+// pkgInfo is one loaded package. Packages delegated to the standard-library
+// importer carry only pkg; testdata packages also carry syntax and types.
+type pkgInfo struct {
+	pkg   *types.Package
+	files []*ast.File
+	info  *types.Info
+}
+
+type loader struct {
+	fset   *token.FileSet
+	srcDir string
+	std    types.ImporterFrom
+	pkgs   map[string]*pkgInfo
+}
+
+func newLoader(srcDir string) *loader {
+	fset := token.NewFileSet()
+	return &loader{
+		fset:   fset,
+		srcDir: srcDir,
+		std:    importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+		pkgs:   make(map[string]*pkgInfo),
+	}
+}
+
+func (l *loader) load(path string) (*pkgInfo, error) {
+	if pi, ok := l.pkgs[path]; ok {
+		return pi, nil
+	}
+	dir := filepath.Join(l.srcDir, filepath.FromSlash(path))
+	if st, err := os.Stat(dir); err != nil || !st.IsDir() {
+		pkg, err := l.std.ImportFrom(path, l.srcDir, 0)
+		if err != nil {
+			return nil, err
+		}
+		pi := &pkgInfo{pkg: pkg}
+		l.pkgs[path] = pi
+		return pi, nil
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range ents {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") || strings.HasSuffix(e.Name(), "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	info := &types.Info{
+		Types:        make(map[ast.Expr]types.TypeAndValue),
+		Instances:    make(map[*ast.Ident]types.Instance),
+		Defs:         make(map[*ast.Ident]types.Object),
+		Uses:         make(map[*ast.Ident]types.Object),
+		Implicits:    make(map[ast.Node]types.Object),
+		Selections:   make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:       make(map[ast.Node]*types.Scope),
+		FileVersions: make(map[*ast.File]string),
+	}
+	conf := types.Config{Importer: l}
+	pkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	pi := &pkgInfo{pkg: pkg, files: files, info: info}
+	l.pkgs[path] = pi
+	return pi, nil
+}
+
+// Import / ImportFrom make the loader usable as the type-checker's importer,
+// resolving against the testdata tree before the standard library.
+func (l *loader) Import(path string) (*types.Package, error) {
+	return l.ImportFrom(path, "", 0)
+}
+
+func (l *loader) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	pi, err := l.load(path)
+	if err != nil {
+		return nil, err
+	}
+	return pi.pkg, nil
+}
+
+// execute runs target and its Requires DAG over one package, returning the
+// target's diagnostics. Facts live in an in-memory store (single-package
+// analysis needs no serialization).
+func execute(l *loader, pi *pkgInfo, target *analysis.Analyzer) ([]analysis.Diagnostic, error) {
+	results := make(map[*analysis.Analyzer]any)
+	visited := make(map[*analysis.Analyzer]bool)
+	facts := &factStore{}
+	var diags []analysis.Diagnostic
+
+	var run func(a *analysis.Analyzer) error
+	run = func(a *analysis.Analyzer) error {
+		if visited[a] {
+			return nil
+		}
+		visited[a] = true
+		for _, req := range a.Requires {
+			if err := run(req); err != nil {
+				return err
+			}
+		}
+		pass := &analysis.Pass{
+			Analyzer:   a,
+			Fset:       l.fset,
+			Files:      pi.files,
+			Pkg:        pi.pkg,
+			TypesInfo:  pi.info,
+			TypesSizes: types.SizesFor("gc", "amd64"),
+			ResultOf:   make(map[*analysis.Analyzer]any),
+			Report: func(d analysis.Diagnostic) {
+				if a == target {
+					diags = append(diags, d)
+				}
+			},
+			ReadFile:          os.ReadFile,
+			ImportObjectFact:  facts.importObjectFact,
+			ExportObjectFact:  facts.exportObjectFact,
+			ImportPackageFact: facts.importPackageFact,
+			ExportPackageFact: func(f analysis.Fact) { facts.exportPackageFact(pi.pkg, f) },
+			AllObjectFacts:    facts.allObjectFacts,
+			AllPackageFacts:   facts.allPackageFacts,
+		}
+		for _, req := range a.Requires {
+			pass.ResultOf[req] = results[req]
+		}
+		res, err := a.Run(pass)
+		if err != nil {
+			return fmt.Errorf("%s: %w", a.Name, err)
+		}
+		results[a] = res
+		return nil
+	}
+	return diags, run(target)
+}
+
+// factStore is the in-memory fact table shared by one execute call.
+type factStore struct {
+	obj []analysis.ObjectFact
+	pkg []analysis.PackageFact
+}
+
+func sameFactType(a, b analysis.Fact) bool {
+	return reflect.TypeOf(a) == reflect.TypeOf(b)
+}
+
+func copyFact(dst, src analysis.Fact) {
+	reflect.ValueOf(dst).Elem().Set(reflect.ValueOf(src).Elem())
+}
+
+func (s *factStore) importObjectFact(obj types.Object, f analysis.Fact) bool {
+	for _, of := range s.obj {
+		if of.Object == obj && sameFactType(of.Fact, f) {
+			copyFact(f, of.Fact)
+			return true
+		}
+	}
+	return false
+}
+
+func (s *factStore) exportObjectFact(obj types.Object, f analysis.Fact) {
+	for i, of := range s.obj {
+		if of.Object == obj && sameFactType(of.Fact, f) {
+			s.obj[i].Fact = f
+			return
+		}
+	}
+	s.obj = append(s.obj, analysis.ObjectFact{Object: obj, Fact: f})
+}
+
+func (s *factStore) importPackageFact(pkg *types.Package, f analysis.Fact) bool {
+	for _, pf := range s.pkg {
+		if pf.Package == pkg && sameFactType(pf.Fact, f) {
+			copyFact(f, pf.Fact)
+			return true
+		}
+	}
+	return false
+}
+
+func (s *factStore) exportPackageFact(pkg *types.Package, f analysis.Fact) {
+	for i, pf := range s.pkg {
+		if pf.Package == pkg && sameFactType(pf.Fact, f) {
+			s.pkg[i].Fact = f
+			return
+		}
+	}
+	s.pkg = append(s.pkg, analysis.PackageFact{Package: pkg, Fact: f})
+}
+
+func (s *factStore) allObjectFacts() []analysis.ObjectFact {
+	return append([]analysis.ObjectFact(nil), s.obj...)
+}
+func (s *factStore) allPackageFacts() []analysis.PackageFact {
+	return append([]analysis.PackageFact(nil), s.pkg...)
+}
+
+// expectation is one parsed `// want "regex"` marker.
+type expectation struct {
+	file    string
+	line    int
+	rx      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+const wantMarker = "// want "
+
+// matchWants pairs diagnostics with expectations one-to-one: every
+// diagnostic must land on a want of its line whose regex matches, and every
+// want must be consumed by exactly one diagnostic.
+func matchWants(t *testing.T, fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				i := strings.Index(text, wantMarker)
+				if i < 0 {
+					continue
+				}
+				p := fset.Position(c.Pos())
+				for rest := strings.TrimSpace(text[i+len(wantMarker):]); rest != ""; {
+					q, err := strconv.QuotedPrefix(rest)
+					if err != nil {
+						t.Errorf("%s:%d: malformed want pattern %q", p.Filename, p.Line, rest)
+						break
+					}
+					unq, _ := strconv.Unquote(q)
+					rx, err := regexp.Compile(unq)
+					if err != nil {
+						t.Errorf("%s:%d: bad want regexp %q: %v", p.Filename, p.Line, unq, err)
+						break
+					}
+					wants = append(wants, &expectation{file: p.Filename, line: p.Line, rx: rx, raw: unq})
+					rest = strings.TrimSpace(rest[len(q):])
+				}
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	for _, d := range diags {
+		p := fset.Position(d.Pos)
+		found := false
+		for _, w := range wants {
+			if !w.matched && w.file == p.Filename && w.line == p.Line && w.rx.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", p.Filename, p.Line, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matched want %q", w.file, w.line, w.raw)
+		}
+	}
+}

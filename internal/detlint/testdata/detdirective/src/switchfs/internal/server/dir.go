@@ -1,0 +1,30 @@
+// Package server exercises detdirective: the suite's own directives must be
+// well-formed, and a suppression without a written reason is a diagnostic.
+// The `want` markers ride inside the directive comments themselves, which is
+// why some expectations also match the resulting parse errors.
+package server
+
+//detlint:ignore rawgo // want `malformed //detlint:ignore: missing reason`
+var a int
+
+//detlint:ignore nosuch -- covered elsewhere // want `unknown analyzer "nosuch"`
+var b int
+
+//detlint:ignore -- lazy // want `no analyzer named`
+var c int
+
+//detlint:frobnicate now // want `unknown detlint directive "frobnicate"`
+var d int
+
+func placed() {
+	//detlint:wal-before-send recX // want `unrecognized argument` `must be in a function declaration's doc comment`
+	_ = 0
+}
+
+// wellFormed carries valid directives: no diagnostics.
+//
+//detlint:wal-before-send recX via=reply
+func wellFormed() {
+	//detlint:ignore maprange,walorder -- a written reason satisfies the policy
+	_ = 0
+}

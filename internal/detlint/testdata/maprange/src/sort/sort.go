@@ -1,0 +1,6 @@
+// Package sort is a stub of the standard library package for the detlint
+// testdata: maprange's sorted-snapshot exemption keys on calls into it.
+package sort
+
+func Slice(x any, less func(i, j int) bool) {}
+func Ints(x []int)                          {}

@@ -1,0 +1,129 @@
+package server
+
+import (
+	"sort"
+
+	"switchfs/internal/env"
+)
+
+type clog struct{ owner env.NodeID }
+
+type Server struct {
+	p     *env.Proc
+	clogs map[uint64]*clog
+	peers map[env.NodeID]bool
+}
+
+// reply is a same-package wrapper around the emission root; the send graph
+// must close over it.
+func (s *Server) reply(to env.NodeID, msg any) { s.p.Send(to, msg) }
+
+// flushAll is the PR5 bug shape: iterating the change-log table and emitting
+// one packet per entry leaks the per-process randomized map order into the
+// message sequence (and into the per-send RNG draws).
+func (s *Server) flushAll() {
+	for _, c := range s.clogs {
+		s.p.Send(c.owner, "flush") // want `packet emission inside range over map`
+	}
+}
+
+// notifyPeers emits through the wrapper — still flagged.
+func (s *Server) notifyPeers() {
+	for n := range s.peers {
+		s.reply(n, "hello") // want `packet emission inside range over map`
+	}
+}
+
+// closureLeak emits through a closure bound to a local — still flagged.
+func (s *Server) closureLeak() {
+	fail := func(n env.NodeID) { s.p.Send(n, "x") }
+	for n := range s.peers {
+		fail(n) // want `packet emission inside range over map`
+	}
+}
+
+// sortedClogs is the approved idiom: snapshot, sort after the loop, iterate
+// the slice. The append is exempt because the function sorts it.
+func (s *Server) sortedClogs() []uint64 {
+	ids := make([]uint64, 0, len(s.clogs))
+	for id := range s.clogs {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// flushSorted iterates the sorted snapshot — a slice range, not governed.
+func (s *Server) flushSorted() {
+	for _, id := range s.sortedClogs() {
+		s.p.Send(s.clogs[id].owner, "flush")
+	}
+}
+
+// keysUnsorted lets the map-ordered slice escape without a sort.
+func (s *Server) keysUnsorted() []uint64 {
+	var ids []uint64
+	for id := range s.clogs {
+		ids = append(ids, id) // want `append to ids inside range over map without a sort`
+	}
+	return ids
+}
+
+// total is commutative accumulation: op-assign is order-insensitive.
+func (s *Server) total() int {
+	n := 0
+	for _, c := range s.clogs {
+		n += int(c.owner)
+	}
+	return n
+}
+
+// anyPeer is last-writer-wins: the surviving value follows iteration order.
+func (s *Server) anyPeer() env.NodeID {
+	var last env.NodeID
+	for n := range s.peers {
+		last = n // want `order-dependent write to last inside range over map`
+	}
+	return last
+}
+
+// invert stores keyed by the loop variables: per-entry, deterministic.
+func invert(m map[uint64]env.NodeID) map[env.NodeID]uint64 {
+	out := make(map[env.NodeID]uint64)
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// firstWins stores to a loop-independent key: last writer wins in map order.
+func firstWins(m map[uint64]env.NodeID, sink map[string]env.NodeID) {
+	for _, v := range m {
+		sink["winner"] = v // want `order-dependent store inside range over map`
+	}
+}
+
+// prune deletes from the ranged map and per-entry from another — both fine.
+func prune(m map[uint64]bool, other map[uint64]bool) {
+	for k, ok := range m {
+		if !ok {
+			delete(m, k)
+		}
+		delete(other, k)
+	}
+}
+
+// dropOne deletes a loop-independent key: which iteration wins is random.
+func dropOne(m map[uint64]bool, other map[uint64]bool) {
+	for range m {
+		delete(other, 7) // want `delete with loop-independent key inside range over map`
+	}
+}
+
+// loggedBroadcast shows a justified suppression: the reporter must honor it.
+func (s *Server) loggedBroadcast() {
+	for n := range s.peers {
+		//detlint:ignore maprange -- debug-only dump, never runs under the simulator
+		s.p.Send(n, "dbg")
+	}
+}

@@ -1,0 +1,59 @@
+package server
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type waiter struct {
+	mu sync.Mutex     // want `sync.Mutex in a simulator-scheduled package`
+	wg sync.WaitGroup // want `sync.WaitGroup in a simulator-scheduled package`
+}
+
+type table struct {
+	lk sync.RWMutex // want `sync.RWMutex in a simulator-scheduled package`
+}
+
+var cv sync.Cond // want `sync.Cond in a simulator-scheduled package`
+
+func spawnRaw(f func()) {
+	go f() // want `go statement in a simulator-scheduled package`
+}
+
+func chanOps(c chan int) int { // want `channel type in a simulator-scheduled package`
+	c <- 1     // want `channel send in a simulator-scheduled package`
+	return <-c // want `channel receive in a simulator-scheduled package`
+}
+
+func selectOn(c chan int) { // want `channel type in a simulator-scheduled package`
+	select { // want `select in a simulator-scheduled package`
+	case <-c: // want `channel receive in a simulator-scheduled package`
+	}
+}
+
+func drain(c chan int) int { // want `channel type in a simulator-scheduled package`
+	n := 0
+	for v := range c { // want `range over channel in a simulator-scheduled package`
+		n += v
+	}
+	return n
+}
+
+// cache carries the documented suppression idiom: a Real-mode guard that is
+// provably never held across a park, suppressed at the declaration with a
+// written reason. Methods on the suppressed field are not re-reported.
+type cache struct {
+	mu sync.Mutex //detlint:ignore rawgo -- Real-mode guard for the map below; leaf section, never held across a park
+	m  map[string]int
+}
+
+func (c *cache) get(k string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.m[k]
+}
+
+// bump uses sync/atomic, which stays legal: no park, no observable ordering.
+var hits int64
+
+func bump() { atomic.AddInt64(&hits, 1) }

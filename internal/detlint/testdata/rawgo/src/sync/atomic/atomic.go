@@ -1,0 +1,6 @@
+// Package atomic is a stub of the standard library package for the detlint
+// testdata: rawgo deliberately leaves it legal.
+package atomic
+
+func AddInt64(p *int64, delta int64) int64 { return 0 }
+func LoadInt64(p *int64) int64             { return 0 }

@@ -1,0 +1,27 @@
+// Package sync is a stub of the standard library package for the detlint
+// testdata: rawgo flags the blocking types by package path and name.
+package sync
+
+type Mutex struct{}
+
+func (m *Mutex) Lock()   {}
+func (m *Mutex) Unlock() {}
+
+type RWMutex struct{}
+
+func (m *RWMutex) Lock()    {}
+func (m *RWMutex) Unlock()  {}
+func (m *RWMutex) RLock()   {}
+func (m *RWMutex) RUnlock() {}
+
+type WaitGroup struct{}
+
+func (w *WaitGroup) Add(n int) {}
+func (w *WaitGroup) Done()     {}
+func (w *WaitGroup) Wait()     {}
+
+type Cond struct{}
+
+func (c *Cond) Wait()      {}
+func (c *Cond) Signal()    {}
+func (c *Cond) Broadcast() {}

@@ -1,0 +1,17 @@
+// Package rand is a stub of the standard library package for the detlint
+// testdata: the package-global convenience functions are the banned surface,
+// the seeded constructors and *Rand methods are the replacement.
+package rand
+
+type Source struct{}
+
+type Rand struct{}
+
+func New(src *Source) *Rand        { return &Rand{} }
+func NewSource(seed int64) *Source { return &Source{} }
+
+func (r *Rand) Intn(n int) int { return 0 }
+
+func Intn(n int) int   { return 0 }
+func Int() int         { return 0 }
+func Float64() float64 { return 0 }

@@ -1,0 +1,6 @@
+// Package env mirrors the dual-mode runtime's import path so the embedded
+// wallclock allowlist (internal/env/real.go) is exercised as configured.
+package env
+
+// Clock is a stub of the runtime's time source.
+type Clock struct{ now int64 }

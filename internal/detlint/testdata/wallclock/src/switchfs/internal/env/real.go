@@ -1,0 +1,10 @@
+package env
+
+import "time"
+
+// real.go matches the wallclockAllowFiles suffix: the Real runtime is the
+// one place wall-clock reads are legal, so nothing below is a diagnostic.
+
+func realNow() time.Time { return time.Now() }
+
+func realSleep(d time.Duration) { time.Sleep(d) }

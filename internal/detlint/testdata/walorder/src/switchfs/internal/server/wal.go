@@ -1,0 +1,130 @@
+package server
+
+import (
+	"switchfs/internal/env"
+	"switchfs/internal/wal"
+)
+
+const (
+	recCommit uint8 = iota + 1
+	recDecide
+)
+
+type Server struct {
+	p *env.Proc
+	w *wal.Log
+}
+
+func (s *Server) reply(to env.NodeID, msg any) { s.p.Send(to, msg) }
+
+// mustAppend takes the record kind from a parameter: a call site passing a
+// record constant is an append point for that record (appendsParam).
+func mustAppend(l *wal.Log, kind uint8, payload []byte) wal.LSN {
+	lsn, _ := l.Append(kind, payload)
+	return lsn
+}
+
+// recordDecide unconditionally appends recDecide: call sites count as append
+// points through the appendsConst fixpoint.
+func (s *Server) recordDecide() {
+	mustAppend(s.w, recDecide, nil)
+}
+
+// goodDecide appends before the send — the straight-line pass case.
+//
+//detlint:wal-before-send recDecide
+func (s *Server) goodDecide(to env.NodeID) {
+	mustAppend(s.w, recDecide, nil)
+	s.reply(to, "decide")
+}
+
+// badDecide emits first: the exact crash-divergence bug class.
+//
+//detlint:wal-before-send recDecide
+func (s *Server) badDecide(to env.NodeID) {
+	s.reply(to, "decide") // want `packet emission reachable before the recDecide WAL append`
+	mustAppend(s.w, recDecide, nil)
+}
+
+// branchDecide appends on only one branch: the merge point is reachable from
+// entry without passing an append.
+//
+//detlint:wal-before-send recDecide
+func (s *Server) branchDecide(to env.NodeID, fast bool) {
+	if !fast {
+		mustAppend(s.w, recDecide, nil)
+	}
+	s.reply(to, "decide") // want `packet emission reachable before the recDecide WAL append`
+}
+
+// bothBranches appends on every path — one arm through the recordDecide
+// helper, which the appendsConst fixpoint must classify.
+//
+//detlint:wal-before-send recDecide
+func (s *Server) bothBranches(to env.NodeID, fast bool) {
+	if fast {
+		mustAppend(s.w, recDecide, nil)
+	} else {
+		s.recordDecide()
+	}
+	s.reply(to, "decide")
+}
+
+// viaScoped pins only the named emitter: the request Send before the append
+// is deliberately out of scope, the via= reply after it is dominated.
+//
+//detlint:wal-before-send recCommit via=reply
+func (s *Server) viaScoped(to env.NodeID) {
+	s.p.Send(to, "request")
+	mustAppend(s.w, recCommit, nil)
+	s.reply(to, "commit")
+}
+
+// noAppend annotates a record the function never appends.
+//
+//detlint:wal-before-send recCommit
+func (s *Server) noAppend(to env.NodeID) { // want `never appends WAL record recCommit`
+	s.reply(to, "oops")
+}
+
+// missingVia names an emitter that is never called.
+//
+//detlint:wal-before-send recCommit via=nosuch
+func (s *Server) missingVia(to env.NodeID) { // want `via target "nosuch" is never called`
+	mustAppend(s.w, recCommit, nil)
+	s.reply(to, "x")
+}
+
+// litExcluded: sends inside function literals run on their own schedule and
+// are outside this function's CFG, so the early closure body is not flagged.
+//
+//detlint:wal-before-send recDecide
+func (s *Server) litExcluded(to env.NodeID) {
+	fail := func() { s.p.Send(to, "error") }
+	_ = fail
+	mustAppend(s.w, recDecide, nil)
+	s.reply(to, "decide")
+}
+
+// deferExcluded: deferred sends run at return, after every append on the
+// path, and are skipped.
+//
+//detlint:wal-before-send recDecide
+func (s *Server) deferExcluded(to env.NodeID) {
+	defer s.reply(to, "done")
+	mustAppend(s.w, recDecide, nil)
+	s.reply(to, "decide")
+}
+
+// abortPath carries the presumed-abort suppression idiom.
+//
+//detlint:wal-before-send recDecide
+func (s *Server) abortPath(to env.NodeID, ok bool) {
+	if !ok {
+		//detlint:ignore walorder -- presumed abort: an incarnation with no record answers abort, the same outcome
+		s.reply(to, "abort")
+		return
+	}
+	mustAppend(s.w, recDecide, nil)
+	s.reply(to, "decide")
+}

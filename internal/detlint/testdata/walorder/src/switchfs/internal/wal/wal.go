@@ -1,0 +1,12 @@
+// Package wal stubs the write-ahead log for the detlint testdata: walorder
+// keys on the Append method of this import path.
+package wal
+
+// LSN is a log sequence number.
+type LSN uint64
+
+// Log is a stub log.
+type Log struct{}
+
+func (l *Log) Append(kind uint8, payload []byte) (LSN, error) { return 0, nil }
+func (l *Log) MarkApplied(lsn LSN) error                      { return nil }

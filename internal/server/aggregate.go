@@ -170,7 +170,10 @@ func (s *Server) runAggregation(p *env.Proc, fp core.Fingerprint, opts *aggOpts)
 	s.mu.Unlock()
 	for {
 		if s.cfg.Tracker == TrackerOwner {
-			for peer := range ctx.expect {
+			// Sorted snapshot: each send draws latency/jitter from the
+			// seeded RNG, so emitting in map order would make two runs with
+			// the same seed diverge (caught by detlint maprange).
+			for _, peer := range sortedNodeIDs(ctx.expect) {
 				s.reply(p, peer, fetch)
 			}
 		} else {

@@ -27,6 +27,8 @@ func (s *Server) handleMutate(p *env.Proc, req *wire.MutateReq) {
 }
 
 // doMutate is the local half of create/delete/mkdir.
+//
+//detlint:wal-before-send recCommit via=syncCommit,asyncCommit
 func (s *Server) doMutate(p *env.Proc, req *wire.MutateReq) {
 	c := &s.cfg.Costs
 	key := core.Key{PID: req.Parent.ID, Name: req.Name}

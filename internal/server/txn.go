@@ -168,11 +168,7 @@ func (s *Server) doRename(p *env.Proc, req *wire.RenameReq) error {
 		Entry: core.LogEntry{ID: s.nextTxnEntryID(), Time: now, Op: core.OpCreate,
 			Name: req.DstName, Type: et, Perm: in.Perm}})
 
-	var ids []env.NodeID
-	for n := range parts {
-		ids = append(ids, n)
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	ids := sortedNodeIDs(parts)
 	sorted := make([][]wire.TxnOp, len(ids))
 	sortedChecks := make([][]wire.TxnCheck, len(ids))
 	for i, n := range ids {
@@ -289,11 +285,7 @@ func (s *Server) doLink(p *env.Proc, req *wire.LinkReq) error {
 		Entry: core.LogEntry{ID: s.nextTxnEntryID(), Time: now, Op: core.OpCreate,
 			Name: req.DstName, Type: in.Type, Perm: in.Perm}})
 
-	var ids []env.NodeID
-	for n := range parts {
-		ids = append(ids, n)
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	ids := sortedNodeIDs(parts)
 	ops := make([][]wire.TxnOp, len(ids))
 	checks := make([][]wire.TxnCheck, len(ids))
 	for i, n := range ids {
@@ -318,6 +310,8 @@ func (s *Server) doLink(p *env.Proc, req *wire.LinkReq) error {
 // termination protocol (monitorTxn / handleTxnStatus): commits are persisted
 // to the WAL before the first decision packet, anything else is presumed
 // aborted.
+//
+//detlint:wal-before-send recTxnCommit via=driveDecision
 func (s *Server) runTxn(p *env.Proc, parts []env.NodeID, ops [][]wire.TxnOp,
 	checks [][]wire.TxnCheck, auto bool) error {
 
@@ -369,13 +363,20 @@ func (s *Server) runTxn(p *env.Proc, parts []env.NodeID, ops [][]wire.TxnOp,
 		}
 		return tv.err
 	}
+	// Decision. A commit outcome is fixed in the WAL before the first
+	// decision packet leaves (recordCommit); aborts are presumed and
+	// deliberately unlogged, so the two outcomes drive the decision from
+	// separate branches and walorder proves the ordering on the commit one.
 	commit := prepared && tv.err == nil
+	var acked bool
 	if commit {
 		s.recordCommit(p, id, parts)
+		acked = s.driveDecision(p, id, parts, true)
+	} else {
+		//detlint:ignore walorder -- presumed abort: an incarnation with no record answers abort, the same outcome
+		acked = s.driveDecision(p, id, parts, false)
 	}
-
-	// Decision.
-	if s.driveDecision(p, id, parts, commit) && commit {
+	if acked && commit {
 		s.ackDecision(id)
 	}
 	if s.dead {
@@ -581,6 +582,8 @@ type txnVotes struct {
 
 // handleTxnPrepare is the participant side of phase one: lock keys in global
 // order, run checks, vote.
+//
+//detlint:wal-before-send recTxnPrepare via=reply
 func (s *Server) handleTxnPrepare(p *env.Proc, tp *wire.TxnPrepare) {
 	c := &s.cfg.Costs
 	p.Compute(c.Parse + c.TxnOverhead)
@@ -595,6 +598,7 @@ func (s *Server) handleTxnPrepare(p *env.Proc, tp *wire.TxnPrepare) {
 	if errno, voted := s.txnVoted[tp.Txn]; voted {
 		// Replay the recorded vote.
 		s.mu.Unlock()
+		//detlint:ignore walorder -- vote replay: the original execution already ordered the prepare record before this vote
 		s.reply(p, tp.From, &wire.TxnVote{Txn: tp.Txn, From: s.cfg.ID, Err: errno})
 		return
 	}
@@ -629,6 +633,7 @@ func (s *Server) handleTxnPrepare(p *env.Proc, tp *wire.TxnPrepare) {
 			}
 		}
 		s.recordVote(tp.Txn, core.ErrnoOf(err))
+		//detlint:ignore walorder -- commutative auto-apply: durability came from recInode inside applyNlink; there is no prepared state to log
 		s.reply(p, tp.From, &wire.TxnVote{Txn: tp.Txn, From: s.cfg.ID, Err: core.ErrnoOf(err)})
 		return
 	}
@@ -659,6 +664,7 @@ func (s *Server) handleTxnPrepare(p *env.Proc, tp *wire.TxnPrepare) {
 			l.Unlock()
 		}
 		s.recordVote(tp.Txn, core.ErrnoOf(err))
+		//detlint:ignore walorder -- abort vote: nothing was prepared; presumed abort needs no record
 		s.reply(p, tp.From, &wire.TxnVote{Txn: tp.Txn, From: s.cfg.ID, Err: core.ErrnoOf(err)})
 		return
 	}
