@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: verify fmt vet build test bench figures lint race detlint determinism-smoke bench-json bench-compare bench-baseline chaos-smoke lincheck-smoke lincheck-sweep
+.PHONY: verify fmt vet build test bench figures lint race detlint determinism-smoke bench-json bench-smoke bench-compare bench-baseline chaos-smoke lincheck-smoke lincheck-sweep scale-smoke
 
 verify: fmt vet build test
 
@@ -42,16 +42,35 @@ bench-json:
 	$(GO) run ./cmd/fsbench -fig 12a,14 -scale tiny -format json -out bench.json
 	$(GO) run ./cmd/fsbench -validate bench.json
 
+# bench-smoke mirrors CI's bench-smoke + scale-smoke jobs locally: generate,
+# schema-validate, same-seed self-compare (determinism + allocation noise
+# bound), then gate everything against the committed baseline trajectory.
+bench-smoke:
+	$(GO) run ./cmd/fsbench -fig 12a,14,data -scale tiny -format json -out bench.json
+	$(GO) run ./cmd/fsbench -validate bench.json
+	$(GO) run ./cmd/fsbench -fig 12a,14,data -scale tiny -compare bench.json
+	$(MAKE) scale-smoke
+	$(MAKE) bench-compare
+
+# scale-smoke runs the tiny two-cell (1e2/1e3-client) scale figure, validates
+# the schema, and self-compares a same-seed re-run: rows, counters and the
+# allocator columns must reproduce.
+scale-smoke:
+	$(GO) run ./cmd/fsbench -fig scale -scale tiny -format json -out scale.json
+	$(GO) run ./cmd/fsbench -validate scale.json
+	$(GO) run ./cmd/fsbench -fig scale -scale tiny -compare scale.json
+
 # bench-compare gates the current tree against the checked-in trajectory
-# (bench/baseline.json): simulated-time cells and deterministic counters must
-# match the committed run, so regressions show up against history, not just
-# against a self-compare. Refresh the baseline with bench-baseline when a
-# change legitimately moves the numbers (and say why in the commit).
+# (bench/baseline.json): simulated-time cells, deterministic counters, table
+# shape (added/removed rows), and the bytes/op / allocs/op allocation columns
+# must match the committed run, so regressions show up against history, not
+# just against a self-compare. Refresh the baseline with bench-baseline when
+# a change legitimately moves the numbers (and say why in the commit).
 bench-compare:
-	$(GO) run ./cmd/fsbench -fig 12a,14,chaos,data,lincheck -scale tiny -compare bench/baseline.json
+	$(GO) run ./cmd/fsbench -fig 12a,14,chaos,data,lincheck,scale -scale tiny -compare bench/baseline.json
 
 bench-baseline:
-	$(GO) run ./cmd/fsbench -fig 12a,14,chaos,data,lincheck -scale tiny -format json -out bench/baseline.json
+	$(GO) run ./cmd/fsbench -fig 12a,14,chaos,data,lincheck,scale -scale tiny -format json -out bench/baseline.json
 	$(GO) run ./cmd/fsbench -validate bench/baseline.json
 
 # chaos-smoke runs the fault-plan availability harness (metadata AND

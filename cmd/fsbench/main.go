@@ -10,8 +10,8 @@
 //	fsbench -validate BENCH_12a_14.json
 //
 // Figure ids: 2a 2b 2c 2d 12a 12b 13 14 overflow 15a 15b 16 17 18a 18b 19
-// recovery chaos data lincheck. Scales: tiny, quick, paper (paper takes
-// minutes per figure). The chaos figure runs the fault-plan availability
+// recovery chaos data lincheck scale. Scales: tiny, quick, paper (paper
+// takes minutes per figure). The chaos figure runs the fault-plan availability
 // harness; -seed selects its random plan (and simulation seeds), and any
 // checker violation aborts the run non-zero. The data figure benchmarks the
 // replicated striped data plane and its crash recovery; a lost acknowledged
@@ -19,7 +19,9 @@
 // through the linearizability + differential-model checker (sequential
 // diffs against the baseline, concurrent histories fault-free and under
 // fault plans); any divergence or non-linearizable history aborts with a
-// minimized counterexample trace.
+// minimized counterexample trace. The scale figure sweeps open-loop client
+// populations against namespace sizes and reports the engine's memory
+// prices (namespace bytes/entry, harness bytes/op and allocs/op).
 //
 // -format json emits the versioned internal/bench schema (figure cells,
 // per-row op/packet counters, wall time); -compare re-runs the selected
@@ -38,6 +40,7 @@ import (
 
 	"switchfs/internal/bench"
 	"switchfs/internal/figures"
+	"switchfs/internal/stats"
 )
 
 var registry = []struct {
@@ -64,6 +67,7 @@ var registry = []struct {
 	{"chaos", figures.FigChaos},
 	{"data", figures.FigData},
 	{"lincheck", figures.FigLincheck},
+	{"scale", figures.FigScale},
 }
 
 func usageRegistry(w *os.File) {
@@ -81,6 +85,7 @@ func main() {
 	outFlag := flag.String("out", "", "write results to this file (json format)")
 	compareFlag := flag.String("compare", "", "diff results against a previous json result file")
 	thresholdFlag := flag.Float64("threshold", 10, "regression threshold in percent for -compare")
+	memThresholdFlag := flag.Float64("memthreshold", 25, "regression threshold in percent for the bytes/op and allocs/op figure columns in -compare")
 	validateFlag := flag.String("validate", "", "validate a json result file against the schema and exit")
 	seedFlag := flag.Int64("seed", 1, "seed for the chaos and data figures' plans and simulations")
 	stampFlag := flag.Bool("stamp", true, "record wall-clock metadata (CreatedAt, per-figure WallSeconds); -stamp=false zeroes both so same-seed runs are byte-identical")
@@ -101,7 +106,8 @@ func main() {
 	switch *scaleFlag {
 	case "tiny":
 		sc = figures.Scale{Dirs: 16, FilesPerDir: 16, Workers: 32, OpsPerWorker: 20,
-			ServerCounts: []int{4, 8}, CoreCounts: []int{2, 4}, BurstSizes: []int{10, 200}}
+			ServerCounts: []int{4, 8}, CoreCounts: []int{2, 4}, BurstSizes: []int{10, 200},
+			ScaleClients: []int{100, 1000}, ScaleEntries: []int{10_000, 100_000}}
 	case "quick":
 		sc = figures.Quick()
 	case "paper":
@@ -174,6 +180,11 @@ func main() {
 	}
 	if *stampFlag {
 		result.CreatedAt = time.Now().UTC().Format(time.RFC3339)
+	} else {
+		// Byte-identical-output mode: allocator readings (figure-internal
+		// memory cells and the per-figure bytes/op columns below) are not
+		// bit-deterministic, so they are zeroed along with the wall clock.
+		figures.SetMemAccounting(false)
 	}
 	// Bind flag-dependent figures now that flags are parsed; dispatch stays
 	// uniform over the registry.
@@ -185,6 +196,8 @@ func main() {
 			return func(sc figures.Scale) figures.Table { return figures.FigDataSeed(sc, *seedFlag) }
 		case "lincheck":
 			return func(sc figures.Scale) figures.Table { return figures.FigLincheckSeed(sc, *seedFlag) }
+		case "scale":
+			return func(sc figures.Scale) figures.Table { return figures.FigScaleSeed(sc, *seedFlag) }
 		}
 		return fn
 	}
@@ -193,7 +206,9 @@ func main() {
 			continue
 		}
 		start := time.Now()
+		memBefore := stats.ReadMem()
 		tab := figFor(entry.id, entry.fn)(sc)
+		memBytes, memAllocs := stats.ReadMem().AllocDelta(memBefore)
 		wall := time.Since(start).Seconds()
 		stampedWall := wall
 		if !*stampFlag {
@@ -203,14 +218,26 @@ func main() {
 			fmt.Println(tab.String())
 			fmt.Printf("(generated in %.1fs wall time)\n\n", wall)
 		}
-		result.Figures = append(result.Figures, bench.Figure{
+		fig := bench.Figure{
 			ID:          tab.ID,
 			Title:       tab.Title,
 			Header:      tab.Header,
 			Rows:        tab.Rows,
 			Counters:    tab.Meta,
 			WallSeconds: stampedWall,
-		})
+		}
+		// Figure-level allocator cost, normalized by the figure's total op
+		// count — the CI allocation gate. Zeroed alongside the wall clock so
+		// -stamp=false output stays byte-identical across same-seed runs.
+		if *stampFlag {
+			var ops uint64
+			for _, c := range tab.Meta {
+				ops += c.Ops
+			}
+			fig.MemBytesPerOp = stats.PerOp(memBytes, ops)
+			fig.MemAllocsPerOp = stats.PerOp(memAllocs, ops)
+		}
+		result.Figures = append(result.Figures, fig)
 	}
 
 	if *outFlag != "" {
@@ -225,13 +252,16 @@ func main() {
 
 	if baseline != nil {
 		cmp := bench.Compare(baseline, result, bench.CompareOpts{
-			ThresholdPct:  *thresholdFlag,
-			CheckCounters: true,
+			ThresholdPct:    *thresholdFlag,
+			CheckCounters:   true,
+			MemThresholdPct: *memThresholdFlag,
 		})
 		report(cmp, *thresholdFlag)
 		// Counter drift is a determinism/configuration failure, not noise:
-		// it must gate exactly like a regression.
-		if len(cmp.Regressions()) > 0 || len(cmp.MissingFigures) > 0 || len(cmp.Drift) > 0 {
+		// it must gate exactly like a regression. Shape changes (figures or
+		// rows present in only one run) gate the same way — silently skipping
+		// them would let a baseline refresh hide a dropped row.
+		if len(cmp.Regressions()) > 0 || cmp.ShapeChanges() || len(cmp.Drift) > 0 {
 			os.Exit(1)
 		}
 		return
@@ -252,6 +282,15 @@ func report(cmp *bench.Comparison, threshold float64) {
 	for _, id := range cmp.MissingFigures {
 		fmt.Printf("MISSING  %s: figure absent from this run\n", id)
 	}
+	for _, id := range cmp.AddedFigures {
+		fmt.Printf("ADDED    %s: figure absent from the baseline\n", id)
+	}
+	for _, rc := range cmp.RowsRemoved {
+		fmt.Printf("ROW-GONE %s[%s]: row %d present only in the baseline\n", rc.Figure, rc.Label, rc.Row)
+	}
+	for _, rc := range cmp.RowsAdded {
+		fmt.Printf("ROW-NEW  %s[%s]: row %d absent from the baseline\n", rc.Figure, rc.Label, rc.Row)
+	}
 	for _, d := range cmp.Drift {
 		fmt.Printf("DRIFT    %s[%s]: counters changed: %s -> %s (non-determinism or config change)\n",
 			d.Figure, d.Label, d.Old, d.New)
@@ -264,6 +303,7 @@ func report(cmp *bench.Comparison, threshold float64) {
 			regs++
 		}
 	}
-	fmt.Printf("compared: %d cells changed, %d regressions, %d figures missing, %d counter drifts\n",
-		len(cmp.Deltas), regs, len(cmp.MissingFigures), len(cmp.Drift))
+	fmt.Printf("compared: %d cells changed, %d regressions, %d figures missing/added, %d rows removed/added, %d counter drifts\n",
+		len(cmp.Deltas), regs, len(cmp.MissingFigures)+len(cmp.AddedFigures),
+		len(cmp.RowsRemoved)+len(cmp.RowsAdded), len(cmp.Drift))
 }

@@ -48,6 +48,13 @@ type Figure struct {
 	Counters []stats.Counters `json:"counters,omitempty"`
 	// WallSeconds is the wall-clock time generating the figure took.
 	WallSeconds float64 `json:"wall_seconds"`
+	// MemBytesPerOp / MemAllocsPerOp are the harness process's allocator
+	// cost of generating the figure, normalized by the figure's total op
+	// count: simulator overhead, not simulated-system performance. Zero when
+	// memory accounting is off (determinism smoke runs disable it — the
+	// allocator totals are runtime-scheduling sensitive).
+	MemBytesPerOp  float64 `json:"mem_bytes_per_op,omitempty"`
+	MemAllocsPerOp float64 `json:"mem_allocs_per_op,omitempty"`
 }
 
 // Validate checks structural invariants: schema version, non-empty figure
@@ -157,6 +164,10 @@ func DirectionOf(title string) Direction {
 	case strings.Contains(t, "µs") || strings.Contains(t, "latency") ||
 		strings.Contains(t, " ms") || strings.Contains(t, "seconds"):
 		return LowerBetter
+	case strings.Contains(t, "bytes/op") || strings.Contains(t, "allocs/op") ||
+		strings.Contains(t, "b/op") || strings.Contains(t, "b/entry"):
+		// Memory-accounting columns: allocator cost, smaller is better.
+		return LowerBetter
 	default:
 		return Neutral
 	}
@@ -197,6 +208,11 @@ type CompareOpts struct {
 	// CheckCounters additionally reports rows whose deterministic op or
 	// packet counters differ at all — configuration drift, not noise.
 	CheckCounters bool
+	// MemThresholdPct flags figure-level bytes/op or allocs/op growth beyond
+	// this many percent (default 25 — allocator totals carry more run-to-run
+	// noise than simulated-time cells). Figures where either side reports 0
+	// (accounting off) are skipped.
+	MemThresholdPct float64
 }
 
 // CounterDrift is a row whose deterministic counters changed between runs.
@@ -208,12 +224,34 @@ type CounterDrift struct {
 	New    stats.Counters `json:"new"`
 }
 
+// RowChange identifies a row present in only one of the compared runs.
+type RowChange struct {
+	Figure string `json:"figure"`
+	Row    int    `json:"row"`
+	Label  string `json:"label"`
+}
+
 // Comparison is the outcome of Compare.
 type Comparison struct {
 	Deltas []Delta        `json:"deltas"`
 	Drift  []CounterDrift `json:"drift,omitempty"`
 	// MissingFigures lists old figures absent from the new run.
 	MissingFigures []string `json:"missing_figures,omitempty"`
+	// AddedFigures lists new figures absent from the old run.
+	AddedFigures []string `json:"added_figures,omitempty"`
+	// RowsRemoved / RowsAdded list rows present in only the old / only the
+	// new run. At a fixed scale and seed generation is deterministic, so any
+	// entry here is a shape change — a dropped or grown sweep — and gates
+	// the comparison rather than being silently skipped.
+	RowsRemoved []RowChange `json:"rows_removed,omitempty"`
+	RowsAdded   []RowChange `json:"rows_added,omitempty"`
+}
+
+// ShapeChanges reports whether the two runs disagree on which figures or
+// rows exist at all.
+func (c *Comparison) ShapeChanges() bool {
+	return len(c.MissingFigures) > 0 || len(c.AddedFigures) > 0 ||
+		len(c.RowsRemoved) > 0 || len(c.RowsAdded) > 0
 }
 
 // Regressions returns only the cells flagged as regressions.
@@ -234,11 +272,23 @@ func Compare(old, new_ *Result, opts CompareOpts) *Comparison {
 	if opts.ThresholdPct <= 0 {
 		opts.ThresholdPct = 10
 	}
+	if opts.MemThresholdPct <= 0 {
+		opts.MemThresholdPct = 25
+	}
 	newByID := map[string]*Figure{}
 	for i := range new_.Figures {
 		newByID[new_.Figures[i].ID] = &new_.Figures[i]
 	}
+	oldByID := map[string]bool{}
+	for i := range old.Figures {
+		oldByID[old.Figures[i].ID] = true
+	}
 	cmp := &Comparison{}
+	for i := range new_.Figures {
+		if !oldByID[new_.Figures[i].ID] {
+			cmp.AddedFigures = append(cmp.AddedFigures, new_.Figures[i].ID)
+		}
+	}
 	for i := range old.Figures {
 		of := &old.Figures[i]
 		nf := newByID[of.ID]
@@ -251,6 +301,17 @@ func Compare(old, new_ *Result, opts CompareOpts) *Comparison {
 		if len(nf.Rows) < rows {
 			rows = len(nf.Rows)
 		}
+		for r := rows; r < len(of.Rows); r++ {
+			cmp.RowsRemoved = append(cmp.RowsRemoved, RowChange{
+				Figure: of.ID, Row: r, Label: rowLabel(of, r),
+			})
+		}
+		for r := rows; r < len(nf.Rows); r++ {
+			cmp.RowsAdded = append(cmp.RowsAdded, RowChange{
+				Figure: nf.ID, Row: r, Label: rowLabel(nf, r),
+			})
+		}
+		compareMem(cmp, of, nf, opts.MemThresholdPct)
 		for r := 0; r < rows; r++ {
 			label := rowLabel(of, r)
 			if opts.CheckCounters && r < len(of.Counters) && r < len(nf.Counters) &&
@@ -294,6 +355,32 @@ func Compare(old, new_ *Result, opts CompareOpts) *Comparison {
 		}
 	}
 	return cmp
+}
+
+// compareMem gates the figure-level allocator columns. Both sides must
+// report a value — a zero means accounting was off for that run, not that
+// generation was free — and only growth past memThreshold in the worse
+// (higher) direction flags a regression.
+func compareMem(cmp *Comparison, of, nf *Figure, memThreshold float64) {
+	pairs := []struct {
+		label    string
+		old, new float64
+	}{
+		{"bytes/op", of.MemBytesPerOp, nf.MemBytesPerOp},
+		{"allocs/op", of.MemAllocsPerOp, nf.MemAllocsPerOp},
+	}
+	for _, p := range pairs {
+		if p.old == 0 || p.new == 0 || p.old == p.new {
+			continue
+		}
+		pct := (p.new - p.old) / p.old * 100
+		cmp.Deltas = append(cmp.Deltas, Delta{
+			Figure: of.ID, Row: -1, Col: -1,
+			Label: "figure/" + p.label,
+			Old:   p.old, New: p.new, Pct: pct,
+			Regression: pct > memThreshold,
+		})
+	}
 }
 
 // rowLabel joins a row's leading label cells — op names and integer config

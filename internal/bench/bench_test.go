@@ -147,4 +147,95 @@ func TestCompareMissingFigure(t *testing.T) {
 	if len(cmp.MissingFigures) != 1 || cmp.MissingFigures[0] != "Fig13" {
 		t.Fatalf("missing = %v", cmp.MissingFigures)
 	}
+	if !cmp.ShapeChanges() {
+		t.Fatal("missing figure should count as a shape change")
+	}
+}
+
+func TestCompareAddedFigure(t *testing.T) {
+	old, new_ := sample(), sample()
+	old.Figures = old.Figures[:1]
+	cmp := Compare(old, new_, CompareOpts{})
+	if len(cmp.AddedFigures) != 1 || cmp.AddedFigures[0] != "Fig13" {
+		t.Fatalf("added = %v", cmp.AddedFigures)
+	}
+	if !cmp.ShapeChanges() {
+		t.Fatal("added figure should count as a shape change")
+	}
+}
+
+// TestCompareRowShape pins the bugfix: rows present in only one file used to
+// be silently skipped by the min-length loop; they must be reported as
+// added/removed so a baseline refresh cannot hide a dropped sweep row.
+func TestCompareRowShape(t *testing.T) {
+	old, new_ := sample(), sample()
+	// New run dropped Fig12a's second row.
+	new_.Figures[0].Rows = new_.Figures[0].Rows[:1]
+	new_.Figures[0].Counters = new_.Figures[0].Counters[:1]
+	cmp := Compare(old, new_, CompareOpts{})
+	if len(cmp.RowsRemoved) != 1 {
+		t.Fatalf("rows removed = %+v", cmp.RowsRemoved)
+	}
+	rc := cmp.RowsRemoved[0]
+	if rc.Figure != "Fig12a" || rc.Row != 1 || rc.Label != "create/8" {
+		t.Fatalf("row change = %+v", rc)
+	}
+	if !cmp.ShapeChanges() {
+		t.Fatal("removed row should count as a shape change")
+	}
+
+	// And the symmetric case: new run grew a row.
+	cmp = Compare(new_, old, CompareOpts{})
+	if len(cmp.RowsAdded) != 1 || cmp.RowsAdded[0].Row != 1 {
+		t.Fatalf("rows added = %+v", cmp.RowsAdded)
+	}
+	if len(cmp.RowsRemoved) != 0 {
+		t.Fatalf("unexpected removals: %+v", cmp.RowsRemoved)
+	}
+
+	// Identical shapes report nothing.
+	if c := Compare(old, old, CompareOpts{}); c.ShapeChanges() {
+		t.Fatalf("identical runs report shape changes: %+v", c)
+	}
+}
+
+func TestCompareMemColumns(t *testing.T) {
+	old, new_ := sample(), sample()
+	old.Figures[0].MemBytesPerOp = 1000
+	old.Figures[0].MemAllocsPerOp = 10
+	// +50% bytes/op: regression past the 25% default. Allocs within bounds.
+	new_.Figures[0].MemBytesPerOp = 1500
+	new_.Figures[0].MemAllocsPerOp = 11
+	cmp := Compare(old, new_, CompareOpts{})
+	regs := cmp.Regressions()
+	if len(regs) != 1 || regs[0].Label != "figure/bytes/op" {
+		t.Fatalf("regs = %+v", regs)
+	}
+	if len(cmp.Deltas) != 2 {
+		t.Fatalf("want 2 mem deltas, got %+v", cmp.Deltas)
+	}
+
+	// A zero side means accounting was off — no gate, no delta.
+	new_.Figures[0].MemBytesPerOp = 0
+	new_.Figures[0].MemAllocsPerOp = 10
+	cmp = Compare(old, new_, CompareOpts{})
+	if len(cmp.Deltas) != 0 {
+		t.Fatalf("accounting-off run should not be gated: %+v", cmp.Deltas)
+	}
+
+	// Improvement is a delta, never a regression.
+	new_.Figures[0].MemBytesPerOp = 400
+	new_.Figures[0].MemAllocsPerOp = 10
+	cmp = Compare(old, new_, CompareOpts{})
+	if len(cmp.Regressions()) != 0 || len(cmp.Deltas) != 1 {
+		t.Fatalf("improvement misclassified: %+v", cmp.Deltas)
+	}
+}
+
+func TestDirectionOfMemUnits(t *testing.T) {
+	for _, h := range []string{"bytes/op", "allocs/op", "sim B/op", "ns B/entry"} {
+		if DirectionOf(h) != LowerBetter {
+			t.Errorf("%q should be lower-better", h)
+		}
+	}
 }

@@ -79,14 +79,10 @@ func New(e env.Env, cfg Config) *Client {
 	if cfg.DataMaxRetries == 0 {
 		cfg.DataMaxRetries = 8
 	}
-	c := &Client{
-		cfg:       cfg,
-		env:       e,
-		cache:     make(map[string]cachedDir),
-		byID:      make(map[core.DirID][]string),
-		invalSeen: make(map[env.NodeID]uint64),
-		pending:   make(map[uint64]*env.Future),
-	}
+	// Maps are allocated lazily at their first write: nil-map reads are
+	// valid Go, and at million-client scale an idle session's four empty
+	// maps (cache, byID, invalSeen, pending) would dominate its footprint.
+	c := &Client{cfg: cfg, env: e}
 	c.node = e.AddNode(cfg.ID, env.NodeConfig{Handler: c.handle})
 	return c
 }
@@ -139,9 +135,7 @@ func respInfo(m wire.Msg) (uint64, *wire.RespCommon) {
 func (c *Client) applyInval(from env.NodeID, rc *wire.RespCommon) {
 	if len(rc.Inval) == 0 {
 		c.mu.Lock()
-		if rc.InvalSeqHigh > c.invalSeen[from] {
-			c.invalSeen[from] = rc.InvalSeqHigh
-		}
+		c.noteInvalSeq(from, rc.InvalSeqHigh)
 		c.mu.Unlock()
 		return
 	}
@@ -152,10 +146,19 @@ func (c *Client) applyInval(from env.NodeID, rc *wire.RespCommon) {
 		}
 		delete(c.byID, e.Dir)
 	}
-	if rc.InvalSeqHigh > c.invalSeen[from] {
-		c.invalSeen[from] = rc.InvalSeqHigh
-	}
+	c.noteInvalSeq(from, rc.InvalSeqHigh)
 	c.mu.Unlock()
+}
+
+// noteInvalSeq records the highest invalidation sequence seen from a server,
+// allocating the map on first write (callers hold c.mu).
+func (c *Client) noteInvalSeq(from env.NodeID, seq uint64) {
+	if seq > c.invalSeen[from] {
+		if c.invalSeen == nil {
+			c.invalSeen = make(map[env.NodeID]uint64)
+		}
+		c.invalSeen[from] = seq
+	}
 }
 
 // invalidatePrefix drops every cached path at or under the given path
@@ -206,6 +209,9 @@ func (c *Client) ownerOfFP(fp core.Fingerprint) env.NodeID {
 func (c *Client) call(p *env.Proc, dst env.NodeID, pkt *wire.Packet, rpc uint64) (wire.Msg, bool, error) {
 	fut := env.NewFuture()
 	c.mu.Lock()
+	if c.pending == nil {
+		c.pending = make(map[uint64]*env.Future)
+	}
 	c.pending[rpc] = fut
 	c.mu.Unlock()
 	defer func() {
@@ -279,6 +285,10 @@ func (c *Client) resolve(p *env.Proc, path string) (resolved, error) {
 			return resolved{}, err
 		}
 		c.mu.Lock()
+		if c.cache == nil {
+			c.cache = make(map[string]cachedDir)
+			c.byID = make(map[core.DirID][]string)
+		}
 		c.cache[walked] = cachedDir{ref: ref, attr: attr}
 		c.byID[ref.ID] = append(c.byID[ref.ID], walked)
 		c.mu.Unlock()

@@ -310,6 +310,9 @@ func (c *Client) dataCall(p *env.Proc, node env.NodeID, op core.Op, chunk wire.C
 	req := &wire.DataReq{ReqCommon: c.reqCommon(rpc, node, nil), Op: op, Chunk: chunk, Bytes: bytes}
 	fut := env.NewFuture()
 	c.mu.Lock()
+	if c.pending == nil {
+		c.pending = make(map[uint64]*env.Future)
+	}
 	c.pending[rpc] = fut
 	c.mu.Unlock()
 	defer func() {

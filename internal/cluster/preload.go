@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"fmt"
+	"strconv"
 
 	"switchfs/internal/core"
 	"switchfs/internal/server"
@@ -72,13 +73,18 @@ func (pl *Preload) Dir(path string) core.DirRef {
 }
 
 // Files adds n regular files named prefix0..prefix(n-1) to a directory.
+// This is the hot path of large-namespace fixtures (the scale figure injects
+// tens of millions of files), so names are assembled with an append buffer
+// instead of fmt and the identical per-file inode is built once.
 func (pl *Preload) Files(dir string, prefix string, n int) {
 	ref := pl.Dir(dir)
 	owner := pl.serverFor(ref.FP)
+	in := &core.Inode{Attr: core.Attr{Type: core.TypeRegular, Perm: core.DefaultFilePerm, Nlink: 1}}
+	buf := make([]byte, 0, len(prefix)+20)
+	buf = append(buf, prefix...)
 	for i := 0; i < n; i++ {
-		name := fmt.Sprintf("%s%d", prefix, i)
+		name := string(strconv.AppendInt(buf[:len(prefix)], int64(i), 10))
 		key := core.Key{PID: ref.ID, Name: name}
-		in := &core.Inode{Attr: core.Attr{Type: core.TypeRegular, Perm: core.DefaultFilePerm, Nlink: 1}}
 		pl.serverFor(key.Fingerprint()).InjectInode(key, in, pl.LogWAL)
 		owner.InjectDentry(ref.ID, core.DirEntry{Name: name, Type: core.TypeRegular, Perm: core.DefaultFilePerm}, pl.LogWAL)
 	}

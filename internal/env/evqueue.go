@@ -36,6 +36,10 @@ const (
 	// evTimeout expires a Future wait for p when p's timeout generation
 	// still equals aux (stale generations are cancelled timeouts).
 	evTimeout
+	// evSpawn starts msg (a func(*Proc)) on node `to` when it fires: a
+	// parked-to-heap continuation. Until then the pending session costs one
+	// queued event — no goroutine, no stack.
+	evSpawn
 )
 
 // event is one scheduled simulator action. msg multiplexes the payload —

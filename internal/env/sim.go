@@ -106,6 +106,27 @@ func (s *Sim) Spawn(node NodeID, fn func(*Proc)) {
 // After schedules a callback.
 func (s *Sim) After(d Duration, fn func()) *Timer { return s.sched(d, fn) }
 
+// SpawnAfter schedules fn to start on node after d of virtual time without
+// holding a goroutine in the meantime: the continuation is carried by a
+// queued event and dispatches on a pooled worker when it fires. This is the
+// O(1)-memory idle-session shape — a session that would otherwise sleep on a
+// parked goroutine between operations re-queues its next step instead, so a
+// million idle clients cost a million queued events, not a million stacks.
+// The pool only ever grows to the number of *concurrently running* bodies.
+// If the node is down when the event fires, the continuation is dropped
+// (the session dies with its node, like a delivery to a crashed node).
+func (s *Sim) SpawnAfter(node NodeID, d Duration, fn func(*Proc)) {
+	if s.nodes[node] == nil {
+		panic("env: SpawnAfter on unregistered node")
+	}
+	s.push(d, event{kind: evSpawn, to: node, msg: fn})
+}
+
+// WorkerCount reports how many pooled worker goroutines have been created so
+// far: the peak concurrent-body count of the run, and the figure harnesses'
+// witness that parked sessions are not holding stacks.
+func (s *Sim) WorkerCount() int { return len(s.all) }
+
 // push enqueues ev at cur+d with the next insertion sequence number.
 func (s *Sim) push(d Duration, ev event) {
 	if d < 0 {
@@ -331,6 +352,10 @@ func (s *Sim) exec(ev *event) bool {
 		s.fireTimeout(ev)
 	case evDeliver:
 		s.dispatchDeliver(ev)
+	case evSpawn:
+		if n := s.nodes[ev.to]; n != nil && !n.down {
+			s.newProc(n, ev.msg.(func(*Proc)))
+		}
 	case evWake:
 		p := ev.p
 		s.lastBusy = s.cur

@@ -1,0 +1,154 @@
+package figures
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"strconv"
+
+	"switchfs/internal/core"
+	"switchfs/internal/env"
+	"switchfs/internal/stats"
+	"switchfs/internal/workload"
+)
+
+// memAccounting gates the allocator-derived cells (namespace bytes/entry,
+// run bytes/op and allocs/op). The figure tables themselves are derived from
+// virtual time and deterministic counters; the memory cells read the host
+// allocator, which is not bit-deterministic, so byte-identical-output runs
+// (determinism smoke) turn them off via SetMemAccounting.
+var memAccounting = true
+
+// SetMemAccounting enables or disables the allocator-derived cells; when off
+// they render as 0.
+func SetMemAccounting(on bool) { memAccounting = on }
+
+// MemAccounting reports the current setting.
+func MemAccounting() bool { return memAccounting }
+
+// FigScale is the million-client scale figure (ROADMAP north star): an
+// open-loop sweep of client-session population × namespace size on one
+// SwitchFS deployment, reporting sustained throughput, p99 latency, the
+// simulator's goroutine-pool high-water mark, and the engine's memory
+// prices — namespace bytes per preloaded entry and harness bytes/allocs per
+// operation. Sessions run open-loop (workload.RunOpen): an idle session is a
+// queued event, not a parked goroutine, which is what lets the population
+// reach the upper cells.
+func FigScale(sc Scale) Table { return FigScaleSeed(sc, 1) }
+
+// FigScaleSeed is FigScale with an explicit simulation seed.
+func FigScaleSeed(sc Scale, seed int64) Table {
+	t := Table{
+		ID:    "scale",
+		Title: "client/namespace scale: open-loop sessions, compact namespace (Kops/s)",
+		Header: []string{
+			"clients", "entries", "Kops/s", "p99 µs", "workers",
+			"ns B/entry", "bytes/op", "allocs/op",
+		},
+	}
+	clients, entries := sc.ScaleClients, sc.ScaleEntries
+	if len(clients) == 0 || len(clients) != len(entries) {
+		clients = []int{100, 1000}
+		entries = []int{10_000, 100_000}
+	}
+	for i := range clients {
+		row, rc := scaleCell(seed, clients[i], entries[i])
+		t.AddRow(rc, row)
+	}
+	return t
+}
+
+// scaleCell runs one (clients, entries) cell on a fresh deployment.
+func scaleCell(seed int64, clients, entries int) ([]string, stats.Counters) {
+	const (
+		servers       = 8
+		cores         = 4
+		opsPerSession = 4
+	)
+	// Think time scales with the population so the offered load stays around
+	// 0.5 Mops/s — comfortably under the 8-server capacity. The figure
+	// measures how cheaply the engine holds sessions and namespace, not
+	// saturation (Fig. 12 covers that); an overloaded open loop would just
+	// measure queueing collapse.
+	think := env.Duration(clients) * 2 * env.Microsecond
+	if think < 10*env.Millisecond {
+		think = 10 * env.Millisecond
+	}
+	filesPerDir := 1000
+	dirs := entries / filesPerDir
+	if dirs < 1 {
+		dirs, filesPerDir = 1, entries
+	}
+
+	sim, sys, shutdown := deploySwitchFS(seed, servers, cores, clients, 0)
+	defer shutdown()
+	ns := workload.MultiDir(dirs, filesPerDir)
+
+	// Namespace footprint: live-heap growth across the preload, after forced
+	// collections on both sides so transient garbage is not billed.
+	var nsBytesPerEntry float64
+	if memAccounting {
+		runtime.GC()
+		before := stats.ReadMem()
+		ns.Preload(sys)
+		runtime.GC()
+		after := stats.ReadMem()
+		if after.HeapAlloc > before.HeapAlloc {
+			nsBytesPerEntry = float64(after.HeapAlloc-before.HeapAlloc) / float64(entries)
+		}
+	} else {
+		ns.Preload(sys)
+	}
+
+	before := stats.ReadMem()
+	res := workload.RunOpen(sim, sys, workload.OpenCfg{
+		Sessions:      clients,
+		OpsPerSession: opsPerSession,
+		Clients:       clients,
+		Think:         think,
+		Seed:          seed,
+		Gen:           scaleMix(ns),
+	})
+	var bytesOp, allocsOp float64
+	if memAccounting {
+		db, da := stats.ReadMem().AllocDelta(before)
+		bytesOp = stats.PerOp(db, uint64(res.Ops))
+		allocsOp = stats.PerOp(da, uint64(res.Ops))
+	}
+	rc := stats.Counters{
+		Ops:              uint64(res.Ops),
+		Errs:             uint64(res.Errs),
+		PacketsDelivered: sim.Delivered,
+		PacketsDropped:   sim.Dropped,
+	}
+	row := []string{
+		strconv.Itoa(clients),
+		strconv.Itoa(entries),
+		kops(res.ThroughputOps()),
+		us(res.Lat.Percentile(0.99)),
+		strconv.Itoa(res.Workers),
+		fmt.Sprintf("%.1f", nsBytesPerEntry),
+		fmt.Sprintf("%.1f", bytesOp),
+		fmt.Sprintf("%.2f", allocsOp),
+	}
+	return row, rc
+}
+
+// scaleMix is the cell workload: 70% stat, 20% create (per-session fresh
+// names), 10% statdir — a metadata-read-heavy mix with enough mutation to
+// exercise the invalidation path at scale.
+func scaleMix(ns workload.Namespace) workload.Gen {
+	stat := ns.UniformFiles(core.OpStat)
+	create := ns.FreshFiles(core.OpCreate)
+	statdir := ns.StatDirs()
+	return func(rnd *rand.Rand, w, i int) workload.OpCall {
+		switch r := rnd.Float64(); {
+		case r < 0.7:
+			return stat(rnd, w, i)
+		case r < 0.9:
+			return create(rnd, w, i)
+		default:
+			return statdir(rnd, w, i)
+		}
+	}
+}

@@ -28,6 +28,11 @@ type Scale struct {
 	ServerCounts []int
 	CoreCounts   []int
 	BurstSizes   []int
+	// ScaleClients / ScaleEntries are the scale figure's sweep: parallel
+	// lists of open-loop session population and preloaded namespace size.
+	// Empty (or mismatched) lists fall back to the tiny two-cell sweep.
+	ScaleClients []int
+	ScaleEntries []int
 }
 
 // Quick is the reduced scale used by the bench targets.
@@ -40,6 +45,10 @@ func Quick() Scale {
 		ServerCounts: []int{4, 8, 16},
 		CoreCounts:   []int{2, 4, 6},
 		BurstSizes:   []int{10, 50, 1000},
+		// The 1e5-client / 1e7-entry cell is the acceptance bar for the
+		// scale work: it must finish in CI-smoke-feasible time.
+		ScaleClients: []int{100, 1000, 10_000, 100_000},
+		ScaleEntries: []int{10_000, 100_000, 1_000_000, 10_000_000},
 	}
 }
 
@@ -53,6 +62,8 @@ func Paper() Scale {
 		ServerCounts: []int{4, 8, 12, 16},
 		CoreCounts:   []int{2, 3, 4, 5, 6},
 		BurstSizes:   []int{10, 20, 50, 100, 1000},
+		ScaleClients: []int{100, 1000, 10_000, 100_000, 1_000_000},
+		ScaleEntries: []int{10_000, 100_000, 1_000_000, 10_000_000, 100_000_000},
 	}
 }
 

@@ -138,3 +138,56 @@ func TestFigDataShape(t *testing.T) {
 		t.Errorf("r=1 write throughput %.1f not above r=2's %.1f — replication is free?", r1, r2)
 	}
 }
+
+// TestFigScaleShape runs the scale figure over a small two-cell sweep: one
+// row per (clients, entries) pair, rectangular rows, live counters, a
+// worker-pool high-water mark far below the session population (idle
+// sessions are queued events, not goroutines), and memory cells present
+// exactly when accounting is on.
+func TestFigScaleShape(t *testing.T) {
+	sc := Scale{ScaleClients: []int{50, 500}, ScaleEntries: []int{2000, 20000}}
+	tab := FigScale(sc)
+	if tab.ID != "scale" {
+		t.Fatalf("id=%q", tab.ID)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("%d rows, want one per sweep cell", len(tab.Rows))
+	}
+	if len(tab.Meta) != len(tab.Rows) {
+		t.Fatalf("%d counter rows for %d rows", len(tab.Meta), len(tab.Rows))
+	}
+	for i, row := range tab.Rows {
+		if len(row) != len(tab.Header) {
+			t.Fatalf("ragged row %v", row)
+		}
+		if tab.Meta[i].IsZero() {
+			t.Errorf("row %d has empty counters", i)
+		}
+		if tab.Meta[i].Errs != 0 {
+			t.Errorf("row %d reports %d errors", i, tab.Meta[i].Errs)
+		}
+	}
+	var workers int
+	fmt.Sscanf(tab.Rows[1][4], "%d", &workers)
+	if workers <= 0 || workers > 100 {
+		t.Errorf("worker pool %d for 500 sessions — idle sessions are holding goroutines", workers)
+	}
+	var bytesOp float64
+	fmt.Sscanf(tab.Rows[1][6], "%f", &bytesOp)
+	if bytesOp <= 0 {
+		t.Errorf("bytes/op cell %q not populated with accounting on", tab.Rows[1][6])
+	}
+
+	// With accounting off, the allocator cells render as zero (the
+	// byte-identical determinism mode).
+	SetMemAccounting(false)
+	defer SetMemAccounting(true)
+	tab = FigScale(Scale{ScaleClients: []int{50}, ScaleEntries: []int{2000}})
+	for _, col := range []int{5, 6, 7} {
+		var v float64
+		fmt.Sscanf(tab.Rows[0][col], "%f", &v)
+		if v != 0 {
+			t.Errorf("accounting off but column %d = %q", col, tab.Rows[0][col])
+		}
+	}
+}

@@ -1,0 +1,35 @@
+package stats
+
+import "runtime"
+
+// MemSnapshot is a point-in-time allocator reading used to charge memory to
+// a phase of a run. TotalAlloc and Mallocs are cumulative and monotonic, so
+// deltas between two snapshots are meaningful even across garbage
+// collections; HeapAlloc is the live-heap size for footprint measurements
+// (take it after a forced GC for a stable reading).
+type MemSnapshot struct {
+	TotalAlloc uint64
+	Mallocs    uint64
+	HeapAlloc  uint64
+}
+
+// ReadMem captures the current allocator state.
+func ReadMem() MemSnapshot {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return MemSnapshot{TotalAlloc: ms.TotalAlloc, Mallocs: ms.Mallocs, HeapAlloc: ms.HeapAlloc}
+}
+
+// AllocDelta returns the bytes and allocation count charged since the
+// earlier snapshot.
+func (m MemSnapshot) AllocDelta(since MemSnapshot) (bytes, allocs uint64) {
+	return m.TotalAlloc - since.TotalAlloc, m.Mallocs - since.Mallocs
+}
+
+// PerOp divides a total by an operation count, returning 0 for an idle run.
+func PerOp(total, ops uint64) float64 {
+	if ops == 0 {
+		return 0
+	}
+	return float64(total) / float64(ops)
+}

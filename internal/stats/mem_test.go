@@ -1,0 +1,39 @@
+package stats
+
+import "testing"
+
+func TestAllocDelta(t *testing.T) {
+	before := ReadMem()
+	sink := make([][]byte, 64)
+	for i := range sink {
+		sink[i] = make([]byte, 4096)
+	}
+	bytes, allocs := ReadMem().AllocDelta(before)
+	if bytes < 64*4096 {
+		t.Fatalf("AllocDelta bytes = %d, want >= %d", bytes, 64*4096)
+	}
+	if allocs < 64 {
+		t.Fatalf("AllocDelta allocs = %d, want >= 64", allocs)
+	}
+	_ = sink
+}
+
+func TestAllocDeltaMonotonicAcrossGC(t *testing.T) {
+	// TotalAlloc/Mallocs are cumulative, so a later snapshot never charges
+	// negatively even if a collection ran in between.
+	a := ReadMem()
+	b := ReadMem()
+	bytes, allocs := b.AllocDelta(a)
+	if bytes > 1<<30 || allocs > 1<<20 {
+		t.Fatalf("implausible idle delta: bytes=%d allocs=%d (underflow?)", bytes, allocs)
+	}
+}
+
+func TestPerOp(t *testing.T) {
+	if got := PerOp(100, 0); got != 0 {
+		t.Fatalf("PerOp(100, 0) = %v, want 0", got)
+	}
+	if got := PerOp(100, 8); got != 12.5 {
+		t.Fatalf("PerOp(100, 8) = %v, want 12.5", got)
+	}
+}
