@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: verify fmt vet build test bench figures lint race detlint determinism-smoke bench-json bench-smoke bench-compare bench-baseline chaos-smoke lincheck-smoke lincheck-sweep scale-smoke
+.PHONY: verify fmt vet build test bench figures lint race detlint determinism-smoke bench-json bench-smoke bench-compare bench-baseline chaos-smoke lincheck-smoke lincheck-sweep scale-smoke trace-smoke
 
 verify: fmt vet build test
 
@@ -33,6 +33,19 @@ determinism-smoke:
 	cmp det1.json det2.json
 	@rm -f det1.json det2.json
 	@echo "determinism-smoke: byte-identical"
+
+# trace-smoke gates the observability invariant: two same-seed fsbench runs
+# with -trace on must write byte-identical trace files AND byte-identical
+# bench JSON (which now embeds the per-figure metrics deltas), and the trace
+# must parse and pass the span-tree shape check (fsctl trace -validate).
+trace-smoke:
+	$(GO) run ./cmd/fsbench -fig 12a -scale tiny -format json -stamp=false -trace trace1.json -out tbench1.json
+	$(GO) run ./cmd/fsbench -fig 12a -scale tiny -format json -stamp=false -trace trace2.json -out tbench2.json
+	cmp trace1.json trace2.json
+	cmp tbench1.json tbench2.json
+	$(GO) run ./cmd/fsctl trace -validate trace1.json
+	@rm -f trace1.json trace2.json tbench1.json tbench2.json
+	@echo "trace-smoke: byte-identical and well-shaped"
 
 race:
 	$(GO) test -race ./...
@@ -66,12 +79,17 @@ scale-smoke:
 # must match the committed run, so regressions show up against history, not
 # just against a self-compare. Refresh the baseline with bench-baseline when
 # a change legitimately moves the numbers (and say why in the commit).
+# Both baseline targets run with -trace so the per-figure metrics deltas are
+# recorded in (and gated against) the committed trajectory; the trace file
+# itself is a byproduct and discarded.
 bench-compare:
-	$(GO) run ./cmd/fsbench -fig 12a,14,chaos,data,lincheck,scale -scale tiny -compare bench/baseline.json
+	$(GO) run ./cmd/fsbench -fig 12a,14,chaos,data,lincheck,scale -scale tiny -trace trace-compare.json -compare bench/baseline.json
+	@rm -f trace-compare.json
 
 bench-baseline:
-	$(GO) run ./cmd/fsbench -fig 12a,14,chaos,data,lincheck,scale -scale tiny -format json -out bench/baseline.json
+	$(GO) run ./cmd/fsbench -fig 12a,14,chaos,data,lincheck,scale -scale tiny -trace trace-baseline.json -format json -out bench/baseline.json
 	$(GO) run ./cmd/fsbench -validate bench/baseline.json
+	@rm -f trace-baseline.json
 
 # chaos-smoke runs the fault-plan availability harness (metadata AND
 # data-fault plans — the cluster deploys a replicated data plane) twice with

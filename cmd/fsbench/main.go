@@ -7,6 +7,7 @@
 //	fsbench -fig 12a,13,14 -scale paper
 //	fsbench -fig 12a,14 -scale tiny -format json -out BENCH_12a_14.json
 //	fsbench -fig 12a,14 -scale tiny -compare BENCH_12a_14.json
+//	fsbench -fig 12a -scale tiny -trace trace.json
 //	fsbench -validate BENCH_12a_14.json
 //
 // Figure ids: 2a 2b 2c 2d 12a 12b 13 14 overflow 15a 15b 16 17 18a 18b 19
@@ -28,6 +29,13 @@
 // figures and diffs them against a previous JSON result, exiting non-zero
 // on per-cell regressions; -validate checks a result file against the
 // schema without running anything.
+//
+// -trace=<path> records causal spans (virtual-time, tail-sampled) across
+// every figure run and writes a Chrome trace-event JSON file loadable in
+// Perfetto; it also attaches per-figure metrics-registry deltas to the
+// result. Both are pure functions of the seed: two same-seed runs write
+// byte-identical trace files, and -compare gates on metric drift exactly
+// like counter drift. Inspect or validate a trace with `fsctl trace`.
 package main
 
 import (
@@ -40,7 +48,9 @@ import (
 
 	"switchfs/internal/bench"
 	"switchfs/internal/figures"
+	"switchfs/internal/metrics"
 	"switchfs/internal/stats"
+	"switchfs/internal/trace"
 )
 
 var registry = []struct {
@@ -89,6 +99,8 @@ func main() {
 	validateFlag := flag.String("validate", "", "validate a json result file against the schema and exit")
 	seedFlag := flag.Int64("seed", 1, "seed for the chaos and data figures' plans and simulations")
 	stampFlag := flag.Bool("stamp", true, "record wall-clock metadata (CreatedAt, per-figure WallSeconds); -stamp=false zeroes both so same-seed runs are byte-identical")
+	traceFlag := flag.String("trace", "", "record causal spans for every figure run and write a Chrome trace-event JSON file here; also attaches per-figure metrics deltas to the result")
+	traceKeepFlag := flag.Int("tracekeep", 32, "tail-sampling budget: slowest root ops kept per run (flagged ops kept in addition)")
 	flag.Parse()
 
 	if *validateFlag != "" {
@@ -186,6 +198,17 @@ func main() {
 		// bit-deterministic, so they are zeroed along with the wall clock.
 		figures.SetMemAccounting(false)
 	}
+	// Observability: one recorder and registry shared across the selected
+	// figures. Both are pure functions of the simulation seeds, so the trace
+	// file and the per-figure metrics deltas are byte-identical across
+	// same-seed runs (trace-smoke gates this in CI).
+	var rec *trace.Recorder
+	var reg *metrics.Registry
+	if *traceFlag != "" {
+		rec = trace.New(trace.Config{Keep: *traceKeepFlag})
+		reg = metrics.New()
+		figures.SetObservability(rec, reg)
+	}
 	// Bind flag-dependent figures now that flags are parsed; dispatch stays
 	// uniform over the registry.
 	figFor := func(id string, fn func(figures.Scale) figures.Table) func(figures.Scale) figures.Table {
@@ -207,6 +230,7 @@ func main() {
 		}
 		start := time.Now()
 		memBefore := stats.ReadMem()
+		metBefore := reg.Snapshot()
 		tab := figFor(entry.id, entry.fn)(sc)
 		memBytes, memAllocs := stats.ReadMem().AllocDelta(memBefore)
 		wall := time.Since(start).Seconds()
@@ -225,6 +249,7 @@ func main() {
 			Rows:        tab.Rows,
 			Counters:    tab.Meta,
 			WallSeconds: stampedWall,
+			Metrics:     metrics.Delta(metBefore, reg.Snapshot()),
 		}
 		// Figure-level allocator cost, normalized by the figure's total op
 		// count — the CI allocation gate. Zeroed alongside the wall clock so
@@ -238,6 +263,22 @@ func main() {
 			fig.MemAllocsPerOp = stats.PerOp(memAllocs, ops)
 		}
 		result.Figures = append(result.Figures, fig)
+	}
+
+	if rec != nil {
+		f, err := os.Create(*traceFlag)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fsbench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := rec.WriteJSON(f); err == nil {
+			err = f.Close()
+		} else {
+			f.Close()
+		}
+		fmt.Fprintf(os.Stderr, "fsbench: wrote trace %s (%d traces kept)\n",
+			*traceFlag, len(rec.KeptTraces()))
+		fmt.Fprint(os.Stderr, rec.Summary(5))
 	}
 
 	if *outFlag != "" {
@@ -261,7 +302,8 @@ func main() {
 		// it must gate exactly like a regression. Shape changes (figures or
 		// rows present in only one run) gate the same way — silently skipping
 		// them would let a baseline refresh hide a dropped row.
-		if len(cmp.Regressions()) > 0 || cmp.ShapeChanges() || len(cmp.Drift) > 0 {
+		if len(cmp.Regressions()) > 0 || cmp.ShapeChanges() || len(cmp.Drift) > 0 ||
+			len(cmp.MetricsDrift) > 0 {
 			os.Exit(1)
 		}
 		return
@@ -295,6 +337,10 @@ func report(cmp *bench.Comparison, threshold float64) {
 		fmt.Printf("DRIFT    %s[%s]: counters changed: %s -> %s (non-determinism or config change)\n",
 			d.Figure, d.Label, d.Old, d.New)
 	}
+	for _, d := range cmp.MetricsDrift {
+		fmt.Printf("MDRIFT   %s{%s}: metric changed: %d -> %d (non-determinism or config change)\n",
+			d.Figure, d.Key, d.Old, d.New)
+	}
 	regs := 0
 	for _, d := range cmp.Deltas {
 		if d.Regression {
@@ -303,7 +349,7 @@ func report(cmp *bench.Comparison, threshold float64) {
 			regs++
 		}
 	}
-	fmt.Printf("compared: %d cells changed, %d regressions, %d figures missing/added, %d rows removed/added, %d counter drifts\n",
+	fmt.Printf("compared: %d cells changed, %d regressions, %d figures missing/added, %d rows removed/added, %d counter drifts, %d metric drifts\n",
 		len(cmp.Deltas), regs, len(cmp.MissingFigures)+len(cmp.AddedFigures),
-		len(cmp.RowsRemoved)+len(cmp.RowsAdded), len(cmp.Drift))
+		len(cmp.RowsRemoved)+len(cmp.RowsAdded), len(cmp.Drift), len(cmp.MetricsDrift))
 }

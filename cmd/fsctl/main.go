@@ -15,6 +15,13 @@
 //	fsctl chaos                 # list built-in plans
 //	fsctl chaos server-crash    # pretty-print one plan's event timeline
 //	fsctl chaos random -seed 7  # print the seeded random plan
+//
+// The trace subcommand works with the causal span traces fsbench -trace
+// writes (Chrome trace-event JSON, Perfetto-loadable):
+//
+//	fsctl trace -run -out t.json   # trace a small deterministic sim workload
+//	fsctl trace -summary t.json    # critical-path summary of the kept traces
+//	fsctl trace -validate t.json   # parse + span-tree invariant check
 package main
 
 import (
@@ -26,7 +33,10 @@ import (
 
 	"switchfs"
 	"switchfs/internal/chaos"
+	"switchfs/internal/client"
+	"switchfs/internal/cluster"
 	"switchfs/internal/env"
+	"switchfs/internal/trace"
 )
 
 // chaosCmd serves `fsctl chaos [name] [-seed N]`: listing and timeline
@@ -87,6 +97,127 @@ func chaosCmd(args []string, servers, dataNodes int, seed int64) int {
 	return 0
 }
 
+// traceCmd serves `fsctl trace`: generating a small deterministic trace
+// (-run), summarizing a trace file's kept ops by critical path (-summary),
+// and checking a file's span-tree invariants (-validate).
+func traceCmd(args []string) int {
+	sub := flag.NewFlagSet("fsctl trace", flag.ContinueOnError)
+	run := sub.Bool("run", false, "trace a small deterministic sim workload (mkdir/create/rename across servers)")
+	out := sub.String("out", "", "with -run: write the Chrome trace-event JSON here (default stdout)")
+	summary := sub.String("summary", "", "summarize a trace file's kept ops by critical path")
+	validate := sub.String("validate", "", "parse a trace file and check span-tree invariants")
+	seed := sub.Int64("seed", 1, "with -run: simulation seed")
+	topN := sub.Int("top", 10, "with -summary: how many ops to show")
+	if err := sub.Parse(args); err != nil {
+		return 2
+	}
+	if sub.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "fsctl: unexpected arguments: %v\n", sub.Args())
+		return 2
+	}
+	switch {
+	case *run:
+		return traceRun(*seed, *out)
+	case *summary != "":
+		spans, err := loadSpans(*summary)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fsctl: %v\n", err)
+			return 1
+		}
+		fmt.Print(trace.Summarize(spans, *topN))
+		return 0
+	case *validate != "":
+		spans, err := loadSpans(*validate)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fsctl: %v\n", err)
+			return 1
+		}
+		if err := trace.Validate(spans); err != nil {
+			fmt.Fprintf(os.Stderr, "fsctl: %s: %v\n", *validate, err)
+			return 1
+		}
+		roots := 0
+		for _, s := range spans {
+			if s.Parent == 0 {
+				roots++
+			}
+		}
+		fmt.Printf("%s: valid (%d spans, %d root ops)\n", *validate, len(spans), roots)
+		return 0
+	default:
+		fmt.Fprintln(os.Stderr, "fsctl trace: need one of -run, -summary <file>, -validate <file>")
+		return 2
+	}
+}
+
+func loadSpans(path string) ([]trace.Span, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return trace.ParseJSON(f)
+}
+
+// traceRun deploys a small simulated cluster with tracing on and drives a
+// namespace workload that crosses servers (mkdirs, creates, and renames, so
+// the trace shows switch hops, WAL appends and 2PC rounds), then writes the
+// trace. Deterministic: same seed, same bytes.
+func traceRun(seed int64, out string) int {
+	rec := trace.New(trace.Config{Keep: 16})
+	sim := env.NewSim(seed)
+	c := cluster.New(sim, cluster.Options{
+		Servers:        4,
+		CoresPerServer: 2,
+		Clients:        2,
+		Costs:          env.DefaultCosts(),
+		Trace:          rec,
+	})
+	c.Run(0, func(p *env.Proc, cl *client.Client) {
+		for i := 0; i < 8; i++ {
+			dir := fmt.Sprintf("/d%d", i)
+			check(cl.Mkdir(p, dir, 0))
+			for j := 0; j < 4; j++ {
+				check(cl.Create(p, fmt.Sprintf("%s/f%d", dir, j), 0))
+			}
+		}
+		// Cross-directory renames: source and destination parents live on
+		// different servers, so these run the 2PC path.
+		for i := 0; i < 8; i++ {
+			check(cl.Rename(p, fmt.Sprintf("/d%d/f0", i), fmt.Sprintf("/d%d/g0", (i+1)%8)))
+		}
+	})
+	sim.Shutdown()
+
+	w := os.Stdout
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fsctl: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := rec.WriteJSON(w); err != nil {
+		fmt.Fprintf(os.Stderr, "fsctl: %v\n", err)
+		return 1
+	}
+	if out != "" {
+		fmt.Fprintf(os.Stderr, "fsctl: wrote %s (%d traces kept)\n", out, len(rec.KeptTraces()))
+		fmt.Fprint(os.Stderr, rec.Summary(5))
+	}
+	return 0
+}
+
+// check panics on unexpected workload errors inside traceRun: the tiny
+// namespace is conflict-free, so any failure is a harness bug.
+func check(err error) {
+	if err != nil {
+		panic(err)
+	}
+}
+
 func main() {
 	servers := flag.Int("servers", 4, "metadata server count")
 	dataNodes := flag.Int("datanodes", 0, "data node count (open/read/write)")
@@ -95,6 +226,9 @@ func main() {
 	if flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "fsctl: no commands; try 'mkdir /a' 'create /a/f' 'ls /a', or 'fsctl chaos'")
 		os.Exit(2)
+	}
+	if flag.Arg(0) == "trace" {
+		os.Exit(traceCmd(flag.Args()[1:]))
 	}
 	if flag.Arg(0) == "chaos" {
 		// The -servers default (4) belongs to the filesystem-command mode;

@@ -142,6 +142,18 @@ func (c *Cluster) ServerNode(i int) env.NodeID { return c.servers[i].id }
 // ClientNode returns client i's node id (fault-injection targeting).
 func (c *Cluster) ClientNode(i int) env.NodeID { return c.clients[i%len(c.clients)].id }
 
+// PerServerOps returns each server's executed client-request count, indexed
+// by server number (the per-server tallies figures carry).
+func (c *Cluster) PerServerOps() []uint64 {
+	out := make([]uint64, len(c.servers))
+	for i, s := range c.servers {
+		s.mu.Lock()
+		out[i] = s.ops
+		s.mu.Unlock()
+	}
+	return out
+}
+
 // nextID allocates a directory id.
 func (c *Cluster) nextID() core.DirID {
 	c.idmu.Lock()

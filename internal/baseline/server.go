@@ -106,6 +106,9 @@ type bserver struct {
 	inflight map[reqKey]bool
 	served   map[reqKey]any
 	servedQ  []reqKey
+	// ops counts executed (non-duplicate) client requests, for the
+	// per-server tallies figures carry (guarded by mu).
+	ops uint64
 }
 
 // reqKey identifies a client request across retransmissions.
@@ -194,6 +197,9 @@ func (s *bserver) handle(p *env.Proc, from env.NodeID, msg any) {
 			}
 			return
 		}
+		s.mu.Lock()
+		s.ops++
+		s.mu.Unlock()
 		resp := &bresp{RPC: m.RPC}
 		s.handleReq(p, m, resp)
 		s.endReq(k, resp)

@@ -10,6 +10,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -55,6 +56,14 @@ type Figure struct {
 	// allocator totals are runtime-scheduling sensitive).
 	MemBytesPerOp  float64 `json:"mem_bytes_per_op,omitempty"`
 	MemAllocsPerOp float64 `json:"mem_allocs_per_op,omitempty"`
+	// Metrics is the deterministic metrics-registry delta attributed to this
+	// figure (internal/metrics snapshots taken around its generation):
+	// per-server op/aggregation/retry tallies, switch pipe totals, hot
+	// directory counts. Additive — absent for legacy producers — and, like
+	// Counters, a pure function of the seed, so comparisons may diff it
+	// exactly. encoding/json sorts map keys, keeping serialization
+	// deterministic.
+	Metrics map[string]uint64 `json:"metrics,omitempty"`
 }
 
 // Validate checks structural invariants: schema version, non-empty figure
@@ -224,6 +233,15 @@ type CounterDrift struct {
 	New    stats.Counters `json:"new"`
 }
 
+// MetricDrift is a figure-level metrics-registry key whose deterministic
+// value changed between runs (absent on either side reads as 0).
+type MetricDrift struct {
+	Figure string `json:"figure"`
+	Key    string `json:"key"`
+	Old    uint64 `json:"old"`
+	New    uint64 `json:"new"`
+}
+
 // RowChange identifies a row present in only one of the compared runs.
 type RowChange struct {
 	Figure string `json:"figure"`
@@ -235,6 +253,12 @@ type RowChange struct {
 type Comparison struct {
 	Deltas []Delta        `json:"deltas"`
 	Drift  []CounterDrift `json:"drift,omitempty"`
+	// MetricsDrift lists figure-level metrics keys that changed. Like
+	// counter drift it is deterministic state, so any difference is
+	// configuration drift or nondeterminism — but it is only checked when
+	// BOTH runs carry metrics for the figure, so legacy baselines and
+	// metrics-off runs compare clean.
+	MetricsDrift []MetricDrift `json:"metrics_drift,omitempty"`
 	// MissingFigures lists old figures absent from the new run.
 	MissingFigures []string `json:"missing_figures,omitempty"`
 	// AddedFigures lists new figures absent from the old run.
@@ -312,10 +336,13 @@ func Compare(old, new_ *Result, opts CompareOpts) *Comparison {
 			})
 		}
 		compareMem(cmp, of, nf, opts.MemThresholdPct)
+		if opts.CheckCounters && len(of.Metrics) > 0 && len(nf.Metrics) > 0 {
+			compareMetrics(cmp, of, nf)
+		}
 		for r := 0; r < rows; r++ {
 			label := rowLabel(of, r)
 			if opts.CheckCounters && r < len(of.Counters) && r < len(nf.Counters) &&
-				of.Counters[r] != nf.Counters[r] {
+				!of.Counters[r].Equal(nf.Counters[r]) {
 				cmp.Drift = append(cmp.Drift, CounterDrift{
 					Figure: of.ID, Row: r, Label: label,
 					Old: of.Counters[r], New: nf.Counters[r],
@@ -380,6 +407,28 @@ func compareMem(cmp *Comparison, of, nf *Figure, memThreshold float64) {
 			Old:   p.old, New: p.new, Pct: pct,
 			Regression: pct > memThreshold,
 		})
+	}
+}
+
+// compareMetrics diffs the deterministic figure-level metrics maps key by
+// key (union of both sides, sorted; a key absent on one side reads as 0).
+func compareMetrics(cmp *Comparison, of, nf *Figure) {
+	keys := make([]string, 0, len(of.Metrics)+len(nf.Metrics))
+	for k := range of.Metrics {
+		keys = append(keys, k)
+	}
+	for k := range nf.Metrics {
+		if _, ok := of.Metrics[k]; !ok {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if of.Metrics[k] != nf.Metrics[k] {
+			cmp.MetricsDrift = append(cmp.MetricsDrift, MetricDrift{
+				Figure: of.ID, Key: k, Old: of.Metrics[k], New: nf.Metrics[k],
+			})
+		}
 	}
 }
 

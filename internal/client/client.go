@@ -11,6 +11,7 @@ import (
 	"switchfs/internal/core"
 	"switchfs/internal/env"
 	"switchfs/internal/server"
+	"switchfs/internal/trace"
 	"switchfs/internal/wire"
 )
 
@@ -34,6 +35,12 @@ type Config struct {
 	// ignoring it.
 	DataRetryTimeout env.Duration
 	DataMaxRetries   int
+	// Trace records causal spans for this client's operations (nil: off).
+	// Each op entry point opens a root span; retransmission rounds and
+	// lookups nest under it, and the op's TraceCtx travels in every packet
+	// the op sends. Ops that fail or exhaust their retries are flagged so
+	// tail sampling always keeps them.
+	Trace *trace.Recorder
 }
 
 // Client is one LibFS instance bound to an env node.
@@ -219,16 +226,38 @@ func (c *Client) call(p *env.Proc, dst env.NodeID, pkt *wire.Packet, rpc uint64)
 		delete(c.pending, rpc)
 		c.mu.Unlock()
 	}()
+	// Every (re)transmission carries the SAME context — the op span that is
+	// ambient here — so a resent RPC joins its original trace and the
+	// server-side spans of every delivery parent into one tree.
+	pkt.Trace = p.TraceCtx()
 	resent := false
 	for try := 0; try < c.cfg.MaxRetries; try++ {
+		att := c.cfg.Trace.Start(p, "attempt", "client")
 		p.Send(dst, pkt)
-		if v, ok := fut.WaitTimeout(p, c.cfg.RetryTimeout); ok {
+		v, ok := fut.WaitTimeout(p, c.cfg.RetryTimeout)
+		att.End()
+		if ok {
 			return v.(wire.Msg), resent, nil
 		}
 		resent = true
 		c.Retries++
 	}
+	c.cfg.Trace.Flag(pkt.Trace.TraceID, "rpc-timeout")
 	return nil, resent, core.ErrTimeout
+}
+
+// op opens a client root span for one operation entry point (nil-safe).
+func (c *Client) op(p *env.Proc, name string) *trace.Handle {
+	return c.cfg.Trace.StartAuto(p, "op:"+name, "client")
+}
+
+// endOp closes an op span, flagging the trace when the op failed so tail
+// sampling always keeps errored ops for forensics.
+func (c *Client) endOp(sp *trace.Handle, err error) {
+	if err != nil {
+		c.cfg.Trace.Flag(sp.TraceID(), "client-error")
+	}
+	sp.End()
 }
 
 // nextRPC allocates a request id.
@@ -301,6 +330,8 @@ func (c *Client) resolve(p *env.Proc, path string) (resolved, error) {
 // lookupOne fetches one directory's metadata from its owner.
 func (c *Client) lookupOne(p *env.Proc, parent core.DirRef, name string, ancestors []core.DirID) (core.DirRef, core.Attr, error) {
 	c.Lookups++
+	sp := c.cfg.Trace.Start(p, "lookup", "client")
+	defer sp.End()
 	key := core.Key{PID: parent.ID, Name: name}
 	fp := key.Fingerprint()
 	dst := c.ownerOfFP(fp)

@@ -22,6 +22,7 @@ func (c *Client) mutate(p *env.Proc, op core.Op, path string, perm core.Perm) (c
 // operation can observe its own earlier effect (EEXIST for create, ENOENT
 // for delete) — fault harnesses need the flag to classify those outcomes.
 func (c *Client) mutateR(p *env.Proc, op core.Op, path string, perm core.Perm) (core.DirID, bool, error) {
+	sp := c.op(p, op.String())
 	var out core.DirID
 	var resent bool
 	err := c.withResolution(p, path, func(r resolved) error {
@@ -50,6 +51,7 @@ func (c *Client) mutateR(p *env.Proc, op core.Op, path string, perm core.Perm) (
 		out = resp.Dir
 		return resp.Err.Err()
 	})
+	c.endOp(sp, err)
 	return out, resent, err
 }
 
@@ -108,6 +110,7 @@ func (c *Client) Rmdir(p *env.Proc, path string) error {
 // round was retransmitted (chmod is a mutation; fault harnesses need the
 // at-least-once flag).
 func (c *Client) fileOp(p *env.Proc, op core.Op, path string, perm core.Perm) (core.Attr, []uint32, bool, error) {
+	sp := c.op(p, op.String())
 	var attr core.Attr
 	var loc []uint32
 	var resent bool
@@ -133,6 +136,7 @@ func (c *Client) fileOp(p *env.Proc, op core.Op, path string, perm core.Perm) (c
 		loc = resp.DataLoc
 		return resp.Err.Err()
 	})
+	c.endOp(sp, err)
 	return attr, loc, resent, err
 }
 
@@ -170,11 +174,13 @@ func (c *Client) ChmodR(p *env.Proc, path string, perm core.Perm) (bool, error) 
 // query through the switch so the owner learns the directory state with zero
 // extra round trips.
 func (c *Client) dirRead(p *env.Proc, op core.Op, path string) (core.Attr, []core.DirEntry, error) {
+	sp := c.op(p, op.String())
 	var attr core.Attr
 	var entries []core.DirEntry
 	if comps, err := core.SplitPath(path); err == nil && len(comps) == 0 {
 		// The root directory needs no resolution.
 		a, es, err := c.dirReadRef(p, op, core.RootRef(), nil)
+		c.endOp(sp, err)
 		return a, es, err
 	}
 	err := c.withResolution(p, path, func(r resolved) error {
@@ -192,6 +198,7 @@ func (c *Client) dirRead(p *env.Proc, op core.Op, path string) (core.Attr, []cor
 		attr, entries = a, es
 		return err
 	})
+	c.endOp(sp, err)
 	return attr, entries, err
 }
 
@@ -237,6 +244,7 @@ func (c *Client) ReadDir(p *env.Proc, path string) ([]core.DirEntry, error) {
 // the final request round was retransmitted (at-least-once ambiguity for the
 // fault harnesses, like mutateR).
 func (c *Client) twoPath(p *env.Proc, op core.Op, src, dst string) (bool, error) {
+	sp := c.op(p, op.String())
 	var resent bool
 	err := c.withResolution(p, src, func(rs resolved) error {
 		return c.withResolution(p, dst, func(rd resolved) error {
@@ -271,6 +279,7 @@ func (c *Client) twoPath(p *env.Proc, op core.Op, src, dst string) (bool, error)
 			return rc.Err.Err()
 		})
 	})
+	c.endOp(sp, err)
 	return resent, err
 }
 
@@ -306,6 +315,7 @@ func (c *Client) LinkR(p *env.Proc, src, dst string) (bool, error) {
 // raw metadata RPC timeout — retransmitting at metadata pace would trigger
 // retransmit storms against a busy data node.
 func (c *Client) dataCall(p *env.Proc, node env.NodeID, op core.Op, chunk wire.ChunkKey, bytes int64) (*wire.DataResp, error) {
+	sp := c.op(p, op.String())
 	rpc := c.nextRPC()
 	req := &wire.DataReq{ReqCommon: c.reqCommon(rpc, node, nil), Op: op, Chunk: chunk, Bytes: bytes}
 	fut := env.NewFuture()
@@ -320,14 +330,23 @@ func (c *Client) dataCall(p *env.Proc, node env.NodeID, op core.Op, chunk wire.C
 		delete(c.pending, rpc)
 		c.mu.Unlock()
 	}()
+	// One packet, stamped once: retransmissions must join the original trace.
+	pkt := &wire.Packet{Dst: node, Origin: c.cfg.ID, Body: req, Trace: p.TraceCtx()}
 	for try := 0; try < c.cfg.DataMaxRetries; try++ {
-		p.Send(node, &wire.Packet{Dst: node, Origin: c.cfg.ID, Body: req})
-		if v, ok := fut.WaitTimeout(p, c.cfg.DataRetryTimeout); ok {
+		att := c.cfg.Trace.Start(p, "attempt", "client")
+		p.Send(node, pkt)
+		v, ok := fut.WaitTimeout(p, c.cfg.DataRetryTimeout)
+		att.End()
+		if ok {
 			resp := v.(*wire.DataResp)
-			return resp, resp.Err.Err()
+			err := resp.Err.Err()
+			c.endOp(sp, err)
+			return resp, err
 		}
 		c.Retries++
 	}
+	c.cfg.Trace.Flag(pkt.Trace.TraceID, "data-timeout")
+	c.endOp(sp, core.ErrTimeout)
 	return nil, core.ErrTimeout
 }
 

@@ -11,8 +11,10 @@ import (
 	"switchfs/internal/core"
 	"switchfs/internal/datanode"
 	"switchfs/internal/env"
+	"switchfs/internal/metrics"
 	"switchfs/internal/pswitch"
 	"switchfs/internal/server"
+	"switchfs/internal/trace"
 	"switchfs/internal/wal"
 )
 
@@ -61,6 +63,9 @@ type Options struct {
 	// client default). Fault harnesses shrink it so operations give up —
 	// and become observably ambiguous — inside a plan's horizon.
 	ClientMaxRetries int
+	// Trace, when non-nil, records causal spans across every component
+	// (clients, switches, servers, data nodes).
+	Trace *trace.Recorder
 }
 
 // Defaults fills zero fields with the paper's evaluation setup (§7.1): eight
@@ -148,6 +153,7 @@ func NewWithModes(e env.Env, opts Options) *Cluster {
 			Stages:    opts.SwitchStages,
 			IndexBits: opts.SwitchIndexBits,
 			Servers:   peers,
+			Trace:     opts.Trace,
 		})
 		if opts.ForceOverflow {
 			sw.ForceOverflow(true)
@@ -176,6 +182,7 @@ func NewWithModes(e env.Env, opts Options) *Cluster {
 				Pipes:     1,
 				PipeDelay: opts.Costs.SwitchPipe,
 				Servers:   peers,
+				Trace:     opts.Trace,
 			})
 			if opts.ForceOverflow {
 				sw.ForceOverflow(true)
@@ -213,6 +220,7 @@ func NewWithModes(e env.Env, opts Options) *Cluster {
 			PushIdle:     opts.PushIdle,
 			OwnerQuiesce: opts.OwnerQuiesce,
 			RetryTimeout: opts.RetryTimeout,
+			Trace:        opts.Trace,
 		})
 		c.Servers = append(c.Servers, srv)
 	}
@@ -229,6 +237,7 @@ func NewWithModes(e env.Env, opts Options) *Cluster {
 			Costs:        opts.Costs,
 			RetryTimeout: opts.RetryTimeout,
 			MaxRetries:   opts.ClientMaxRetries,
+			Trace:        opts.Trace,
 		})
 		c.Clients = append(c.Clients, cl)
 	}
@@ -258,6 +267,7 @@ func dataNodeConfigOf(c *Cluster, i int) datanode.Config {
 		Costs:        c.Opts.Costs,
 		NodeOf:       DataNodeOf,
 		RetryTimeout: c.Opts.RetryTimeout,
+		Trace:        c.Opts.Trace,
 	}
 }
 
@@ -281,6 +291,64 @@ func (c *Cluster) SetServerCores(i, cores int) { c.Servers[i].SetCores(cores) }
 // SlowSwitch adds d of extra pipeline delay to switch i (gray failure:
 // a congested pipe). Zero restores nominal speed.
 func (c *Cluster) SlowSwitch(i int, d env.Duration) { c.Switches[i].SetExtraDelay(d) }
+
+// PerServerOps returns each metadata server's executed-op count, indexed by
+// server number. The sum is deterministic under Sim; figures carry it as a
+// load-balance signal.
+func (c *Cluster) PerServerOps() []uint64 {
+	out := make([]uint64, len(c.Servers))
+	for i, s := range c.Servers {
+		out[i] = s.Stats.Ops
+	}
+	return out
+}
+
+// metricsTopDirs bounds the per-directory tallies exported per server: only
+// the hottest K directories become metric keys, keeping snapshots small and
+// schema-stable no matter how wide the namespace grew.
+const metricsTopDirs = 4
+
+// FillMetrics pours the cluster's per-node counters into reg. Keys are
+// stable strings (`server.<i>.ops`, `switch.<i>.queries`, ...) so two
+// same-seed runs produce identical snapshots; per-directory tallies are
+// exported rank-keyed (hottest first) and capped at metricsTopDirs entries.
+func (c *Cluster) FillMetrics(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	for i, s := range c.Servers {
+		pre := fmt.Sprintf("server.%d.", i)
+		reg.Add(pre+"ops", s.Stats.Ops)
+		reg.Add(pre+"async_commits", s.Stats.AsyncCommits)
+		reg.Add(pre+"sync_commits", s.Stats.SyncCommits)
+		reg.Add(pre+"fallbacks", s.Stats.Fallbacks)
+		reg.Add(pre+"aggregations", s.Stats.Aggregations)
+		reg.Add(pre+"agg_entries", s.Stats.AggEntries)
+		reg.Add(pre+"pushes", s.Stats.Pushes)
+		reg.Add(pre+"retries", s.Stats.Retries)
+		for rank, d := range s.DirOps() {
+			if rank >= metricsTopDirs {
+				break
+			}
+			reg.Add(fmt.Sprintf("%sdir.%d.ops", pre, rank), d.N)
+		}
+	}
+	for i, sw := range c.Switches {
+		pre := fmt.Sprintf("switch.%d.", i)
+		reg.Add(pre+"queries", sw.Stats.Queries.Load())
+		reg.Add(pre+"inserts", sw.Stats.Inserts.Load())
+		reg.Add(pre+"removes", sw.Stats.Removes.Load())
+		reg.Add(pre+"overflows", sw.Stats.Overflows.Load())
+		reg.Add(pre+"forwarded", sw.Stats.Forwarded.Load())
+	}
+	for i, d := range c.DataServers {
+		pre := fmt.Sprintf("data.%d.", i)
+		reg.Add(pre+"reads", d.Stats.Reads)
+		reg.Add(pre+"writes", d.Stats.Writes)
+		reg.Add(pre+"replicated", d.Stats.Replicated)
+		reg.Add(pre+"retries", d.Stats.Retries)
+	}
+}
 
 // Run spawns fn on client i's node and, under Sim, drives the simulation
 // until fn completes. Under Real it blocks on a channel.
@@ -400,6 +468,7 @@ func serverConfigOf(c *Cluster, i int) server.Config {
 		PushIdle:     c.Opts.PushIdle,
 		OwnerQuiesce: c.Opts.OwnerQuiesce,
 		RetryTimeout: c.Opts.RetryTimeout,
+		Trace:        c.Opts.Trace,
 	}
 }
 

@@ -1,0 +1,228 @@
+package cluster
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"switchfs/internal/client"
+	"switchfs/internal/env"
+	"switchfs/internal/trace"
+	"switchfs/internal/wire"
+)
+
+// Integration tests for causal tracing: spans recorded across clients,
+// switches, servers and the 2PC machinery must form one well-shaped tree per
+// client op, even under retransmissions and coordinator crashes.
+
+// traceSim is sim() with a recorder wired through every component.
+func traceSim(t *testing.T, opts Options, keep int) (*env.Sim, *Cluster, *trace.Recorder) {
+	t.Helper()
+	rec := trace.New(trace.Config{Keep: keep})
+	opts.Trace = rec
+	s, c := sim(t, opts)
+	return s, c, rec
+}
+
+// assertWellShaped validates the span set and checks every kept trace has
+// exactly one root span.
+func assertWellShaped(t *testing.T, rec *trace.Recorder) []trace.Span {
+	t.Helper()
+	spans := rec.Spans()
+	if err := trace.Validate(spans); err != nil {
+		t.Fatalf("trace validation: %v", err)
+	}
+	roots := map[uint64]int{}
+	for _, s := range spans {
+		if s.Parent == 0 {
+			roots[s.Trace]++
+		}
+	}
+	for id, n := range roots {
+		if n != 1 {
+			t.Errorf("trace %d has %d root spans, want 1", id, n)
+		}
+	}
+	return spans
+}
+
+// TestTraceRetransmissionJoinsOriginalTrace runs a workload under packet
+// loss: resent RPCs must join their op's original trace (the packet is
+// stamped once, before the retry loop), so a lossy run yields traces with
+// multiple attempt spans under one parent — never orphan spans or extra
+// roots.
+func TestTraceRetransmissionJoinsOriginalTrace(t *testing.T) {
+	s, c, rec := traceSim(t, Options{Servers: 4, Clients: 1}, 64)
+	s.Net().DropProb = 0.1
+	c.Run(0, func(p *env.Proc, cl *client.Client) {
+		if err := cl.Mkdir(p, "/d", 0); err != nil {
+			t.Errorf("mkdir: %v", err)
+			return
+		}
+		for i := 0; i < 30; i++ {
+			if err := cl.Create(p, fmt.Sprintf("/d/f%d", i), 0); err != nil {
+				t.Errorf("create %d: %v", i, err)
+				return
+			}
+		}
+	})
+	if c.Clients[0].Retries == 0 {
+		t.Fatal("no retransmissions happened; the loss rate is too low to exercise the path")
+	}
+	spans := assertWellShaped(t, rec)
+	// Some op must show >1 attempt under the same parent: the retry joined
+	// the original trace instead of opening a new one.
+	attempts := map[[2]uint64]int{} // (trace, parent) -> attempt count
+	for _, sp := range spans {
+		if sp.Name == "attempt" {
+			attempts[[2]uint64{sp.Trace, sp.Parent}]++
+		}
+	}
+	multi := 0
+	for _, n := range attempts {
+		if n > 1 {
+			multi++
+		}
+	}
+	if multi == 0 {
+		t.Error("retries happened but no trace holds multiple attempt spans under one parent")
+	}
+}
+
+// TestTraceRenameSpanTree performs cross-server renames and asserts the kept
+// rename trace covers the full causal chain in one tree: client attempt,
+// server handler, 2PC prepare/decision, and the participants' WAL appends.
+func TestTraceRenameSpanTree(t *testing.T) {
+	_, c, rec := traceSim(t, Options{Servers: 4, Clients: 1}, 64)
+	src := remoteFileName(c, "s", 0)
+	dst := remoteFileName(c, "d", 0)
+	c.Run(0, func(p *env.Proc, cl *client.Client) {
+		if err := cl.Create(p, src, 0); err != nil {
+			t.Errorf("create: %v", err)
+			return
+		}
+		if err := cl.Rename(p, src, dst); err != nil {
+			t.Errorf("rename: %v", err)
+		}
+	})
+	spans := assertWellShaped(t, rec)
+	byTrace := map[uint64]map[string]bool{}
+	var renameTrace uint64
+	for _, sp := range spans {
+		m := byTrace[sp.Trace]
+		if m == nil {
+			m = map[string]bool{}
+			byTrace[sp.Trace] = m
+		}
+		m[sp.Cat+":"+sp.Name] = true
+		if sp.Parent == 0 && sp.Name == "op:rename" {
+			renameTrace = sp.Trace
+		}
+	}
+	if renameTrace == 0 {
+		t.Fatal("no kept trace rooted at op:rename")
+	}
+	got := byTrace[renameTrace]
+	for _, want := range []string{
+		"client:attempt",         // client RPC try
+		"server:rename",          // coordinator handler
+		"server:txn:run",         // transaction driver
+		"server:txn:prepare",     // prepare round
+		"server:wal:txn-prepare", // participant's prepared-state append
+		"server:txn:decision",    // decision round
+		"server:wal:txn-commit",  // coordinator's commit record
+	} {
+		if !got[want] {
+			t.Errorf("rename trace misses span %q (has %v)", want, keysOf(got))
+		}
+	}
+	// A create elsewhere in the run must show the switch hop.
+	foundSwitch := false
+	for _, m := range byTrace {
+		if m["switch:ds:insert"] || m["switch:ds:query"] {
+			foundSwitch = true
+			break
+		}
+	}
+	if !foundSwitch {
+		t.Error("no kept trace contains a switch span; dirty-set hops are untraced")
+	}
+}
+
+func keysOf(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// TestTraceCoordinatorCrashNoDoubleCount reruns the redriven-commit scenario
+// (coordinator crashes after participants applied, recovery re-drives the
+// WAL-logged decision) with tracing on: the replay runs on spawned procs
+// with no ambient context, so kept traces must stay well-shaped and no trace
+// may hold more than one commit-record span.
+func TestTraceCoordinatorCrashNoDoubleCount(t *testing.T) {
+	s, c, rec := traceSim(t, Options{Servers: 4, Clients: 1,
+		RetryTimeout: 200 * env.Microsecond}, 64)
+	src := remoteFileName(c, "s", 0)
+	dst := remoteFileName(c, "d", 0)
+	c.Run(0, func(p *env.Proc, cl *client.Client) {
+		if err := cl.Create(p, src, 0); err != nil {
+			t.Errorf("create %s: %v", src, err)
+		}
+	})
+	s.Net().Filter = func(from, to env.NodeID, msg any) env.Verdict {
+		if pkt, ok := msg.(*wire.Packet); ok {
+			if _, isDone := pkt.Body.(*wire.TxnDone); isDone {
+				return env.Drop
+			}
+		}
+		return env.Pass
+	}
+	s.After(5*env.Millisecond, func() { c.CrashServer(0) })
+	s.After(10*env.Millisecond, func() { s.Net().Filter = nil })
+	s.After(11*env.Millisecond, func() { c.RecoverServer(0) })
+	c.Run(0, func(p *env.Proc, cl *client.Client) {
+		_ = cl.Rename(p, src, dst)
+	})
+
+	spans := assertWellShaped(t, rec)
+	commits := map[uint64]int{}
+	for _, sp := range spans {
+		if sp.Name == "wal:txn-commit" {
+			commits[sp.Trace]++
+		}
+	}
+	for id, n := range commits {
+		if n > 1 {
+			t.Errorf("trace %d holds %d wal:txn-commit spans; the redrive double-counted", id, n)
+		}
+	}
+}
+
+// TestTraceDeterministicAcrossRuns asserts the headline invariant at the
+// cluster level: two same-seed runs export byte-identical trace files.
+func TestTraceDeterministicAcrossRuns(t *testing.T) {
+	gen := func() string {
+		rec := trace.New(trace.Config{Keep: 16})
+		s := env.NewSim(11)
+		defer s.Shutdown()
+		c := New(s, Options{Servers: 4, Clients: 1, SwitchIndexBits: 8, Trace: rec})
+		s.Net().DropProb = 0.05
+		c.Run(0, func(p *env.Proc, cl *client.Client) {
+			cl.Mkdir(p, "/d", 0)
+			for i := 0; i < 20; i++ {
+				cl.Create(p, fmt.Sprintf("/d/f%d", i), 0)
+			}
+		})
+		var buf bytes.Buffer
+		if err := rec.WriteJSON(&buf); err != nil {
+			t.Fatalf("WriteJSON: %v", err)
+		}
+		return buf.String()
+	}
+	if a, b := gen(), gen(); a != b {
+		t.Fatal("same-seed cluster runs exported different trace bytes")
+	}
+}

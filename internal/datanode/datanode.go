@@ -29,6 +29,7 @@ import (
 
 	"switchfs/internal/core"
 	"switchfs/internal/env"
+	"switchfs/internal/trace"
 	"switchfs/internal/wire"
 )
 
@@ -47,6 +48,8 @@ type Config struct {
 	NodeOf func(slot int) env.NodeID
 	// RetryTimeout paces replication and recovery-pull retransmissions.
 	RetryTimeout env.Duration
+	// Trace records handler and replication spans (nil: tracing off).
+	Trace *trace.Recorder
 }
 
 // Defaults fills zero fields.
@@ -299,11 +302,15 @@ func (s *Server) handle(p *env.Proc, from env.NodeID, msg any) {
 			// acknowledged write). Dropping makes the client retry.
 			return
 		}
+		sp := s.cfg.Trace.StartSpan(p, pkt.Trace, "data:io", "data")
 		s.handleData(p, b)
+		sp.End()
 	case *wire.DataRepReq:
 		// Replication flows even while recovering: applies are idempotent
 		// by version and keep the store converging.
+		sp := s.cfg.Trace.StartSpan(p, pkt.Trace, "data:rep", "data")
 		s.handleRep(p, b)
+		sp.End()
 	case *wire.DataRepAck:
 		s.handleRepAck(b)
 	case *wire.DataPullReq:
@@ -377,6 +384,8 @@ func (s *Server) replicate(p *env.Proc, chunk wire.ChunkKey, ver uint64, bytes i
 	if r <= 1 || s.cfg.Nodes <= 1 {
 		return nil
 	}
+	rsp := s.cfg.Trace.Start(p, "data:replicate", "data")
+	defer rsp.End()
 	st := &repState{need: make(map[env.NodeID]bool), done: env.NewFuture()}
 	backups := replicaSlots(uint32(s.cfg.Slot), s.cfg.Nodes, r)[1:]
 	for _, slot := range backups {
@@ -525,7 +534,7 @@ func (s *Server) reply(p *env.Proc, to env.NodeID, body wire.Msg) {
 	if s.dead {
 		return
 	}
-	p.Send(to, &wire.Packet{Dst: to, Origin: s.cfg.ID, Body: body})
+	p.Send(to, &wire.Packet{Dst: to, Origin: s.cfg.ID, Trace: p.TraceCtx(), Body: body})
 }
 
 // replayIfDuplicate answers a retransmitted RPC from the dedup cache. A nil

@@ -43,6 +43,19 @@ const (
 // simulated L2 network — the moral equivalent of a MAC address.
 type NodeID uint32
 
+// TraceCtx is a causal tracing context: the trace a unit of work belongs to
+// and the span it currently executes under. It lives here (not in
+// internal/trace) so wire packets can carry it and Proc can hold an ambient
+// copy without env importing the recorder. A zero TraceCtx means "not
+// traced" and costs nothing to propagate.
+type TraceCtx struct {
+	TraceID uint64
+	SpanID  uint64
+}
+
+// Valid reports whether the context belongs to a live trace.
+func (t TraceCtx) Valid() bool { return t.TraceID != 0 }
+
 // Handler processes one message delivered to a node. It runs on a fresh Proc
 // and may block on primitives, sleep, compute, and send messages.
 type Handler func(p *Proc, from NodeID, msg any)
@@ -133,6 +146,11 @@ type Proc struct {
 	// state tracks the Sim scheduler lifecycle (idle/dispatched/running/
 	// parked); the scheduler asserts its invariants on every transition.
 	state int
+	// tctx is the ambient tracing context: the span this process currently
+	// executes under. Handlers set it from the inbound packet's TraceCtx and
+	// nested spans push/restore it; the Sim scheduler clears it when a pooled
+	// worker is re-dispatched so contexts never leak across handler bodies.
+	tctx TraceCtx
 }
 
 // Env returns the runtime this process runs on.
@@ -152,6 +170,13 @@ func (p *Proc) Send(to NodeID, msg any) {
 
 // Spawn starts a sibling process on the same node.
 func (p *Proc) Spawn(fn func(*Proc)) { p.env.newProc(p.node, fn) }
+
+// TraceCtx returns the ambient tracing context (zero when untraced).
+func (p *Proc) TraceCtx() TraceCtx { return p.tctx }
+
+// SetTraceCtx replaces the ambient tracing context. Span helpers save and
+// restore the previous value around nested sections.
+func (p *Proc) SetTraceCtx(t TraceCtx) { p.tctx = t }
 
 // String aids debugging.
 func (p *Proc) String() string { return fmt.Sprintf("proc@%d", p.node.ID) }

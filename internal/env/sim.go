@@ -199,6 +199,7 @@ func (s *Sim) dispatchDeliver(ev *event) {
 	s.Delivered++
 	st := s.takeWorker()
 	st.p.node = dst
+	st.p.tctx = TraceCtx{} // pooled worker: no ambient trace leaks across dispatches
 	st.hnode = dst
 	st.hfrom = ev.from
 	st.hmsg = ev.msg
@@ -210,6 +211,7 @@ func (s *Sim) dispatchDeliver(ev *event) {
 func (s *Sim) newProc(node *Node, fn func(*Proc)) {
 	st := s.takeWorker()
 	st.p.node = node
+	st.p.tctx = TraceCtx{}
 	st.fn = fn
 	st.p.state = stateDispatched
 	s.schedWake(st.p, 0, stateDispatched)

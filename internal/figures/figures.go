@@ -161,6 +161,7 @@ func deploy(seed int64, k sysKind, servers, cores, clients, dataNodes int,
 		if tweak != nil {
 			tweak(&opts)
 		}
+		opts.Trace = obsTrace
 		var c *cluster.Cluster
 		if opts.Async || opts.Compaction {
 			c = cluster.NewWithModes(sim, opts)
@@ -169,7 +170,12 @@ func deploy(seed int64, k sysKind, servers, cores, clients, dataNodes int,
 		} else {
 			c = cluster.NewWithModes(sim, opts)
 		}
-		return sim, c, sim.Shutdown
+		// Teardown snapshots the cluster's counters into the shared metrics
+		// registry (no-op when observability is off).
+		return sim, c, func() {
+			c.FillMetrics(obsMetrics)
+			sim.Shutdown()
+		}
 	default:
 		mode := map[sysKind]baseline.Mode{
 			sysInfiniFS: baseline.InfiniFS,
@@ -218,12 +224,18 @@ func runOn(sim *env.Sim, sys fsapi.System, ns workload.Namespace, gen workload.G
 		Gen:          gen,
 	})
 	if tally != nil {
-		tally.Add(stats.Counters{
+		add := stats.Counters{
 			Ops:              uint64(res.Ops),
 			Errs:             uint64(res.Errs),
 			PacketsDelivered: sim.Delivered,
 			PacketsDropped:   sim.Dropped,
-		})
+		}
+		// Systems reporting per-server tallies (SwitchFS and the emulated
+		// baselines both do) contribute the load-balance signal.
+		if po, ok := sys.(interface{ PerServerOps() []uint64 }); ok {
+			add.PerServerOps = po.PerServerOps()
+		}
+		tally.Add(add)
 	}
 	return res
 }

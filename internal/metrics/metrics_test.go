@@ -1,0 +1,47 @@
+package metrics
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestNilRegistryIsNoop(t *testing.T) {
+	var r *Registry
+	r.Add("x", 1)
+	r.Inc("y")
+	r.SetGauge("g", 5)
+	r.Observe("h", 1)
+	if snap := r.Snapshot(); snap != nil {
+		t.Fatalf("nil registry snapshot: %v", snap)
+	}
+}
+
+func TestSnapshotAndDelta(t *testing.T) {
+	r := New()
+	r.Add("server.0.ops", 10)
+	r.SetGauge("dirty.entries", 3)
+	before := r.Snapshot()
+	r.Add("server.0.ops", 5)
+	r.Inc("server.1.ops")
+	d := Delta(before, r.Snapshot())
+	// The unchanged gauge subtracts to zero and is dropped from the delta.
+	want := map[string]uint64{"server.0.ops": 5, "server.1.ops": 1}
+	if !reflect.DeepEqual(d, want) {
+		t.Fatalf("delta %v, want %v", d, want)
+	}
+}
+
+func TestHistogramSnapshotKeys(t *testing.T) {
+	r := New()
+	for i := 1; i <= 100; i++ {
+		r.Observe("lat", float64(i))
+	}
+	snap := r.Snapshot()
+	if snap["lat.n"] != 100 || snap["lat.p50"] != 50 || snap["lat.p99"] != 99 {
+		t.Fatalf("histogram snapshot %v", snap)
+	}
+	names := r.Names()
+	if len(names) != 3 {
+		t.Fatalf("names %v", names)
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"switchfs/internal/core"
 	"switchfs/internal/env"
+	"switchfs/internal/trace"
 	"switchfs/internal/wire"
 )
 
@@ -24,6 +25,8 @@ type Config struct {
 	PipeDelay env.Duration
 	// Servers is the multicast domain: every metadata server's address.
 	Servers []env.NodeID
+	// Trace records pipeline-traversal spans (nil: tracing off).
+	Trace *trace.Recorder
 }
 
 // Stats counts data-plane activity.
@@ -116,11 +119,15 @@ func (s *Switch) Handler(p *env.Proc, from env.NodeID, msg any) {
 		return // not a SwitchFS packet; a real switch would L2-forward it
 	}
 	if pkt.DS == nil || pkt.DS.Op == wire.DSNone {
-		// Regular packet: route by destination MAC.
+		// Regular packet: route by destination MAC. The packet may be
+		// retransmitted by its sender, so it is forwarded untouched — no
+		// span context is grafted on.
 		s.Stats.Forwarded.Add(1)
 		p.Send(pkt.Dst, pkt)
 		return
 	}
+	sp := s.cfg.Trace.StartSpan(p, pkt.Trace, dsSpanName(pkt.DS.Op), "switch")
+	defer sp.End()
 	p.Sleep(s.cfg.PipeDelay + s.extraDelay)
 	ds := s.pipeOf(pkt.DS.FP)
 	if len(s.pipes) > 1 && s.cfg.MirrorDelay > 0 {
@@ -140,6 +147,7 @@ func (s *Switch) Handler(p *env.Proc, from env.NodeID, msg any) {
 		out := &queryReply{pkt: *pkt, hdr: *pkt.DS}
 		out.hdr.Ret = ret
 		out.pkt.DS = &out.hdr
+		out.pkt.Trace = sp.Ctx()
 		p.Send(pkt.Dst, &out.pkt)
 
 	case wire.DSInsert:
@@ -149,9 +157,10 @@ func (s *Switch) Handler(p *env.Proc, from env.NodeID, msg any) {
 			// Success: multicast completion to the client and unlock signal
 			// to the origin server (Fig. 4, 7a/7b).
 			if cn != nil {
-				p.Send(cn.Client, &wire.Packet{Dst: cn.Client, Origin: s.ID, Body: cn.Resp})
+				p.Send(cn.Client, &wire.Packet{Dst: cn.Client, Origin: s.ID,
+					Trace: sp.Ctx(), Body: cn.Resp})
 				p.Send(pkt.Origin, &wire.Packet{Dst: pkt.Origin, Origin: s.ID,
-					Body: &wire.CommitAck{CommitID: cn.CommitID}})
+					Trace: sp.Ctx(), Body: &wire.CommitAck{CommitID: cn.CommitID}})
 			}
 			return
 		}
@@ -161,6 +170,7 @@ func (s *Switch) Handler(p *env.Proc, from env.NodeID, msg any) {
 		s.Stats.Overflows.Add(1)
 		out := *pkt
 		out.Dst = pkt.DS.AltDst
+		out.Trace = sp.Ctx()
 		p.Send(out.Dst, &out)
 
 	case wire.DSRemove:
@@ -175,9 +185,23 @@ func (s *Switch) Handler(p *env.Proc, from env.NodeID, msg any) {
 			if srv == pkt.Origin {
 				continue
 			}
-			p.Send(srv, &wire.Packet{Dst: srv, Origin: pkt.Origin, Body: pkt.Body})
+			p.Send(srv, &wire.Packet{Dst: srv, Origin: pkt.Origin,
+				Trace: sp.Ctx(), Body: pkt.Body})
 		}
 	}
+}
+
+// dsSpanName names the pipeline span for a dirty-set opcode.
+func dsSpanName(op wire.DSOp) string {
+	switch op {
+	case wire.DSQuery:
+		return "ds:query"
+	case wire.DSInsert:
+		return "ds:insert"
+	case wire.DSRemove:
+		return "ds:remove"
+	}
+	return "ds:other"
 }
 
 // queryReply bundles a forwarded query packet with its rewritten dirty-set

@@ -111,6 +111,8 @@ func (s *Server) waitAggIdle(p *env.Proc, fp core.Fingerprint) bool {
 }
 
 func (s *Server) runAggregation(p *env.Proc, fp core.Fingerprint, opts *aggOpts) bool {
+	asp := s.cfg.Trace.Start(p, "agg:run", "server")
+	defer asp.End()
 	s.Stats.Aggregations++
 	s.mu.Lock()
 	s.nextAgg++
@@ -182,6 +184,7 @@ func (s *Server) runAggregation(p *env.Proc, fp core.Fingerprint, opts *aggOpts)
 				DS:     &wire.DSHeader{Op: wire.DSRemove, FP: fp, Seq: seq},
 				Dst:    sw,
 				Origin: s.cfg.ID,
+				Trace:  p.TraceCtx(),
 				Body:   fetch,
 			})
 		}
@@ -334,6 +337,7 @@ func (s *Server) markDirty(p *env.Proc, fp core.Fingerprint) {
 		DS:     &wire.DSHeader{Op: wire.DSInsert, FP: fp, AltDst: s.ownerOfFP(fp)},
 		Dst:    sw,
 		Origin: s.cfg.ID,
+		Trace:  p.TraceCtx(),
 	})
 }
 
@@ -528,6 +532,7 @@ func (s *Server) applyEntries(p *env.Proc, src env.NodeID, log wire.DirLog) uint
 	// the source may mark them applied (§A.1 "no change-log entry is lost").
 	// With compaction the batch group-commits: one synchronous WAL write
 	// covers the batch, with a small per-record marshaling cost.
+	wsp := s.cfg.Trace.Start(p, "wal:entries", "server")
 	if s.cfg.Compaction {
 		p.Compute(c.WALAppend + env.Duration(len(fresh))*c.LogAppend)
 	}
@@ -539,6 +544,7 @@ func (s *Server) applyEntries(p *env.Proc, src env.NodeID, log wire.DirLog) uint
 		}
 		mustAppend(s.wal, recAggEntry, payload)
 	}
+	wsp.End()
 
 	ek := log.Dir.Key.Encode()
 	raw, ok := s.kv.GetView(ek)

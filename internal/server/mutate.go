@@ -19,6 +19,7 @@ func (s *Server) handleMutate(p *env.Proc, req *wire.MutateReq) {
 		return // in flight; the original execution will reply
 	}
 	s.Stats.Ops++
+	s.tallyDir(req.Parent.ID)
 	if req.Op == core.OpRmdir {
 		s.doRmdir(p, req)
 		return
@@ -132,8 +133,10 @@ func (s *Server) doMutate(p *env.Proc, req *wire.MutateReq) {
 	entry.ID = s.nextEntry
 	s.mu.Unlock()
 	walRec := s.encodeCommit(req.Op, key, req.Parent, entry, in)
+	wsp := s.cfg.Trace.Start(p, "wal:commit", "server")
 	p.Compute(c.WALAppend)
 	var lsn = mustAppend(s.wal, recCommit, walRec)
+	wsp.End()
 	if req.Op == core.OpDelete {
 		p.Compute(c.KVDel)
 		s.kv.Delete(key.Encode())
@@ -186,6 +189,8 @@ func (s *Server) doMutate(p *env.Proc, req *wire.MutateReq) {
 func (s *Server) asyncCommit(p *env.Proc, parent core.DirRef, parentLog *dirLog,
 	entry core.LogEntry, resp *wire.MutateResp, client env.NodeID) {
 
+	csp := s.cfg.Trace.Start(p, "commit:async", "server")
+	defer csp.End()
 	s.mu.Lock()
 	s.nextCommit++
 	ctx := &commitCtx{id: s.nextCommit, done: env.NewFuture(),
@@ -207,7 +212,7 @@ func (s *Server) asyncCommit(p *env.Proc, parent core.DirRef, parentLog *dirLog,
 		// (Fig. 16).
 		notice.Update = wire.DirLog{Dir: parent}
 		dst = s.ownerOfFP(parent.FP)
-		pkt = &wire.Packet{Dst: dst, Origin: s.cfg.ID, Body: notice}
+		pkt = &wire.Packet{Dst: dst, Origin: s.cfg.ID, Trace: p.TraceCtx(), Body: notice}
 	} else {
 		// Snapshot the pending log for the overflow fallback: the switch
 		// rewrites the packet to the parent's owner, which applies the whole
@@ -221,6 +226,7 @@ func (s *Server) asyncCommit(p *env.Proc, parent core.DirRef, parentLog *dirLog,
 				AltDst: s.ownerOfFP(parent.FP)},
 			Dst:    dst,
 			Origin: s.cfg.ID,
+			Trace:  p.TraceCtx(),
 			Body:   notice,
 		}
 	}
@@ -266,6 +272,8 @@ func (s *Server) syncCommit(p *env.Proc, req *wire.MutateReq, parentLog *dirLog,
 	s.commits[ctx.id] = ctx
 	s.mu.Unlock()
 
+	csp := s.cfg.Trace.Start(p, "commit:sync", "server")
+	defer csp.End()
 	resp := &wire.MutateResp{RespCommon: s.respCommon(&req.ReqCommon, nil), Dir: newDir}
 	notice := &wire.CommitNotice{
 		Resp:     resp,
@@ -274,7 +282,7 @@ func (s *Server) syncCommit(p *env.Proc, req *wire.MutateReq, parentLog *dirLog,
 		Update:   wire.DirLog{Dir: req.Parent, Entries: []core.LogEntry{entry}},
 	}
 	dst := s.ownerOfFP(req.Parent.FP)
-	pkt := &wire.Packet{Dst: dst, Origin: s.cfg.ID, Body: notice}
+	pkt := &wire.Packet{Dst: dst, Origin: s.cfg.ID, Trace: p.TraceCtx(), Body: notice}
 	for {
 		p.Send(dst, pkt)
 		if v, ok := ctx.done.WaitTimeout(p, s.cfg.RetryTimeout); ok {
@@ -314,7 +322,8 @@ func (s *Server) handleFallback(p *env.Proc, pkt *wire.Packet, cn *wire.CommitNo
 		s.mu.Lock()
 		s.ownerDirty[cn.Update.Dir.FP] = true
 		s.mu.Unlock()
-		p.Send(cn.Client, &wire.Packet{Dst: cn.Client, Origin: s.cfg.ID, Body: cn.Resp})
+		p.Send(cn.Client, &wire.Packet{Dst: cn.Client, Origin: s.cfg.ID,
+			Trace: p.TraceCtx(), Body: cn.Resp})
 		s.reply(p, pkt.Origin, &wire.CommitAck{CommitID: cn.CommitID})
 		return
 	}
@@ -323,7 +332,8 @@ func (s *Server) handleFallback(p *env.Proc, pkt *wire.Packet, cn *wire.CommitNo
 	dl.Lock(p)
 	s.applyEntries(p, pkt.Origin, cn.Update)
 	dl.Unlock()
-	p.Send(cn.Client, &wire.Packet{Dst: cn.Client, Origin: s.cfg.ID, Body: cn.Resp})
+	p.Send(cn.Client, &wire.Packet{Dst: cn.Client, Origin: s.cfg.ID,
+		Trace: p.TraceCtx(), Body: cn.Resp})
 	s.reply(p, pkt.Origin, &wire.CommitAck{CommitID: cn.CommitID, Applied: true})
 }
 

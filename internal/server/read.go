@@ -47,6 +47,7 @@ func (s *Server) handleFile(p *env.Proc, req *wire.FileReq) {
 	c := &s.cfg.Costs
 	p.Compute(c.Parse)
 	s.Stats.Ops++
+	s.tallyDir(req.Parent.ID)
 	key := core.Key{PID: req.Parent.ID, Name: req.Name}
 	resp := &wire.FileResp{}
 	err := s.checkAncestors(&req.ReqCommon)
@@ -101,6 +102,7 @@ func (s *Server) handleDirRead(p *env.Proc, pkt *wire.Packet, req *wire.DirReadR
 	c := &s.cfg.Costs
 	p.Compute(c.Parse)
 	s.Stats.Ops++
+	s.tallyDir(req.Dir.ID)
 	resp := &wire.DirReadResp{}
 	err := s.checkAncestors(&req.ReqCommon)
 	if err == nil {

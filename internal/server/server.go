@@ -13,6 +13,7 @@ import (
 	"switchfs/internal/core"
 	"switchfs/internal/env"
 	"switchfs/internal/kv"
+	"switchfs/internal/trace"
 	"switchfs/internal/wal"
 	"switchfs/internal/wire"
 )
@@ -74,6 +75,8 @@ type Config struct {
 	OwnerQuiesce env.Duration
 	// RetryTimeout is the RPC retransmission timeout (§5.4.1).
 	RetryTimeout env.Duration
+	// Trace records handler/WAL/2PC/aggregation spans (nil: tracing off).
+	Trace *trace.Recorder
 }
 
 // Defaults fills zero fields.
@@ -183,6 +186,10 @@ type Server struct {
 	// Per-(source, directory) high-watermark of applied change-log entry
 	// ids: the exactly-once guard of §A.1.
 	applied map[appliedKey]uint64
+
+	// dirOps tallies client operations per target directory (observability;
+	// exported via DirOps for the metrics registry's hottest-directory view).
+	dirOps map[core.DirID]uint64
 
 	// Pending protocol contexts.
 	commits    map[uint64]*commitCtx
@@ -304,6 +311,7 @@ func New(e env.Env, cfg Config) *Server {
 		fps:        make(map[core.Fingerprint]*fpState),
 		invalSet:   make(map[core.DirID]uint64),
 		applied:    make(map[appliedKey]uint64),
+		dirOps:     make(map[core.DirID]uint64),
 		commits:    make(map[uint64]*commitCtx),
 		aggs:       make(map[uint64]*aggCtx),
 		aggByFP:    make(map[core.Fingerprint]*aggCtx),
@@ -503,6 +511,8 @@ func (s *Server) handle(p *env.Proc, from env.NodeID, msg any) {
 			return
 		}
 	}
+	sp := s.cfg.Trace.StartSpan(p, pkt.Trace, msgName(pkt.Body), "server")
+	defer sp.End()
 	switch b := pkt.Body.(type) {
 	case *wire.LookupReq:
 		s.handleLookup(p, b)
@@ -567,6 +577,78 @@ func (s *Server) handle(p *env.Proc, from env.NodeID, msg any) {
 	}
 }
 
+// msgName labels a handler span after the wire message it serves.
+func msgName(m wire.Msg) string {
+	switch m.(type) {
+	case *wire.LookupReq:
+		return "lookup"
+	case *wire.FileReq:
+		return "file"
+	case *wire.DirReadReq:
+		return "dirread"
+	case *wire.MutateReq:
+		return "mutate"
+	case *wire.CommitAck:
+		return "commit-ack"
+	case *wire.CommitNotice:
+		return "fallback"
+	case *wire.AggFetch:
+		return "agg:fetch"
+	case *wire.AggEntries:
+		return "agg:entries"
+	case *wire.AggAck:
+		return "agg:ack"
+	case *wire.ChangePush:
+		return "push"
+	case *wire.ChangePushAck:
+		return "push-ack"
+	case *wire.RenameReq:
+		return "rename"
+	case *wire.LinkReq:
+		return "link"
+	case *wire.TxnPrepare:
+		return "txn:prepare"
+	case *wire.TxnDecision:
+		return "txn:decision"
+	case *wire.TxnVote:
+		return "txn:vote"
+	case *wire.TxnDone:
+		return "txn:done"
+	}
+	return "ctl"
+}
+
+// tallyDir counts one client operation against its target directory.
+func (s *Server) tallyDir(id core.DirID) {
+	s.mu.Lock()
+	s.dirOps[id]++
+	s.mu.Unlock()
+}
+
+// DirOp is one directory's operation tally.
+type DirOp struct {
+	Dir core.DirID
+	N   uint64
+}
+
+// DirOps returns per-directory op tallies, hottest first (ties broken by
+// directory id — deterministic for the metrics snapshot).
+func (s *Server) DirOps() []DirOp {
+	s.mu.Lock()
+	out := make([]DirOp, 0, len(s.dirOps))
+	for d, n := range s.dirOps {
+		out = append(out, DirOp{Dir: d, N: n})
+	}
+	s.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].N != out[j].N {
+			return out[i].N > out[j].N
+		}
+		return lessDirID(out[i].Dir, out[j].Dir)
+	})
+	return out
+}
+
 // completeCtl finishes a pending control-plane call.
 func (s *Server) completeCtl(ctl uint64, v wire.Msg) {
 	s.mu.Lock()
@@ -612,7 +694,7 @@ func (s *Server) reply(p *env.Proc, to env.NodeID, body wire.Msg) {
 	if s.dead {
 		return
 	}
-	p.Send(to, &wire.Packet{Dst: to, Origin: s.cfg.ID, Body: body})
+	p.Send(to, &wire.Packet{Dst: to, Origin: s.cfg.ID, Trace: p.TraceCtx(), Body: body})
 }
 
 // respCommon stamps a response with the error and fresh invalidation

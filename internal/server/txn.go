@@ -315,6 +315,8 @@ func (s *Server) doLink(p *env.Proc, req *wire.LinkReq) error {
 func (s *Server) runTxn(p *env.Proc, parts []env.NodeID, ops [][]wire.TxnOp,
 	checks [][]wire.TxnCheck, auto bool) error {
 
+	tsp := s.cfg.Trace.Start(p, "txn:run", "server")
+	defer tsp.End()
 	s.mu.Lock()
 	s.nextTxn++
 	id := uint64(s.cfg.ID)<<40 | s.nextTxn
@@ -335,8 +337,10 @@ func (s *Server) runTxn(p *env.Proc, parts []env.NodeID, ops [][]wire.TxnOp,
 
 	// Prepare.
 	prepared := true
+	psp := s.cfg.Trace.Start(p, "txn:prepare", "server")
 	for try := 0; ; try++ {
 		if s.dead {
+			psp.End()
 			return core.ErrTimeout
 		}
 		for i, n := range parts {
@@ -355,6 +359,7 @@ func (s *Server) runTxn(p *env.Proc, parts []env.NodeID, ops [][]wire.TxnOp,
 			break
 		}
 	}
+	psp.End()
 	if auto {
 		// Auto participants apply at prepare time and take no locks — a
 		// given-up prepare leaves nothing to abort.
@@ -399,12 +404,14 @@ func (s *Server) recordCommit(p *env.Proc, id uint64, parts []env.NodeID) {
 	// decision a crash could then erase — one participant committed, the
 	// restarted coordinator presuming abort for the rest. Until the append
 	// lands, queries see txnVotes and answer Pending.
+	wsp := s.cfg.Trace.Start(p, "wal:txn-commit", "server")
 	p.Compute(s.cfg.Costs.WALAppend)
 	payload := u64(nil, id)
 	for _, n := range parts {
 		payload = u64(payload, uint64(n))
 	}
 	lsn := mustAppend(s.wal, recTxnCommit, payload)
+	wsp.End()
 	s.mu.Lock()
 	s.txnDecided[id] = true
 	s.txnWAL[id] = lsn
@@ -429,6 +436,8 @@ func (s *Server) driveDecision(p *env.Proc, id uint64, parts []env.NodeID, commi
 		delete(s.txnDones, id)
 		s.mu.Unlock()
 	}()
+	dsp := s.cfg.Trace.Start(p, "txn:decision", "server")
+	defer dsp.End()
 	for try := 0; ; try++ {
 		if s.dead {
 			return false
@@ -675,8 +684,10 @@ func (s *Server) handleTxnPrepare(p *env.Proc, tp *wire.TxnPrepare) {
 	// transaction (a rename whose delete landed but whose insert vanished
 	// with the crash). Recovery rebuilds the locks, the vote, and the
 	// monitor from this record; the decision marks it applied.
+	wsp := s.cfg.Trace.Start(p, "wal:txn-prepare", "server")
 	p.Compute(c.WALAppend)
 	st.lsn = mustAppend(s.wal, recTxnPrepare, encodeTxnPrepare(tp.Txn, tp.From, tp.Ops))
+	wsp.End()
 	s.mu.Lock()
 	s.txns[tp.Txn] = st
 	s.mu.Unlock()

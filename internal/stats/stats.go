@@ -21,6 +21,12 @@ type Counters struct {
 	// (delivery includes every protocol hop, not just client RPCs).
 	PacketsDelivered uint64 `json:"packets_delivered"`
 	PacketsDropped   uint64 `json:"packets_dropped"`
+	// PerServerOps tallies server-side operation handling by server slot
+	// (index i = the deployment's i-th metadata server). It is the hotspot
+	// signal load-aware rebalancing needs: a skewed workload shows up as a
+	// skewed slice. Rows from systems that do not report per-server tallies
+	// leave it nil; nil and empty compare equal.
+	PerServerOps []uint64 `json:"per_server_ops,omitempty"`
 }
 
 // Add folds another counter set into c.
@@ -29,22 +35,67 @@ func (c *Counters) Add(o Counters) {
 	c.Errs += o.Errs
 	c.PacketsDelivered += o.PacketsDelivered
 	c.PacketsDropped += o.PacketsDropped
+	if len(o.PerServerOps) > len(c.PerServerOps) {
+		grown := make([]uint64, len(o.PerServerOps))
+		copy(grown, c.PerServerOps)
+		c.PerServerOps = grown
+	}
+	for i, v := range o.PerServerOps {
+		c.PerServerOps[i] += v
+	}
 }
 
 // Sub returns c - o component-wise: the delta between two cumulative
 // snapshots (timeline windows bucket a run's counters this way).
 func (c Counters) Sub(o Counters) Counters {
-	return Counters{
+	out := Counters{
 		Ops:              c.Ops - o.Ops,
 		Errs:             c.Errs - o.Errs,
 		PacketsDelivered: c.PacketsDelivered - o.PacketsDelivered,
 		PacketsDropped:   c.PacketsDropped - o.PacketsDropped,
 	}
+	if len(c.PerServerOps) > 0 {
+		out.PerServerOps = make([]uint64, len(c.PerServerOps))
+		copy(out.PerServerOps, c.PerServerOps)
+		for i, v := range o.PerServerOps {
+			if i < len(out.PerServerOps) {
+				out.PerServerOps[i] -= v
+			}
+		}
+	}
+	return out
+}
+
+// Equal reports component-wise equality. PerServerOps compares with
+// zero-fill: nil, empty, and all-zero slices are equivalent, so rows
+// predating the field match rows that report zeros.
+func (c Counters) Equal(o Counters) bool {
+	if c.Ops != o.Ops || c.Errs != o.Errs ||
+		c.PacketsDelivered != o.PacketsDelivered || c.PacketsDropped != o.PacketsDropped {
+		return false
+	}
+	n := len(c.PerServerOps)
+	if len(o.PerServerOps) > n {
+		n = len(o.PerServerOps)
+	}
+	for i := 0; i < n; i++ {
+		var a, b uint64
+		if i < len(c.PerServerOps) {
+			a = c.PerServerOps[i]
+		}
+		if i < len(o.PerServerOps) {
+			b = o.PerServerOps[i]
+		}
+		if a != b {
+			return false
+		}
+	}
+	return true
 }
 
 // IsZero reports an all-zero counter set (a row with no tallied runs).
 func (c Counters) IsZero() bool {
-	return c == Counters{}
+	return c.Equal(Counters{})
 }
 
 // String renders the counters compactly for table footers and logs.
@@ -53,33 +104,64 @@ func (c Counters) String() string {
 		c.Ops, c.Errs, c.PacketsDelivered, c.PacketsDropped)
 }
 
-// Hist is a latency recorder with exact percentiles (samples are retained;
-// figure runs record at most a few hundred thousand points).
+// HistCap bounds the samples a Hist retains. Below the cap every sample is
+// kept and percentiles are exact; beyond it a deterministic reservoir
+// (Algorithm R driven by a fixed-seed LCG — no process randomness, so two
+// same-seed runs retain identical samples) keeps a uniform subset, while
+// N, Mean and the sum stay exact. 64Ki float64s is 512KiB per histogram —
+// what lets the 10⁶-session scale figure record per-op latencies without
+// O(ops) memory.
+const HistCap = 65536
+
+// Hist is a latency recorder: exact counts and mean always, exact
+// percentiles up to HistCap samples, reservoir-estimated beyond.
 type Hist struct {
 	samples []float64
 	sum     float64
+	n       uint64
+	lcg     uint64
 	sorted  bool
 }
 
 // Add records one sample.
 func (h *Hist) Add(v float64) {
-	h.samples = append(h.samples, v)
 	h.sum += v
-	h.sorted = false
+	h.addSample(v)
 }
 
-// N returns the sample count.
-func (h *Hist) N() int { return len(h.samples) }
+// addSample inserts into the bounded reservoir and bumps n, leaving sum to
+// the caller (Merge re-feeds retained samples whose sum is already folded).
+func (h *Hist) addSample(v float64) {
+	h.n++
+	if len(h.samples) < HistCap {
+		h.samples = append(h.samples, v)
+		h.sorted = false
+		return
+	}
+	// Algorithm R: replace a uniformly chosen slot with probability cap/n.
+	h.lcg = h.lcg*6364136223846793005 + 1442695040888963407
+	if j := h.lcg % h.n; j < HistCap {
+		h.samples[j] = v
+		h.sorted = false
+	}
+}
 
-// Mean returns the average, or 0 with no samples.
+// N returns the exact sample count (including reservoir-discarded samples).
+func (h *Hist) N() int { return int(h.n) }
+
+// Retained returns how many samples the reservoir currently holds.
+func (h *Hist) Retained() int { return len(h.samples) }
+
+// Mean returns the exact average, or 0 with no samples.
 func (h *Hist) Mean() float64 {
-	if len(h.samples) == 0 {
+	if h.n == 0 {
 		return 0
 	}
-	return h.sum / float64(len(h.samples))
+	return h.sum / float64(h.n)
 }
 
-// Percentile returns the q-quantile (q in [0,1]) by nearest-rank.
+// Percentile returns the q-quantile (q in [0,1]) by nearest-rank over the
+// retained samples (exact below HistCap).
 func (h *Hist) Percentile(q float64) float64 {
 	if len(h.samples) == 0 {
 		return 0
@@ -98,14 +180,19 @@ func (h *Hist) Percentile(q float64) float64 {
 	return h.samples[i]
 }
 
-// Max returns the largest sample.
+// Max returns the largest retained sample.
 func (h *Hist) Max() float64 { return h.Percentile(1) }
 
-// Merge folds another histogram into this one.
+// Merge folds another histogram into this one: retained samples feed the
+// reservoir; count and sum stay exact even when o itself was capped.
 func (h *Hist) Merge(o *Hist) {
-	h.samples = append(h.samples, o.samples...)
+	for _, v := range o.samples {
+		h.addSample(v)
+	}
+	// addSample counted the retained samples; account for the ones o's own
+	// reservoir discarded so N stays exact, and fold the exact sum.
+	h.n += o.n - uint64(len(o.samples))
 	h.sum += o.sum
-	h.sorted = false
 }
 
 // Summary renders mean/p50/p90/p99 in microseconds for latency histograms

@@ -55,6 +55,14 @@ type Packet struct {
 	Dst env.NodeID
 	// Origin is the node that built the packet.
 	Origin env.NodeID
+	// Trace is the causal tracing context the packet carries: the span the
+	// sender was executing under when it built the packet. Receivers open
+	// their handler spans as children of it, which is what links one client
+	// op's hops — client, switch pipes, servers, WAL, data nodes — into a
+	// single span tree. Zero when tracing is off or the work is untraced;
+	// retransmissions reuse the packet and therefore the SAME context, so a
+	// resent RPC joins its original trace instead of orphaning spans.
+	Trace env.TraceCtx
 	// Body is the DFS request/response.
 	Body Msg
 }
