@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: verify fmt vet build test bench figures lint race detlint determinism-smoke bench-json bench-smoke bench-compare bench-baseline chaos-smoke lincheck-smoke lincheck-sweep scale-smoke trace-smoke
+.PHONY: verify fmt vet build test bench figures lint race detlint detlint-report determinism-smoke bench-json bench-smoke bench-compare bench-baseline chaos-smoke lincheck-smoke lincheck-sweep scale-smoke trace-smoke
 
 verify: fmt vet build test
 
@@ -23,6 +23,14 @@ lint: vet detlint
 detlint:
 	$(GO) build -o bin/detlint ./cmd/detlint
 	$(GO) vet -vettool=$(CURDIR)/bin/detlint ./...
+
+# detlint-report prints the suppression inventory — every //detlint:
+# directive with its location and written reason — and fails if any
+# directive is malformed or reason-less. CI runs it in the detlint job so
+# an unjustified suppression cannot land.
+detlint-report:
+	$(GO) build -o bin/detlint ./cmd/detlint
+	./bin/detlint -report .
 
 # determinism-smoke is the end-to-end meta-check behind the static analyzers:
 # two same-seed fsbench runs with wall-clock stamping off must serialize to

@@ -5,16 +5,39 @@
 //	go vet -vettool=$(pwd)/bin/detlint ./...
 //
 // (which is what `make detlint` and the CI detlint job do), and composes
-// with the standard vet analyzers' build cache. Invoking it directly prints
-// usage; it is not meant to be run standalone.
+// with the standard vet analyzers' build cache.
+//
+// `detlint -report [dir]` instead prints the suppression inventory — every
+// //detlint: directive in the tree with its location and written reason —
+// and exits non-zero if any directive is malformed or reason-less. The CI
+// detlint job runs it (`make detlint-report`) so an unjustified suppression
+// cannot land. Any other direct invocation prints unitchecker usage.
 package main
 
 import (
+	"fmt"
+	"os"
+
 	"golang.org/x/tools/go/analysis/unitchecker"
 
 	"switchfs/internal/detlint"
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "-report" {
+		root := "."
+		if len(os.Args) > 2 {
+			root = os.Args[2]
+		}
+		sups, err := detlint.CollectSuppressions(root)
+		if err == nil {
+			err = detlint.WriteReport(os.Stdout, sups)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 	unitchecker.Main(detlint.Analyzers()...)
 }

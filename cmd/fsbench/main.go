@@ -191,7 +191,7 @@ func main() {
 		GoVersion: runtime.Version(),
 	}
 	if *stampFlag {
-		result.CreatedAt = time.Now().UTC().Format(time.RFC3339)
+		result.CreatedAt = time.Now().UTC().Format(time.RFC3339) //detlint:ignore dettaint -- provenance stamp, only written when -stamp opts out of byte-identical output
 	} else {
 		// Byte-identical-output mode: allocator readings (figure-internal
 		// memory cells and the per-figure bytes/op columns below) are not
@@ -228,12 +228,12 @@ func main() {
 		if !all && !want[entry.id] {
 			continue
 		}
-		start := time.Now()
-		memBefore := stats.ReadMem()
+		start := time.Now()          //detlint:ignore dettaint -- wall-clock telemetry, zeroed below unless -stamp opts out of byte-identical output
+		memBefore := stats.ReadMem() //detlint:ignore dettaint -- allocator telemetry, gated to zero by SetMemAccounting/-stamp in deterministic mode
 		metBefore := reg.Snapshot()
 		tab := figFor(entry.id, entry.fn)(sc)
-		memBytes, memAllocs := stats.ReadMem().AllocDelta(memBefore)
-		wall := time.Since(start).Seconds()
+		memBytes, memAllocs := stats.ReadMem().AllocDelta(memBefore) //detlint:ignore dettaint -- allocator telemetry, gated to zero by SetMemAccounting/-stamp in deterministic mode
+		wall := time.Since(start).Seconds()                          //detlint:ignore dettaint -- wall-clock telemetry, zeroed below unless -stamp opts out of byte-identical output
 		stampedWall := wall
 		if !*stampFlag {
 			stampedWall = 0

@@ -539,6 +539,8 @@ func (s *Server) reply(p *env.Proc, to env.NodeID, body wire.Msg) {
 
 // replayIfDuplicate answers a retransmitted RPC from the dedup cache. A nil
 // cached response marks an execution in progress; the duplicate is dropped.
+//
+//detlint:dedup-check
 func (s *Server) replayIfDuplicate(p *env.Proc, req *wire.ReqCommon) bool {
 	k := dedupKey{client: req.Client, rpc: req.RPC}
 	s.mu.Lock()
@@ -558,6 +560,8 @@ func (s *Server) replayIfDuplicate(p *env.Proc, req *wire.ReqCommon) bool {
 
 // begin marks (client, rpc) in flight so concurrent deliveries of the same
 // RPC execute at most once.
+//
+//detlint:dedup-check
 func (s *Server) begin(req *wire.ReqCommon) bool {
 	k := dedupKey{client: req.Client, rpc: req.RPC}
 	s.mu.Lock()

@@ -22,6 +22,22 @@ type Config struct {
 	// WalPackage is the import path of the write-ahead log; method Append on
 	// its types is the durability root the walorder analyzer traces.
 	WalPackage string `json:"walPackage"`
+	// WirePackage is the import path of the wire message package; its types
+	// are the packet values the sendalias analyzer tracks across Send, and
+	// ReqCommon embedded in a request marks it retransmittable (idempotent).
+	WirePackage string `json:"wirePackage"`
+	// KvPackage is the import path of the key-value store; its Put/Delete
+	// methods are state mutations for the idempotent analyzer.
+	KvPackage string `json:"kvPackage"`
+	// TaintPackages are the packages the dettaint analyzer governs: the sim
+	// packages plus the bench/figure pipeline the rows flow through.
+	TaintPackages []string `json:"taintPackages"`
+	// TaintSources are the nondeterminism source functions ("time.Now",
+	// "switchfs/internal/env.Sim.WorkerCount").
+	TaintSources []string `json:"taintSources"`
+	// TaintSinkTypes are the row/result types nondeterminism must not reach
+	// ("switchfs/internal/bench.Figure").
+	TaintSinkTypes []string `json:"taintSinkTypes"`
 	// SimPackages are the packages whose code is executed under the
 	// deterministic simulator (maprange, wallclock).
 	SimPackages []string `json:"simPackages"`

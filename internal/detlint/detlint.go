@@ -11,6 +11,15 @@
 //     primitives, never raw goroutines, channels or sync parks.
 //   - walorder: annotated protocol decisions are WAL-logged before any
 //     packet carrying them leaves (the PR 3/5 2PC bug class).
+//   - lockpair: sim locks are released on every return path, or the
+//     function declares the handoff (the PR 5 2PC lock-leak class).
+//   - sendalias: packets are never written after they crossed Send (the
+//     PR 8 copy-before-stamp class).
+//   - idempotent: mutating handlers for retransmittable RPCs consult the
+//     dedup cache before their first side effect (the PR 2/4 class).
+//   - dettaint: nondeterminism sources (wall clock, pool internals,
+//     map-order slices) never reach packets, WAL records or bench rows —
+//     maprange generalized across functions and packages via facts.
 //   - detdirective: the suite's own suppressions carry written reasons.
 //
 // The suite runs through cmd/detlint under `go vet -vettool` (make detlint,
@@ -29,6 +38,10 @@ func Analyzers() []*analysis.Analyzer {
 		Wallclock,
 		Rawgo,
 		Walorder,
+		Lockpair,
+		Sendalias,
+		Idempotent,
+		Dettaint,
 		Detdirective,
 	}
 }

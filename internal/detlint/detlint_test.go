@@ -28,6 +28,22 @@ func TestWalorder(t *testing.T) {
 	dtest.Run(t, "testdata/walorder", Walorder, "switchfs/internal/server")
 }
 
+func TestLockpair(t *testing.T) {
+	dtest.Run(t, "testdata/lockpair", Lockpair, "switchfs/internal/server")
+}
+
+func TestSendalias(t *testing.T) {
+	dtest.Run(t, "testdata/sendalias", Sendalias, "switchfs/internal/pswitch")
+}
+
+func TestIdempotent(t *testing.T) {
+	dtest.Run(t, "testdata/idempotent", Idempotent, "switchfs/internal/server")
+}
+
+func TestDettaint(t *testing.T) {
+	dtest.Run(t, "testdata/dettaint", Dettaint, "switchfs/internal/server")
+}
+
 func TestDetdirective(t *testing.T) {
 	dtest.Run(t, "testdata/detdirective", Detdirective, "switchfs/internal/server")
 }

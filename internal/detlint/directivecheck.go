@@ -58,9 +58,27 @@ func checkDirectiveComment(r *reporter, c *ast.Comment, inFuncDoc bool) {
 		}
 		return
 	}
+	if reason, ok := cutDirective(c.Text, directiveLockEscape); ok {
+		if directiveArg(reason) == "" {
+			r.reportf(c.Pos(), "malformed //detlint:lock-escapes: missing reason (want `//detlint:lock-escapes <reason>`)")
+		}
+		if !inFuncDoc {
+			r.reportf(c.Pos(), "//detlint:lock-escapes must be in a function declaration's doc comment")
+		}
+		return
+	}
+	if rest, ok := cutDirective(c.Text, directiveDedupCheck); ok {
+		if directiveArg(rest) != "" {
+			r.reportf(c.Pos(), "malformed //detlint:dedup-check: takes no arguments")
+		}
+		if !inFuncDoc {
+			r.reportf(c.Pos(), "//detlint:dedup-check must be in a function declaration's doc comment")
+		}
+		return
+	}
 	name := c.Text[len(directivePrefix):]
 	if i := strings.IndexAny(name, " \t"); i >= 0 {
 		name = name[:i]
 	}
-	r.reportf(c.Pos(), "unknown detlint directive %q (known: ignore, wal-before-send)", name)
+	r.reportf(c.Pos(), "unknown detlint directive %q (known: ignore, wal-before-send, lock-escapes, dedup-check)", name)
 }

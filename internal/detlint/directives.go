@@ -19,10 +19,23 @@ import (
 //	    On a function declaration: every packet emission in the function
 //	    (or, with via=, every call to the named emitters) must be dominated
 //	    by a WAL append of <record>. Checked by walorder on the CFG.
+//
+//	//detlint:lock-escapes <reason>
+//	    On a function declaration: the function intentionally returns or
+//	    hands off a lock it acquired (lockTxnKeys, Cond.Wait); lockpair
+//	    skips it. The reason is mandatory.
+//
+//	//detlint:dedup-check
+//	    On a function declaration: calling this function consults the
+//	    at-least-once dedup cache (replayIfDuplicate, begin). The
+//	    idempotent analyzer requires such a call before a mutating
+//	    handler's first side effect.
 const (
-	directivePrefix  = "//detlint:"
-	directiveIgnore  = "ignore"
-	directiveWalSend = "wal-before-send"
+	directivePrefix     = "//detlint:"
+	directiveIgnore     = "ignore"
+	directiveWalSend    = "wal-before-send"
+	directiveLockEscape = "lock-escapes"
+	directiveDedupCheck = "dedup-check"
 )
 
 // analyzerNames is the set of valid targets for //detlint:ignore.
@@ -32,6 +45,10 @@ var analyzerNames = map[string]bool{
 	"rawgo":        true,
 	"walorder":     true,
 	"detdirective": true,
+	"lockpair":     true,
+	"sendalias":    true,
+	"idempotent":   true,
+	"dettaint":     true,
 }
 
 // ignoreDirective is one parsed //detlint:ignore comment.
@@ -201,4 +218,44 @@ func funcWalSendDirectives(fn *ast.FuncDecl) []walSendDirective {
 		}
 	}
 	return out
+}
+
+// funcLockEscapes reports whether fn's doc comment carries a lock-escapes
+// annotation. The returned reason may be empty (malformed); detdirective
+// reports that, lockpair still honours the escape so one problem yields one
+// diagnostic.
+func funcLockEscapes(fn *ast.FuncDecl) (reason string, ok bool) {
+	if fn.Doc == nil {
+		return "", false
+	}
+	for _, c := range fn.Doc.List {
+		if rest, found := cutDirective(c.Text, directiveLockEscape); found {
+			return directiveArg(rest), true
+		}
+	}
+	return "", false
+}
+
+// directiveArg trims a directive's argument text, dropping any nested
+// comment (`// …`): a reason cannot contain one, and the dtest suites hang
+// their `// want` markers there.
+func directiveArg(rest string) string {
+	if i := strings.Index(rest, "//"); i >= 0 {
+		rest = rest[:i]
+	}
+	return strings.TrimSpace(rest)
+}
+
+// funcIsDedupCheck reports whether fn's doc comment marks it as a dedup-cache
+// consultation point for the idempotent analyzer.
+func funcIsDedupCheck(fn *ast.FuncDecl) bool {
+	if fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		if _, found := cutDirective(c.Text, directiveDedupCheck); found {
+			return true
+		}
+	}
+	return false
 }

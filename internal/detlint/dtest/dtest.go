@@ -34,7 +34,10 @@ import (
 
 // Run analyzes the package at <testdata>/src/<pkgPath> with a (running its
 // Requires transitively first) and compares the diagnostics against the
-// `// want` expectations in the package's sources.
+// `// want` expectations in the package's sources. Testdata dependency
+// packages are analyzed first against the same fact store, so analyzers
+// with cross-package facts (dettaint) see their dependencies' exports just
+// as they do under go vet; dependency diagnostics are discarded.
 func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgPath string) {
 	t.Helper()
 	l := newLoader(filepath.Join(testdata, "src"))
@@ -42,7 +45,16 @@ func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgPath string) {
 	if err != nil {
 		t.Fatalf("dtest: loading %s: %v", pkgPath, err)
 	}
-	diags, err := execute(l, pi, a)
+	facts := &factStore{}
+	for _, dep := range l.order { // load order is topological
+		if dep == pi || dep.info == nil {
+			continue
+		}
+		if _, err := execute(l, dep, a, facts); err != nil {
+			t.Fatalf("dtest: running %s on dependency %s: %v", a.Name, dep.pkg.Path(), err)
+		}
+	}
+	diags, err := execute(l, pi, a, facts)
 	if err != nil {
 		t.Fatalf("dtest: running %s on %s: %v", a.Name, pkgPath, err)
 	}
@@ -62,6 +74,9 @@ type loader struct {
 	srcDir string
 	std    types.ImporterFrom
 	pkgs   map[string]*pkgInfo
+	// order records testdata packages in completion order: every package
+	// follows its imports (load recurses through the type-checker).
+	order []*pkgInfo
 }
 
 func newLoader(srcDir string) *loader {
@@ -123,6 +138,7 @@ func (l *loader) load(path string) (*pkgInfo, error) {
 	}
 	pi := &pkgInfo{pkg: pkg, files: files, info: info}
 	l.pkgs[path] = pi
+	l.order = append(l.order, pi)
 	return pi, nil
 }
 
@@ -141,12 +157,11 @@ func (l *loader) ImportFrom(path, dir string, mode types.ImportMode) (*types.Pac
 }
 
 // execute runs target and its Requires DAG over one package, returning the
-// target's diagnostics. Facts live in an in-memory store (single-package
-// analysis needs no serialization).
-func execute(l *loader, pi *pkgInfo, target *analysis.Analyzer) ([]analysis.Diagnostic, error) {
+// target's diagnostics. Facts live in the caller's in-memory store, shared
+// across the packages of one Run (no serialization).
+func execute(l *loader, pi *pkgInfo, target *analysis.Analyzer, facts *factStore) ([]analysis.Diagnostic, error) {
 	results := make(map[*analysis.Analyzer]any)
 	visited := make(map[*analysis.Analyzer]bool)
-	facts := &factStore{}
 	var diags []analysis.Diagnostic
 
 	var run func(a *analysis.Analyzer) error

@@ -28,3 +28,24 @@ func wellFormed() {
 	//detlint:ignore maprange,walorder -- a written reason satisfies the policy
 	_ = 0
 }
+
+//detlint:lock-escapes // want `malformed //detlint:lock-escapes: missing reason` `must be in a function declaration's doc comment`
+var e int
+
+//detlint:dedup-check with args // want `malformed //detlint:dedup-check: takes no arguments` `must be in a function declaration's doc comment`
+var g int
+
+// escapes hands its locks to the prepared-transaction record.
+//
+//detlint:lock-escapes locks transfer to the prepared-txn record
+func escapes() {}
+
+// checker consults the at-least-once dedup cache.
+//
+//detlint:dedup-check
+func checker() {}
+
+func misplacedDedup() {
+	//detlint:dedup-check // want `must be in a function declaration's doc comment`
+	_ = 0
+}

@@ -1,0 +1,15 @@
+// Package bench stubs the bench schema: Figure and Result are configured
+// sink types — nondeterminism must not land in their fields.
+package bench
+
+// Figure is a stub figure.
+type Figure struct {
+	Rows        [][]string
+	WallSeconds float64
+}
+
+// Result is a stub per-run result.
+type Result struct {
+	Workers   int
+	CreatedAt int64
+}

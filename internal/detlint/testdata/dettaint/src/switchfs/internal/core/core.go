@@ -1,0 +1,24 @@
+// Package core provides the cross-package half of the dettaint suite: a
+// helper that returns a map snapshot in iteration order exports a
+// taintedResult fact, and one that sorts before returning stays clean.
+package core
+
+import "sort"
+
+// Names returns the map's keys in iteration order: order-tainted, callers
+// must sort before the value reaches a sink.
+func Names(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Sorted returns the keys sorted: the sort cures the order taint, so no
+// fact is exported.
+func Sorted(m map[string]int) []string {
+	out := Names(m)
+	sort.Strings(out)
+	return out
+}

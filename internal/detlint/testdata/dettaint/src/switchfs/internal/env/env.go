@@ -1,0 +1,15 @@
+// Package env stubs the runtime for the dettaint testdata: Proc.Send is the
+// emission sink and Sim.WorkerCount the configured pool-internals source.
+package env
+
+// Proc is a stub of the simulator process handle.
+type Proc struct{}
+
+func (p *Proc) Send(to uint32, msg any) {}
+
+// Sim is a stub of the simulation handle.
+type Sim struct{}
+
+// WorkerCount is the pool high-water mark: scheduler-internal, configured
+// as a nondeterminism source.
+func (s *Sim) WorkerCount() int { return 0 }

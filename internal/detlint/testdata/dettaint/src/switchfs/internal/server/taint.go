@@ -1,0 +1,72 @@
+// Package server exercises dettaint: nondeterminism sources (wall clock,
+// pool internals, map-order slices — including ones built by helpers in
+// other packages, via taintedResult facts) must not reach packet emissions
+// or bench rows unless sorted or declared deterministic at the source.
+package server
+
+import (
+	"sort"
+	"time"
+
+	"switchfs/internal/bench"
+	"switchfs/internal/core"
+	"switchfs/internal/env"
+)
+
+// sendWorkers leaks pool internals into a packet payload.
+func sendWorkers(p *env.Proc, sim *env.Sim) {
+	n := sim.WorkerCount()
+	p.Send(1, n) // want `WorkerCount.* flows into a packet emission`
+}
+
+// sendWorkersDeclared declares the value deterministic at the source: the
+// taint stops there.
+func sendWorkersDeclared(p *env.Proc, sim *env.Sim) {
+	n := sim.WorkerCount() //detlint:ignore dettaint -- pool high-water is deterministic under the token-passing scheduler
+	p.Send(1, n)
+}
+
+// sendNames lets a cross-package order-tainted slice reach a send: maprange
+// generalized beyond one function body.
+func sendNames(p *env.Proc, m map[string]int) {
+	names := core.Names(m)
+	p.Send(1, names) // want `map-iteration order via Names.* flows into a packet emission`
+}
+
+// sendSorted sorts on the caller side before sending: clean.
+func sendSorted(p *env.Proc, m map[string]int) {
+	names := core.Names(m)
+	sort.Strings(names)
+	p.Send(1, names)
+}
+
+// sendPresorted uses the helper that sorted for us: clean.
+func sendPresorted(p *env.Proc, m map[string]int) {
+	p.Send(1, core.Sorted(m))
+}
+
+// sendCount sends only the length, which is order-independent: clean.
+func sendCount(p *env.Proc, m map[string]int) {
+	names := core.Names(m)
+	p.Send(1, len(names))
+}
+
+// stampFigure writes the wall clock into a bench field.
+func stampFigure(fig *bench.Figure) {
+	fig.WallSeconds = float64(time.Now().Unix()) // want `stored into a bench/figure field`
+}
+
+// buildResult stores pool internals into a result literal.
+func buildResult(sim *env.Sim) bench.Result {
+	return bench.Result{Workers: sim.WorkerCount()} // want `stored into a bench/figure literal`
+}
+
+// localNames is the single-function shape: an unsorted map snapshot sent
+// from the same body (what maprange already catches; dettaint agrees).
+func localNames(p *env.Proc, m map[string]int) {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	p.Send(1, out) // want `map-iteration order.* flows into a packet emission`
+}

@@ -1,0 +1,10 @@
+// Package kv stubs the key-value store: Put/Delete are state mutations for
+// the idempotent analyzer's effect lattice.
+package kv
+
+// Store is a stub store.
+type Store struct{}
+
+func (s *Store) Get(key []byte) ([]byte, bool) { return nil, false }
+func (s *Store) Put(key, val []byte) bool      { return false }
+func (s *Store) Delete(key []byte) bool        { return false }

@@ -1,0 +1,82 @@
+// Package server exercises idempotent: a handler for a retransmittable RPC
+// (request embeds wire.ReqCommon) that mutates state must consult the dedup
+// cache — a //detlint:dedup-check helper — before its first side effect.
+// The canonical positive case is the PR 4 shape: a duplicate request
+// re-executing the mutation after the first execution already replied.
+package server
+
+import (
+	"switchfs/internal/env"
+	"switchfs/internal/kv"
+	"switchfs/internal/wal"
+	"switchfs/internal/wire"
+)
+
+const recInode = uint8(1)
+
+type Server struct {
+	wal   *wal.Log
+	kv    *kv.Store
+	dedup map[uint64]*wire.MutateResp
+	store map[string]int
+	tally map[string]int
+}
+
+// replayIfDuplicate replies the cached response for a duplicate RPC.
+//
+//detlint:dedup-check
+func (s *Server) replayIfDuplicate(p *env.Proc, rc *wire.ReqCommon) bool {
+	if resp, ok := s.dedup[rc.RPC]; ok {
+		p.Send(env.NodeID(rc.Client), resp)
+		return true
+	}
+	return false
+}
+
+// handleMutate checks before any effect: clean.
+func (s *Server) handleMutate(p *env.Proc, req *wire.MutateReq) {
+	if s.replayIfDuplicate(p, &req.ReqCommon) {
+		return
+	}
+	s.wal.Append(recInode, nil)
+	s.kv.Put([]byte(req.Name), nil)
+	p.Send(env.NodeID(req.Client), &wire.MutateResp{OK: true})
+}
+
+// handleChmod appends to the WAL before the check: a retransmitted chmod
+// re-executes the append (the PR 4 re-execution shape).
+func (s *Server) handleChmod(p *env.Proc, req *wire.MutateReq) {
+	s.wal.Append(recInode, nil) // want `side effect reachable before the dedup-cache check`
+	if s.replayIfDuplicate(p, &req.ReqCommon) {
+		return
+	}
+	p.Send(env.NodeID(req.Client), &wire.MutateResp{OK: true})
+}
+
+// handleWrite mutates receiver state and never consults the cache at all.
+func (s *Server) handleWrite(p *env.Proc, req *wire.MutateReq) { // want `never consults the dedup cache`
+	s.store[req.Name] = 1
+	p.Send(env.NodeID(req.Client), &wire.MutateResp{OK: true})
+}
+
+// handleStat is read-only — replying twice with the same answer is harmless
+// — and the commutative tally does not make it mutating: clean, no check
+// required.
+func (s *Server) handleStat(p *env.Proc, req *wire.StatReq) {
+	s.tally[req.Name]++
+	p.Send(env.NodeID(req.Client), &wire.MutateResp{OK: true})
+}
+
+// handleLink reaches its mutation through a helper: the effect lattice sees
+// through commit.
+func (s *Server) handleLink(p *env.Proc, req *wire.MutateReq) {
+	s.commit(req.Name) // want `side effect reachable before the dedup-cache check`
+	if s.replayIfDuplicate(p, &req.ReqCommon) {
+		return
+	}
+	p.Send(env.NodeID(req.Client), &wire.MutateResp{OK: true})
+}
+
+func (s *Server) commit(name string) {
+	s.store[name] = 1
+}

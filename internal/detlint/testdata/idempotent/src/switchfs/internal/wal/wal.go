@@ -1,0 +1,11 @@
+// Package wal stubs the write-ahead log: Append is a state mutation for the
+// idempotent analyzer's effect lattice.
+package wal
+
+// LSN is a log sequence number.
+type LSN uint64
+
+// Log is a stub log.
+type Log struct{}
+
+func (l *Log) Append(kind uint8, payload []byte) (LSN, error) { return 0, nil }

@@ -1,0 +1,25 @@
+// Package wire stubs the message package for the idempotent testdata: a
+// request struct embedding ReqCommon is retransmittable, and handlers for
+// it must consult the dedup cache before their first side effect.
+package wire
+
+// ReqCommon carries the fields every retransmittable client request shares.
+type ReqCommon struct {
+	RPC    uint64
+	Client uint32
+}
+
+// MutateReq is a stub mutating request.
+type MutateReq struct {
+	ReqCommon
+	Name string
+}
+
+// StatReq is a stub read-only request.
+type StatReq struct {
+	ReqCommon
+	Name string
+}
+
+// MutateResp is a stub response body.
+type MutateResp struct{ OK bool }

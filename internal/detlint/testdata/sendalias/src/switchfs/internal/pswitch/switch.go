@@ -1,0 +1,77 @@
+// Package pswitch exercises sendalias: once a packet has crossed Send it is
+// owned by the simulator (the switch may forward it, a retransmission may
+// re-deliver it), so writing to it afterwards is the PR 8 copy-before-stamp
+// bug class. The discipline is out := *pkt; mutate out; send &out.
+package pswitch
+
+import (
+	"switchfs/internal/env"
+	"switchfs/internal/wire"
+)
+
+// forwardThenStamp mutates the packet after forwarding it.
+func forwardThenStamp(p *env.Proc, pkt *wire.Packet) {
+	p.Send(pkt.Dst, pkt)
+	pkt.Trace = 7 // want `write to a packet that was already passed to Send`
+}
+
+// copyThenStamp follows the discipline: clean.
+func copyThenStamp(p *env.Proc, pkt *wire.Packet) {
+	out := *pkt
+	out.Trace = 7
+	p.Send(out.Dst, &out)
+}
+
+// retryMutate stamps the packet between retransmissions: the receiver of
+// the first delivery and the in-flight second copy diverge (PR 2 shape).
+func retryMutate(p *env.Proc, pkt *wire.Packet, tries int) {
+	for i := 0; i < tries; i++ {
+		p.Send(pkt.Dst, pkt)
+		pkt.Seq++ // want `write to a packet that was already passed to Send`
+	}
+}
+
+// retryResend builds once and resends unchanged (the asyncCommit shape):
+// clean across the back edge.
+func retryResend(p *env.Proc, dst uint32, tries int) {
+	pkt := &wire.Packet{Dst: dst}
+	for i := 0; i < tries; i++ {
+		p.Send(pkt.Dst, pkt)
+	}
+}
+
+// rebind replaces the whole variable with a fresh packet: the mark clears.
+func rebind(p *env.Proc, pkt *wire.Packet) {
+	p.Send(pkt.Dst, pkt)
+	pkt = &wire.Packet{Dst: 1}
+	pkt.Seq = 1
+	p.Send(pkt.Dst, pkt)
+}
+
+// queryReply is the DSQuery reply buffer: the wire value lives inside a
+// switch-local struct, so marking follows the argument's wire type.
+type queryReply struct {
+	pkt wire.Packet
+	hdr wire.DSHeader
+}
+
+// aliasThroughStruct stamps before the send (clean) and then writes the
+// embedded packet after it left (diagnostic).
+func aliasThroughStruct(p *env.Proc, in *wire.Packet) {
+	out := queryReply{pkt: *in, hdr: *in.DS}
+	out.hdr.Ret = 1
+	p.Send(out.pkt.Dst, &out.pkt)
+	out.pkt.Trace = 9 // want `write to a packet that was already passed to Send`
+}
+
+// reply is a sendish wrapper: passing a packet to it marks the packet just
+// like a direct Send.
+func reply(p *env.Proc, pkt *wire.Packet) {
+	p.Send(pkt.Dst, pkt)
+}
+
+// viaWrapper mutates after the wrapper sent the packet.
+func viaWrapper(p *env.Proc, pkt *wire.Packet) {
+	reply(p, pkt)
+	pkt.Seq = 2 // want `write to a packet that was already passed to Send`
+}

@@ -1,0 +1,27 @@
+// Package wire stubs the message package for the sendalias testdata: any
+// type declared at this import path is a wire value the analyzer tracks
+// across Send.
+package wire
+
+// DSHeader is a stub in-packet header.
+type DSHeader struct {
+	Ret uint32
+}
+
+// Packet is the stub wire packet.
+type Packet struct {
+	Dst   uint32
+	Seq   uint64
+	Trace uint64
+	DS    *DSHeader
+}
+
+// Msg is the stub message interface.
+type Msg interface{ msg() }
+
+// MutateResp is a stub response body.
+type MutateResp struct {
+	Seq uint64
+}
+
+func (*MutateResp) msg() {}

@@ -195,6 +195,8 @@ type Cond struct {
 }
 
 // Wait atomically releases m, blocks p, and re-acquires m before returning.
+//
+//detlint:lock-escapes the condition-variable contract returns with m re-acquired; the caller releases it
 func (c *Cond) Wait(p *Proc, m *Mutex) {
 	c.mu.Lock()
 	c.q = append(c.q, p)

@@ -89,10 +89,10 @@ func scaleCell(seed int64, clients, entries int) ([]string, stats.Counters) {
 	var nsBytesPerEntry float64
 	if memAccounting {
 		runtime.GC()
-		before := stats.ReadMem()
+		before := stats.ReadMem() //detlint:ignore dettaint -- allocator cells are telemetry, gated off by SetMemAccounting in byte-identical mode
 		ns.Preload(sys)
 		runtime.GC()
-		after := stats.ReadMem()
+		after := stats.ReadMem() //detlint:ignore dettaint -- allocator cells are telemetry, gated off by SetMemAccounting in byte-identical mode
 		if after.HeapAlloc > before.HeapAlloc {
 			nsBytesPerEntry = float64(after.HeapAlloc-before.HeapAlloc) / float64(entries)
 		}
@@ -100,7 +100,7 @@ func scaleCell(seed int64, clients, entries int) ([]string, stats.Counters) {
 		ns.Preload(sys)
 	}
 
-	before := stats.ReadMem()
+	before := stats.ReadMem() //detlint:ignore dettaint -- allocator cells are telemetry, gated off by SetMemAccounting in byte-identical mode
 	res := workload.RunOpen(sim, sys, workload.OpenCfg{
 		Sessions:      clients,
 		OpsPerSession: opsPerSession,
@@ -111,7 +111,7 @@ func scaleCell(seed int64, clients, entries int) ([]string, stats.Counters) {
 	})
 	var bytesOp, allocsOp float64
 	if memAccounting {
-		db, da := stats.ReadMem().AllocDelta(before)
+		db, da := stats.ReadMem().AllocDelta(before) //detlint:ignore dettaint -- allocator cells are telemetry, gated off by SetMemAccounting in byte-identical mode
 		bytesOp = stats.PerOp(db, uint64(res.Ops))
 		allocsOp = stats.PerOp(da, uint64(res.Ops))
 	}

@@ -110,6 +110,10 @@ func (s *Server) waitAggIdle(p *env.Proc, fp core.Fingerprint) bool {
 	return ok
 }
 
+// runAggregation drives one aggregation of a fingerprint group: lock the
+// local change-logs, fetch the peers' entries, apply, and release.
+//
+//detlint:lock-escapes the change-log locks are held for the life of the aggregation (dl.heldBy = id) and released inline after apply; the s.dead returns abandon them with the fail-stopped incarnation, whose volatile state Restart discards
 func (s *Server) runAggregation(p *env.Proc, fp core.Fingerprint, opts *aggOpts) bool {
 	asp := s.cfg.Trace.Start(p, "agg:run", "server")
 	defer asp.End()
@@ -362,6 +366,8 @@ func (s *Server) rememberAggAcks(id uint64, acks map[env.NodeID]*wire.AggAck) {
 // handleAggFetch runs on every non-owner server: lock the group's
 // change-logs, snapshot, and stream the entries to the owner, retrying until
 // acknowledged (§5.2.2 step 6).
+//
+//detlint:lock-escapes the snapshotted change-log locks transfer to peerAggState.locked (dl.heldBy = f.AggID) and are released by finishPeerAgg on ack or give-up
 func (s *Server) handleAggFetch(p *env.Proc, f *wire.AggFetch) {
 	p.Compute(s.cfg.Costs.Parse)
 	if f.Rmdir {

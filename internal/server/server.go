@@ -517,7 +517,11 @@ func (s *Server) handle(p *env.Proc, from env.NodeID, msg any) {
 	case *wire.LookupReq:
 		s.handleLookup(p, b)
 	case *wire.FileReq:
-		s.handleFile(p, b)
+		if b.Op == core.OpChmod {
+			s.handleChmod(p, b)
+		} else {
+			s.handleFile(p, b)
+		}
 	case *wire.DirReadReq:
 		s.handleDirRead(p, pkt, b)
 	case *wire.MutateReq:
@@ -763,6 +767,8 @@ func (s *Server) remember(client env.NodeID, rpc uint64, resp wire.Msg) {
 // replayIfDuplicate replies with the cached response when (client, rpc) was
 // already executed. inFlight reports an execution still in progress, in
 // which case the duplicate is dropped (the original will answer).
+//
+//detlint:dedup-check
 func (s *Server) replayIfDuplicate(p *env.Proc, req *wire.ReqCommon) bool {
 	k := dedupKey{client: req.Client, rpc: req.RPC}
 	s.mu.Lock()
@@ -779,6 +785,8 @@ func (s *Server) replayIfDuplicate(p *env.Proc, req *wire.ReqCommon) bool {
 
 // begin marks (client, rpc) as in progress so retransmissions do not
 // re-execute a mutation concurrently.
+//
+//detlint:dedup-check
 func (s *Server) begin(req *wire.ReqCommon) bool {
 	k := dedupKey{client: req.Client, rpc: req.RPC}
 	s.mu.Lock()

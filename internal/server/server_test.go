@@ -219,3 +219,51 @@ func TestFileAttrKeyIsolated(t *testing.T) {
 	}
 	_ = fmt.Sprint(k)
 }
+
+// TestDuplicateChmodNotReexecuted pins the PR 2/4 re-execution fix: chmod
+// runs behind the dedup cache (handleChmod), so a retransmitted chmod that
+// arrives after a newer chmod committed replays its cached response instead
+// of re-executing. Before the split out of handleFile, the duplicate
+// re-appended the WAL record and snapped the permissions back to the stale
+// value (caught by detlint idempotent).
+func TestDuplicateChmodNotReexecuted(t *testing.T) {
+	sim, s := newTestServer(t)
+	parent := core.DirRef{ID: core.DirID{1, 2, 3, 4},
+		Key: core.Key{PID: core.RootDirID, Name: "p"}}
+	parent.FP = parent.Key.Fingerprint()
+	key := core.Key{PID: parent.ID, Name: "f"}
+	in := &core.Inode{Attr: core.Attr{Type: core.TypeRegular, Perm: 0o644, Nlink: 1}}
+	s.kv.Put(key.Encode(), core.EncodeInode(in))
+
+	perm := func() core.Perm {
+		raw, ok := s.kv.GetView(key.Encode())
+		if !ok {
+			t.Fatal("inode missing")
+		}
+		got, err := core.DecodeInode(raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return got.Perm
+	}
+	chmod := func(rpc uint64, pm core.Perm) *wire.FileReq {
+		return &wire.FileReq{ReqCommon: wire.ReqCommon{RPC: rpc, Client: 9000},
+			Op: core.OpChmod, Parent: parent, Name: "f", Perm: pm}
+	}
+
+	var walAfterNewer int
+	sim.Spawn(100, func(p *env.Proc) {
+		s.handleChmod(p, chmod(1, 0o600)) // original executes and commits
+		s.handleChmod(p, chmod(2, 0o700)) // a newer chmod commits after it
+		walAfterNewer = s.wal.Len()
+		s.handleChmod(p, chmod(1, 0o600)) // stale retransmission of rpc 1
+	})
+	sim.Run()
+
+	if got := perm(); got != 0o700 {
+		t.Fatalf("stale duplicate chmod clobbered newer perm: got %o, want 700", got)
+	}
+	if got := s.wal.Len(); got != walAfterNewer {
+		t.Fatalf("duplicate chmod re-appended WAL records: %d -> %d", walAfterNewer, got)
+	}
+}

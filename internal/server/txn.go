@@ -701,6 +701,8 @@ func (s *Server) handleTxnPrepare(p *env.Proc, tp *wire.TxnPrepare) {
 // lockTxnKeys collects, orders (global key order — defense in depth against
 // lock cycles between transactions) and acquires the locks a prepared
 // transaction holds until its decision.
+//
+//detlint:lock-escapes the acquired key locks are returned to the caller and held in the prepared-txn record until handleTxnDecision releases them
 func (s *Server) lockTxnKeys(p *env.Proc, ops []wire.TxnOp, checks []wire.TxnCheck) []*env.RWMutex {
 	type lk struct {
 		key  core.Key

@@ -126,6 +126,6 @@ func RunOpen(sim *env.Sim, sys fsapi.System, cfg OpenCfg) OpenResult {
 	}
 	res.Elapsed = end - start
 	res.Drained = drainedAt - start
-	res.Workers = sim.WorkerCount()
+	res.Workers = sim.WorkerCount() //detlint:ignore dettaint -- pool high-water is a pure function of the seed under the token-passing scheduler (trace-smoke gates it)
 	return res
 }
