@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: verify fmt vet build test bench figures lint race detlint detlint-report determinism-smoke bench-json bench-smoke bench-compare bench-baseline chaos-smoke lincheck-smoke lincheck-sweep scale-smoke trace-smoke
+.PHONY: verify fmt vet build test bench figures lint race detlint detlint-report determinism-smoke bench-json bench-smoke bench-compare bench-baseline chaos-smoke rebalance-smoke lincheck-smoke lincheck-sweep scale-smoke trace-smoke
 
 verify: fmt vet build test
 
@@ -91,11 +91,11 @@ scale-smoke:
 # recorded in (and gated against) the committed trajectory; the trace file
 # itself is a byproduct and discarded.
 bench-compare:
-	$(GO) run ./cmd/fsbench -fig 12a,14,chaos,data,lincheck,scale -scale tiny -trace trace-compare.json -compare bench/baseline.json
+	$(GO) run ./cmd/fsbench -fig 12a,14,chaos,rebalance,data,lincheck,scale -scale tiny -trace trace-compare.json -compare bench/baseline.json
 	@rm -f trace-compare.json
 
 bench-baseline:
-	$(GO) run ./cmd/fsbench -fig 12a,14,chaos,data,lincheck,scale -scale tiny -trace trace-baseline.json -format json -out bench/baseline.json
+	$(GO) run ./cmd/fsbench -fig 12a,14,chaos,rebalance,data,lincheck,scale -scale tiny -trace trace-baseline.json -format json -out bench/baseline.json
 	$(GO) run ./cmd/fsbench -validate bench/baseline.json
 	@rm -f trace-baseline.json
 
@@ -108,6 +108,15 @@ bench-baseline:
 chaos-smoke:
 	$(GO) run ./cmd/fsbench -fig chaos -scale tiny -seed 7 -format json -out chaos.json
 	$(GO) run ./cmd/fsbench -fig chaos -scale tiny -seed 7 -compare chaos.json
+
+# rebalance-smoke runs the live-migration availability harness twice with one
+# seed: run 1 fails if any pure-migration window with traffic has zero
+# successful ops (stop-the-world regression), if a plan migrates nothing, or
+# on any checker violation; run 2 re-generates and diffs cell-by-cell with
+# counter checking so any nondeterminism fails too.
+rebalance-smoke:
+	$(GO) run ./cmd/fsbench -fig rebalance -scale tiny -seed 7 -format json -out rebalance.json
+	$(GO) run ./cmd/fsbench -fig rebalance -scale tiny -seed 7 -compare rebalance.json
 
 # lincheck-smoke runs the linearizability + differential-model checker over a
 # bounded seed range (sequential diffs vs the baseline, concurrent histories

@@ -11,10 +11,14 @@
 //	fsbench -validate BENCH_12a_14.json
 //
 // Figure ids: 2a 2b 2c 2d 12a 12b 13 14 overflow 15a 15b 16 17 18a 18b 19
-// recovery chaos data lincheck scale. Scales: tiny, quick, paper (paper
-// takes minutes per figure). The chaos figure runs the fault-plan availability
-// harness; -seed selects its random plan (and simulation seeds), and any
-// checker violation aborts the run non-zero. The data figure benchmarks the
+// recovery chaos rebalance data lincheck scale. Scales: tiny, quick, paper
+// (paper takes minutes per figure). The chaos figure runs the fault-plan
+// availability harness; -seed selects its random plan (and simulation seeds),
+// and any checker violation aborts the run non-zero. The rebalance figure
+// drives a skewed workload while the hot-directory balancer and a live
+// Reconfigure migrate fingerprint groups; a traffic window with zero
+// successful ops during pure migration, a plan that moves nothing, or any
+// checker violation aborts it. The data figure benchmarks the
 // replicated striped data plane and its crash recovery; a lost acknowledged
 // content write aborts it the same way. The lincheck figure sweeps seeds
 // through the linearizability + differential-model checker (sequential
@@ -75,6 +79,7 @@ var registry = []struct {
 	{"19", figures.Fig19},
 	{"recovery", figures.Recovery},
 	{"chaos", figures.FigChaos},
+	{"rebalance", figures.FigRebalance},
 	{"data", figures.FigData},
 	{"lincheck", figures.FigLincheck},
 	{"scale", figures.FigScale},
@@ -215,6 +220,8 @@ func main() {
 		switch id {
 		case "chaos":
 			return func(sc figures.Scale) figures.Table { return figures.FigChaosSeed(sc, *seedFlag) }
+		case "rebalance":
+			return func(sc figures.Scale) figures.Table { return figures.FigRebalanceSeed(sc, *seedFlag) }
 		case "data":
 			return func(sc figures.Scale) figures.Table { return figures.FigDataSeed(sc, *seedFlag) }
 		case "lincheck":

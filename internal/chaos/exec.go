@@ -153,6 +153,8 @@ func (inj *Injector) exec(ev Event) {
 		if ev.NewServers > 0 {
 			inj.track(fmt.Sprintf("reconfigure to %d", ev.NewServers), c.Reconfigure(ev.NewServers))
 		}
+	case KindRebalance:
+		inj.track("rebalance", c.Rebalance())
 	case KindCrashDataNode:
 		if ev.Data >= 0 && ev.Data < len(c.DataServers) && !c.DataServers[ev.Data].Node().Down() {
 			c.CrashDataNode(ev.Data)

@@ -28,6 +28,13 @@ type Options struct {
 	NamesPerDir int
 	// Seed drives the workload mix (the simulation has its own seed).
 	Seed int64
+	// Skewed picks every worker directory's name so its fingerprint group
+	// starts on server SkewServer: all directory-group traffic (statdir,
+	// readdir, change-log pushes, aggregations) concentrates there — the
+	// hot-spot workload the rebalance scenarios need. Per-directory
+	// histories stay sequential, so the oracle stays exact.
+	Skewed     bool
+	SkewServer int
 }
 
 func (o *Options) defaults() {
@@ -105,7 +112,20 @@ func Run(sim *env.Sim, c *cluster.Cluster, plan Plan, o Options) *Report {
 	// to the oracle before any fault fires.
 	dirs := make([]string, o.Workers)
 	for w := range dirs {
-		dirs[w] = fmt.Sprintf("/cw%03d", w)
+		name := fmt.Sprintf("cw%03d", w)
+		if o.Skewed {
+			// Scan candidate names until one's root-child fingerprint group
+			// is owned by the skew target (deterministic: the initial ring
+			// is a pure function of the geometry).
+			for i := 0; ; i++ {
+				cand := fmt.Sprintf("hw%03d-%d", w, i)
+				if int(c.Ring.OwnerOfFile(core.RootDirID, cand)) == o.SkewServer {
+					name = cand
+					break
+				}
+			}
+		}
+		dirs[w] = "/" + name
 		rep.Checker.RegisterDir(dirs[w])
 	}
 	var preloadErr error
@@ -195,6 +215,22 @@ func Run(sim *env.Sim, c *cluster.Cluster, plan Plan, o Options) *Report {
 				path := dir + "/" + name
 				t0 := p.Now()
 				op := rnd.Intn(opSpace)
+				if o.Skewed && op < 10 {
+					// Skewed mix: mostly directory-group operations (statdir,
+					// readdir), which route to the worker dir's owner — the
+					// heat signal the balancer acts on. 3:1:3:3
+					// create:delete:statdir:readdir.
+					switch {
+					case op <= 2:
+						op = 0 // create
+					case op == 3:
+						op = 4 // delete
+					case op <= 6:
+						op = 8 // statdir
+					default:
+						op = 9 // readdir
+					}
+				}
 				if op >= 10 {
 					chunk := wire.ChunkKey{File: chunkFile, Stripe: uint32(rnd.Intn(4))}
 					node := c.DataNodes[datanode.PrimarySlot(chunk, dataNodes)]

@@ -57,13 +57,19 @@ const (
 	// KindRecoverDataNode restarts a crashed data node and re-replicates
 	// its stripes from the peers before it serves again.
 	KindRecoverDataNode
+	// KindRebalance runs one hot-directory balancer pass (§5.5): if the
+	// per-server load spread warrants it, the hottest fingerprint group
+	// migrates off the most-loaded server through the live gate-and-drain
+	// protocol — scheduled like any fault so plans can race it against
+	// crashes and partitions.
+	KindRebalance
 )
 
 var kindNames = [...]string{
 	"crash-server", "recover-server", "crash-switch", "recover-switch",
 	"partition", "link-fault", "heal", "degrade-server", "restore-server",
 	"slow-switch", "restore-switch", "reconfigure",
-	"crash-datanode", "recover-datanode",
+	"crash-datanode", "recover-datanode", "rebalance",
 }
 
 func (k Kind) String() string {
@@ -187,6 +193,8 @@ func (e Event) String() string {
 		return fmt.Sprintf("%s  %-14s switch %d", at, e.Kind, e.Switch)
 	case KindReconfigure:
 		return fmt.Sprintf("%s  %-14s to %d servers", at, e.Kind, e.NewServers)
+	case KindRebalance:
+		return fmt.Sprintf("%s  %-14s balancer pass", at, e.Kind)
 	default:
 		return fmt.Sprintf("%s  %s", at, e.Kind)
 	}
@@ -359,6 +367,11 @@ func RestoreSwitch(at env.Duration, i int) Event {
 // Reconfigure resizes the cluster to n servers at offset at.
 func Reconfigure(at env.Duration, n int) Event {
 	return Event{At: at, Kind: KindReconfigure, NewServers: n}
+}
+
+// RebalancePass runs one hot-directory balancer pass at offset at.
+func RebalancePass(at env.Duration) Event {
+	return Event{At: at, Kind: KindRebalance}
 }
 
 // CrashDataNode fail-stops data node i at offset at.

@@ -10,6 +10,7 @@ import (
 
 	"switchfs/internal/core"
 	"switchfs/internal/env"
+	"switchfs/internal/ring"
 	"switchfs/internal/server"
 	"switchfs/internal/trace"
 	"switchfs/internal/wire"
@@ -17,9 +18,12 @@ import (
 
 // Config parameterizes a client.
 type Config struct {
-	ID        env.NodeID
-	Placement *core.Placement
-	ServerOf  func(uint32) env.NodeID
+	ID env.NodeID
+	// Ring is the shared versioned placement ring; a control-plane override
+	// (directory migration) re-routes this client's next attempt without any
+	// client-side notification — the ErrRetry from the old owner re-resolves
+	// against the updated ring.
+	Ring      *ring.Ring
 	SwitchFor func(core.Fingerprint) env.NodeID
 	// Coordinator handles rename and link.
 	Coordinator env.NodeID
@@ -205,9 +209,10 @@ func underPath(path, prefix string) bool {
 	return len(path) > len(prefix) && path[:len(prefix)] == prefix && path[len(prefix)] == '/'
 }
 
-// ownerOfFP maps a fingerprint to its owner server node.
+// ownerOfFP maps a fingerprint to its owner server node under the current
+// ring (migration overrides included).
 func (c *Client) ownerOfFP(fp core.Fingerprint) env.NodeID {
-	return c.cfg.ServerOf(c.cfg.Placement.OwnerOfFingerprint(fp))
+	return c.cfg.Ring.OwnerNode(fp)
 }
 
 // call sends one request and waits for its response, retransmitting on

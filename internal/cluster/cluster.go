@@ -13,6 +13,7 @@ import (
 	"switchfs/internal/env"
 	"switchfs/internal/metrics"
 	"switchfs/internal/pswitch"
+	"switchfs/internal/ring"
 	"switchfs/internal/server"
 	"switchfs/internal/trace"
 	"switchfs/internal/wal"
@@ -99,9 +100,11 @@ func (o *Options) Defaults() {
 
 // Cluster is a wired deployment.
 type Cluster struct {
-	Env       env.Env
-	Opts      Options
-	Placement *core.Placement
+	Env  env.Env
+	Opts Options
+	// Ring is the shared versioned placement ring every server and client
+	// consults; migration and reconfiguration drive it (overrides, resets).
+	Ring      *ring.Ring
 	Servers   []*server.Server
 	Switches  []*pswitch.Switch
 	Clients   []*client.Client
@@ -114,8 +117,15 @@ type Cluster struct {
 	// a chunk's whole replica set may be gone at once.
 	dataDown int
 	// reconfiguring marks an in-flight Reconfigure; a concurrently
-	// recovering server must not resume serving until step 4 does it.
+	// recovering server must not resume serving until it finishes.
 	reconfiguring bool
+	// maxServers is the widest the server set has ever been: metrics and
+	// PerServerOps emit this many slot-indexed rows so a shrink zeroes a
+	// removed slot's row instead of silently dropping it (-compare would
+	// report ROW-GONE where an explicit zero is the truthful shape).
+	maxServers int
+	// moves counts completed directory migrations (rebalance + reconfigure).
+	moves uint64
 }
 
 // ServerOf maps a placement slot to a node id.
@@ -138,7 +148,8 @@ func NewWithModes(e env.Env, opts Options) *Cluster {
 	for i := range slots {
 		slots[i] = uint32(i)
 	}
-	c.Placement = core.NewPlacement(slots, 0)
+	c.Ring = ring.New(slots, 0, ServerOf)
+	c.maxServers = opts.Servers
 
 	peers := make([]env.NodeID, opts.Servers)
 	for i := range peers {
@@ -171,7 +182,7 @@ func NewWithModes(e env.Env, opts Options) *Cluster {
 		switchFor = func(core.Fingerprint) env.NodeID { return trackerNode }
 	case server.TrackerOwner:
 		switchFor = func(fp core.Fingerprint) env.NodeID {
-			return ServerOf(c.Placement.OwnerOfFingerprint(fp))
+			return c.Ring.OwnerNode(fp)
 		}
 	default:
 		for i := 0; i < opts.Switches; i++ {
@@ -206,8 +217,7 @@ func NewWithModes(e env.Env, opts Options) *Cluster {
 			ID:           ServerOf(uint32(i)),
 			Cores:        opts.CoresPerServer,
 			Costs:        opts.Costs,
-			Placement:    c.Placement,
-			ServerOf:     ServerOf,
+			Ring:         c.Ring,
 			Peers:        peers,
 			SwitchFor:    switchFor,
 			Coordinator:  ServerOf(0),
@@ -229,8 +239,7 @@ func NewWithModes(e env.Env, opts Options) *Cluster {
 	for i := 0; i < opts.Clients; i++ {
 		cl := client.New(e, client.Config{
 			ID:           clientBase + env.NodeID(i),
-			Placement:    c.Placement,
-			ServerOf:     ServerOf,
+			Ring:         c.Ring,
 			SwitchFor:    switchFor,
 			Coordinator:  ServerOf(0),
 			Tracker:      opts.Tracker,
@@ -294,9 +303,11 @@ func (c *Cluster) SlowSwitch(i int, d env.Duration) { c.Switches[i].SetExtraDela
 
 // PerServerOps returns each metadata server's executed-op count, indexed by
 // server number. The sum is deterministic under Sim; figures carry it as a
-// load-balance signal.
+// load-balance signal. The slice length is the widest the server set has
+// ever been: a slot removed by a shrink keeps its row at zero, so bench
+// tables keep a stable shape across reconfigurations.
 func (c *Cluster) PerServerOps() []uint64 {
-	out := make([]uint64, len(c.Servers))
+	out := make([]uint64, c.maxServers)
 	for i, s := range c.Servers {
 		out[i] = s.Stats.Ops
 	}
@@ -316,17 +327,26 @@ func (c *Cluster) FillMetrics(reg *metrics.Registry) {
 	if reg == nil {
 		return
 	}
-	for i, s := range c.Servers {
+	// Slot-indexed over the widest-ever server set: a shrink leaves the
+	// removed slot's counters at explicit zeros rather than dropping the
+	// rows (-compare's shape gate reads a missing key as ROW-GONE).
+	for i := 0; i < c.maxServers; i++ {
 		pre := fmt.Sprintf("server.%d.", i)
-		reg.Add(pre+"ops", s.Stats.Ops)
-		reg.Add(pre+"async_commits", s.Stats.AsyncCommits)
-		reg.Add(pre+"sync_commits", s.Stats.SyncCommits)
-		reg.Add(pre+"fallbacks", s.Stats.Fallbacks)
-		reg.Add(pre+"aggregations", s.Stats.Aggregations)
-		reg.Add(pre+"agg_entries", s.Stats.AggEntries)
-		reg.Add(pre+"pushes", s.Stats.Pushes)
-		reg.Add(pre+"retries", s.Stats.Retries)
-		for rank, d := range s.DirOps() {
+		var st server.Stats
+		var dirs []server.DirOp
+		if i < len(c.Servers) {
+			st = c.Servers[i].Stats
+			dirs = c.Servers[i].DirOps()
+		}
+		reg.Add(pre+"ops", st.Ops)
+		reg.Add(pre+"async_commits", st.AsyncCommits)
+		reg.Add(pre+"sync_commits", st.SyncCommits)
+		reg.Add(pre+"fallbacks", st.Fallbacks)
+		reg.Add(pre+"aggregations", st.Aggregations)
+		reg.Add(pre+"agg_entries", st.AggEntries)
+		reg.Add(pre+"pushes", st.Pushes)
+		reg.Add(pre+"retries", st.Retries)
+		for rank, d := range dirs {
 			if rank >= metricsTopDirs {
 				break
 			}
@@ -442,7 +462,7 @@ func serverConfigOf(c *Cluster, i int) server.Config {
 		switchFor = func(core.Fingerprint) env.NodeID { return trackerNode }
 	case server.TrackerOwner:
 		switchFor = func(fp core.Fingerprint) env.NodeID {
-			return ServerOf(c.Placement.OwnerOfFingerprint(fp))
+			return c.Ring.OwnerNode(fp)
 		}
 	default:
 		n := len(c.Switches)
@@ -455,8 +475,7 @@ func serverConfigOf(c *Cluster, i int) server.Config {
 		ID:           ServerOf(uint32(i)),
 		Cores:        c.Opts.CoresPerServer,
 		Costs:        c.Opts.Costs,
-		Placement:    c.Placement,
-		ServerOf:     ServerOf,
+		Ring:         c.Ring,
 		Peers:        peers,
 		SwitchFor:    switchFor,
 		Coordinator:  ServerOf(0),

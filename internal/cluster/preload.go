@@ -32,7 +32,7 @@ func NewPreload(c *Cluster) *Preload {
 }
 
 func (pl *Preload) serverFor(fp core.Fingerprint) *server.Server {
-	slot := pl.c.Placement.OwnerOfFingerprint(fp)
+	slot := pl.c.Ring.OwnerOf(fp)
 	return pl.c.Servers[int(slot)]
 }
 

@@ -3,39 +3,45 @@ package cluster
 import (
 	"fmt"
 
-	"switchfs/internal/core"
 	"switchfs/internal/env"
+	"switchfs/internal/ring"
 	"switchfs/internal/server"
 	"switchfs/internal/wal"
 )
 
-// Reconfigure grows (or shrinks) the metadata cluster following §5.5/§A.3's
-// stop-the-world procedure:
+// reconfigPasses bounds the live convergence loop before Reconfigure falls
+// back to briefly quiescing the stragglers (continuous load can keep landing
+// new records on a to-be-removed slot faster than a pass retires them).
+const reconfigPasses = 20
+
+// Reconfigure grows (or shrinks) the metadata cluster as a bulk case of the
+// staged gate-and-drain migration (§5.5/§A.3) — the historical stop-the-world
+// procedure (quiesce everyone, flush, remap, move, resume) is retired:
 //
-//  1. every server stops serving and flushes its change-logs (all
-//     directories return to normal state);
-//  2. the consistent-hashing ring is remapped — no switch change is needed,
-//     the hash function lives on clients and servers;
-//  3. metadata whose owner changed migrates to its new server (inodes with
-//     their entry lists), WAL-logged on the receiving side;
-//  4. servers resume.
+//  1. new servers (on grow) join serving immediately; every server and switch
+//     learns the union peer set;
+//  2. a convergence loop diffs each server's stored fingerprints against the
+//     target placement and migrates each mismatched group through MigrateFP —
+//     one group at a time, the rest of the cluster serving throughout;
+//  3. a pass that finds nothing to move runs without parking, so the ring's
+//     base placement flips to the target (Ring.Reset, clearing the
+//     per-group overrides that accumulated) in the same simulator event —
+//     no request can observe the flip half-applied;
+//  4. on shrink, each removed server then stops serving, drains its in-flight
+//     aggregations (bounded by the aggregation give-up budget, re-checking
+//     liveness — a fail-stopped server has nothing left to drain), pushes its
+//     remaining change-log entries to their owners, and retires.
 //
-// The returned future completes with the virtual duration of the
-// reconfiguration. The paper's per-step coordinator WAL and two-phase commit
-// make each step idempotent under crashes; this implementation performs the
-// steps from an orchestration process and tolerates servers fail-stopping
-// (and recovering) while the reconfiguration is in flight:
+// If the convergence loop exhausts its passes (adversarial load), the
+// stragglers are retired under a brief quiesce — the window covers only the
+// leftover groups, not the migration itself.
 //
-//   - a server that is down at flush time is skipped — its rebuilt
-//     change-logs are re-pushed by §5.4.2 recovery, which routes them by the
-//     live (post-remap) ring;
-//   - migration reads each server object's store directly, which works for
-//     crashed objects too (their KV mirrors the WAL the restarted server
-//     will replay; the stale local copies it resurrects are unreachable
-//     under the new ring);
-//   - a server whose recovery completes mid-reconfiguration is re-quiesced
-//     by RecoverServer (the reconfiguring flag) so it cannot serve reads of
-//     half-migrated state; step 4 resumes it with everyone else.
+// The returned future completes with the virtual duration. Servers
+// fail-stopping mid-reconfiguration are tolerated: MigrateFP copies from a
+// down server's store (which mirrors the WAL it will replay) and completes
+// the eviction in that WAL, so the recovered incarnation does not resurrect
+// migrated groups; RecoverServer defers its swap until the reconfiguration
+// ends.
 func (c *Cluster) Reconfigure(newServers int) *env.Future {
 	fut := env.NewFuture()
 	if newServers < 1 {
@@ -45,157 +51,155 @@ func (c *Cluster) Reconfigure(newServers int) *env.Future {
 	c.Env.Spawn(c.Servers[0].ID(), func(p *env.Proc) {
 		start := p.Now()
 		c.reconfiguring = true
-
-		// Step 1: quiesce and flush. Indexing c.Servers live (not a snapshot)
-		// picks up objects replaced by a concurrent RecoverServer.
-		for _, srv := range c.Servers {
-			srv.SetServing(false)
-		}
-		for i := 0; i < len(c.Servers); i++ {
-			srv := c.Servers[i]
-			if srv.Node().Down() {
-				continue // recovery re-pushes its change-logs later
-			}
-			sub := env.NewFuture()
-			c.Env.Spawn(srv.ID(), func(sp *env.Proc) {
-				srv.FlushAll(sp)
-				srv.SetServing(false) // FlushAll re-enables; stay quiesced
-				sub.Complete(nil)
-			})
-			sub.Wait(p)
-		}
-
-		// Step 1b: drain in-flight aggregations. An aggregation completing
-		// after the remap would apply its collected change-log entries (and
-		// ack the contributing peers, who then trim) at a server that no
-		// longer owns the directory — losing the updates to an unreachable
-		// replica. Quiescing stops new aggregations; this waits out the ones
-		// already running (bounded: their fetch retries give up after
-		// maxAggRetries even if a peer stays down).
-		for i := 0; i < len(c.Servers); i++ {
-			for !c.Servers[i].Node().Down() && !c.Servers[i].AggsQuiescent() {
-				p.Sleep(100 * env.Microsecond)
-			}
-		}
-
-		// Step 2: remap the ring and the switch multicast domain.
 		old := len(c.Servers)
+
 		slots := make([]uint32, newServers)
-		peers := make([]env.NodeID, newServers)
+		finalPeers := make([]env.NodeID, newServers)
 		for i := range slots {
 			slots[i] = uint32(i)
-			peers[i] = ServerOf(uint32(i))
+			finalPeers[i] = ServerOf(uint32(i))
 		}
-		c.Placement.Reset(slots)
-		for _, sw := range c.Switches {
-			sw.SetServers(peers)
+		// Union peer set for the transition: every server that may hold
+		// change-log entries or receive migrated groups stays addressable.
+		union := old
+		if newServers > union {
+			union = newServers
 		}
-		c.Opts.Servers = newServers
-
-		// New servers join (their configs see the new ring).
-		for i := old; i < newServers; i++ {
-			w := wal.NewMem()
-			c.wals = append(c.wals, w)
-			cfg := serverConfigOf(c, i)
-			cfg.WAL = w
-			srv := server.New(c.Env, cfg)
-			srv.SetServing(false)
-			c.Servers = append(c.Servers, srv)
-		}
-		// Surviving servers must address the new peer set.
-		for i := 0; i < old && i < newServers; i++ {
-			c.Servers[i].SetPeers(peers)
+		unionPeers := make([]env.NodeID, union)
+		for i := range unionPeers {
+			unionPeers[i] = ServerOf(uint32(i))
 		}
 
-		// Step 3: migrate metadata whose owner changed.
-		moved := 0
-		var removed []*server.Server
-		for i := 0; i < old; i++ {
-			srv := c.Servers[i]
-			moved += c.migrateFrom(srv)
-			if i >= newServers {
-				removed = append(removed, srv)
+		// New servers join serving immediately (their stores fill through
+		// migration; requests for not-yet-moved groups park on the arrival
+		// gates or retry against the source).
+		if newServers > old {
+			c.Opts.Servers = newServers
+			for i := old; i < newServers; i++ {
+				w := wal.NewMem()
+				c.wals = append(c.wals, w)
+				cfg := serverConfigOf(c, i)
+				cfg.WAL = w
+				c.Servers = append(c.Servers, server.New(c.Env, cfg))
+			}
+			if newServers > c.maxServers {
+				c.maxServers = newServers
 			}
 		}
-		if old > newServers {
-			c.Servers = c.Servers[:newServers]
+		for i := 0; i < old && i < len(c.Servers); i++ {
+			c.Servers[i].SetPeers(unionPeers)
 		}
-		for _, srv := range removed {
-			srv.Crash()
+		for _, sw := range c.Switches {
+			sw.SetServers(unionPeers)
 		}
 
-		// Step 4: resume. The flag flips in the same event (no park between),
-		// so a concurrent recovery observes either reconfiguring-and-quiesce
-		// or the final serving state, never a half-resumed cluster.
-		for _, srv := range c.Servers {
-			srv.SetServing(true)
+		// Convergence: migrate every group whose target owner differs, one at
+		// a time, while the cluster serves.
+		target := ring.New(slots, 0, ServerOf)
+		converged := false
+		for pass := 0; pass < reconfigPasses; pass++ {
+			if c.convergePass(p, target) {
+				converged = true
+				break
+			}
+			p.Sleep(migratePollStep)
 		}
+		if !converged {
+			// Adversarial load kept creating records on moving slots faster
+			// than passes retired them. Quiesce briefly and retire the tail.
+			for _, srv := range c.Servers {
+				srv.SetServing(false)
+			}
+			for i := 0; i < len(c.Servers); i++ {
+				if !c.Servers[i].Node().Down() {
+					c.Servers[i].DrainAggs(p)
+				}
+			}
+			for pass := 0; pass < reconfigPasses && !c.convergePass(p, target); pass++ {
+				p.Sleep(migratePollStep)
+			}
+			for _, srv := range c.Servers {
+				srv.SetServing(true)
+			}
+		}
+		// convergePass returned true from a park-free sweep that also Reset
+		// the ring in the same event — the base placement is now the target.
+
+		// Shrink finalization: retire the removed servers.
+		if newServers < old {
+			removed := c.Servers[newServers:]
+			for _, srv := range removed {
+				srv.SetServing(false)
+			}
+			// Survivors stop multicasting to the leaving peers before those
+			// crash, so no aggregation fetch waits on a permanently-dead peer.
+			for i := 0; i < newServers; i++ {
+				c.Servers[i].SetPeers(finalPeers)
+			}
+			for _, sw := range c.Switches {
+				sw.SetServers(finalPeers)
+			}
+			for _, srv := range removed {
+				if srv.Node().Down() {
+					continue // nothing volatile left; its groups already moved
+				}
+				// Satellite of the old step 1b: the drain re-checks liveness
+				// and is bounded by the aggregation give-up budget instead of
+				// busy-waiting on a server that may never quiesce.
+				srv.DrainAggs(p)
+				// Remaining change-log entries must reach their owners now —
+				// no recovery will ever replay this WAL.
+				srv.FlushAll(p)
+				srv.Crash()
+			}
+			c.Servers = c.Servers[:newServers]
+			c.Opts.Servers = newServers
+		} else {
+			for i := range c.Servers {
+				c.Servers[i].SetPeers(finalPeers)
+			}
+			for _, sw := range c.Switches {
+				sw.SetServers(finalPeers)
+			}
+		}
+
 		c.reconfiguring = false
-		_ = moved
 		fut.Complete(p.Now() - start)
 	})
 	return fut
 }
 
-// migrateFrom moves every record on srv whose new owner differs. The
-// stop-the-world quiesce makes direct store-to-store movement safe; the
-// receiving server WAL-logs each record so migrations survive later crashes.
-func (c *Cluster) migrateFrom(srv *server.Server) int {
-	type rec struct {
-		key core.Key
-		in  *core.Inode
+// convergePass sweeps every server's stored fingerprints against the target
+// placement and migrates each group the current ring still routes to a
+// mismatched slot. A pass that finds nothing to move runs without parking and
+// flips the ring's base placement to the target in the same event (clearing
+// the accumulated overrides, whose destinations equal the target owners by
+// construction — the mapping of every existing group is unchanged by the
+// flip). Reports whether the flip happened.
+func (c *Cluster) convergePass(p *env.Proc, target *ring.Ring) bool {
+	pending := 0
+	for i := 0; i < len(c.Servers); i++ {
+		for _, fp := range c.Servers[i].StoredFingerprints() {
+			if c.Ring.OwnerOf(fp) != uint32(i) {
+				// Not the current owner — the owning slot's sweep moves it
+				// (or it is an unreachable stale copy awaiting eviction).
+				continue
+			}
+			want := target.OwnerOf(fp)
+			if want == uint32(i) {
+				continue
+			}
+			pending++
+			if err := c.MigrateFP(p, fp, want); err != nil {
+				// Leave it for the next pass (e.g. a prepared transaction
+				// still terminating).
+				continue
+			}
+		}
 	}
-	var inodes []rec
-	srv.KV().Scan(nil, func(k, v []byte) bool {
-		key, err := core.DecodeKey(k)
-		if err != nil {
-			return true // dentries move with their directory below
-		}
-		in, err := core.DecodeInode(v)
-		if err != nil {
-			return true
-		}
-		inodes = append(inodes, rec{key: key, in: in})
+	if pending == 0 {
+		c.Ring.Reset(target.Slots())
 		return true
-	})
-	moved := 0
-	for _, r := range inodes {
-		slot := c.Placement.OwnerOfFingerprint(r.key.Fingerprint())
-		dst := c.Servers[int(slot)]
-		if dst == srv {
-			continue
-		}
-		dst.InjectInode(r.key, r.in, true)
-		srv.KV().Delete(r.key.Encode())
-		moved++
-		if r.in.Type == core.TypeDir {
-			// The directory's exactly-once watermarks move with it: sources
-			// may re-push entries the old owner already applied (their acks
-			// were lost to a crash), and only the watermark lets the new
-			// owner deduplicate them.
-			for _, m := range srv.AppliedMarks(r.in.ID) {
-				dst.InjectAppliedMark(m.Src, r.in.ID, m.ID, true)
-			}
-			// The entry list lives with the directory inode.
-			prefix := core.EntryPrefix(r.in.ID)
-			type dent struct {
-				k []byte
-				e core.DirEntry
-			}
-			var dents []dent
-			srv.KV().Scan(prefix, func(k, v []byte) bool {
-				name := string(k[len(prefix):])
-				if de, err := core.DecodeDirEntry(name, v); err == nil {
-					dents = append(dents, dent{k: append([]byte(nil), k...), e: de})
-				}
-				return true
-			})
-			for _, d := range dents {
-				dst.InjectDentry(r.in.ID, d.e, true)
-				srv.KV().Delete(d.k)
-				moved++
-			}
-		}
 	}
-	return moved
+	return false
 }

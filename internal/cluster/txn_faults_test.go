@@ -27,7 +27,7 @@ func remoteFileName(c *Cluster, tag string, skip int) string {
 	n := 0
 	for i := 0; ; i++ {
 		name := fmt.Sprintf("%s%d", tag, i)
-		if c.Placement.OwnerOfFile(core.RootDirID, name) != 0 {
+		if c.Ring.OwnerOfFile(core.RootDirID, name) != 0 {
 			if n == skip {
 				return "/" + name
 			}
@@ -201,7 +201,7 @@ func TestParticipantCrashPreservesPreparedCommit(t *testing.T) {
 	dst := remoteFileName(c, "d", 0)
 	// The destination inode's owner is the participant that must apply the
 	// TxnPutInode; crash that one.
-	dstOwner := int(c.Placement.OwnerOfFile(core.RootDirID, dst[1:]))
+	dstOwner := int(c.Ring.OwnerOfFile(core.RootDirID, dst[1:]))
 	c.Run(0, func(p *env.Proc, cl *client.Client) {
 		if err := cl.Create(p, src, 0); err != nil {
 			t.Errorf("create %s: %v", src, err)

@@ -108,7 +108,8 @@ func FigLincheckSeed(sc Scale, seed int64) Table {
 	// Mode 3: concurrent histories across the fault-plan catalog. Rows are
 	// labeled by catalog position (the random plan's own name embeds the
 	// seed, which would defeat cross-run row comparison).
-	planNames := []string{"server-crash", "switch-reboot", "flaky-links", "coordinator-crash", "random"}
+	planNames := []string{"server-crash", "switch-reboot", "flaky-links", "reconfig-crash",
+		"coordinator-crash", "rebalance-crash", "random"}
 	if got := len(lincheck.Plans(seed)); got != len(planNames) {
 		panic(fmt.Sprintf("figures: lincheck plan catalog has %d plans, labels cover %d", got, len(planNames)))
 	}

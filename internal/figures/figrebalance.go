@@ -1,0 +1,160 @@
+package figures
+
+import (
+	"fmt"
+	"strings"
+
+	"switchfs/internal/chaos"
+	"switchfs/internal/cluster"
+	"switchfs/internal/env"
+	"switchfs/internal/stats"
+)
+
+// FigRebalance is the elastic-resharding figure (§5.5): a skewed workload
+// concentrates every worker directory's fingerprint group on one server,
+// and the hot-directory balancer (plus a live Reconfigure) migrates groups
+// away through the gate-and-drain protocol while the load keeps running.
+// Each row is one availability/p99 window; the per-plan Σ row totals the
+// run and reports the groups migrated. The figure is also the
+// no-stop-the-world gate: in the plans without a crash, a window with
+// traffic but zero successful operations fails the run — migration must
+// never make the namespace unavailable — and a plan that migrates nothing
+// fails too (the scenario would not be testing rebalance at all).
+func FigRebalance(sc Scale) Table { return FigRebalanceSeed(sc, 1) }
+
+// FigRebalanceSeed is FigRebalance with an explicit seed
+// (`fsbench -fig rebalance -seed N`).
+func FigRebalanceSeed(sc Scale, seed int64) Table {
+	t := Table{
+		ID:    "rebalance",
+		Title: "Availability and p99 latency during live rebalance and reconfiguration (skewed load)",
+		Header: []string{
+			"plan", "win", "t(ms)", "ok ops", "timeouts", "avail(%)", "p99(µs)", "moves",
+		},
+	}
+
+	servers := sc.ServerCounts[0]
+	workers := sc.Workers / 8
+	if workers < 4 {
+		workers = 4
+	}
+	if workers > 16 {
+		workers = 16
+	}
+	const hot = 0 // the slot every worker directory starts on
+
+	ms := env.Millisecond
+	passes := func(at ...env.Duration) []chaos.Event {
+		evs := make([]chaos.Event, len(at))
+		for i, a := range at {
+			evs[i] = chaos.RebalancePass(a)
+		}
+		return evs
+	}
+	type scenario struct {
+		plan chaos.Plan
+		// crashes marks plans whose fault schedule can legitimately zero a
+		// window (a fail-stopped server under skewed load); the never-zero
+		// availability gate applies only to the pure-migration plans.
+		crashes bool
+	}
+	scenarios := []scenario{
+		{
+			plan: chaos.Plan{
+				Name:    "rebalance-steady",
+				Desc:    "hot-directory balancer passes under skewed load, no faults",
+				Horizon: 8 * ms,
+				Events:  passes(1*ms, 2*ms, 3*ms, 4*ms, 5*ms, 6*ms),
+			},
+		},
+		{
+			plan: chaos.Plan{
+				Name:    "rebalance-crash",
+				Desc:    "balancer passes racing a crash of the hot server",
+				Horizon: 10 * ms,
+				Events: append(passes(1*ms, 2*ms, 4*ms, 5*ms, 7*ms, 8*ms),
+					chaos.CrashServer(2500*env.Microsecond, hot),
+					chaos.RecoverServer(6*ms, hot)),
+			},
+			crashes: true,
+		},
+		{
+			plan: chaos.Plan{
+				Name:    "reconfig-live",
+				Desc:    "grow the cluster under skewed load — staged migration, no quiesce",
+				Horizon: 10 * ms,
+				Events:  []chaos.Event{chaos.Reconfigure(1*ms, servers+2)},
+			},
+		},
+	}
+
+	var failures []string
+	for _, s := range scenarios {
+		plan := s.plan
+		sim := env.NewSim(seed)
+		c := cluster.New(sim, cluster.Options{
+			Servers: servers, Clients: 2, Switches: 1,
+			SwitchIndexBits: 12, Costs: env.DefaultCosts(),
+		})
+		rep := chaos.Run(sim, c, plan, chaos.Options{
+			Workers: workers, Seed: seed, Skewed: true, SkewServer: hot,
+		})
+		totOk, totErrs := 0, 0
+		for w, row := range rep.Rows {
+			totOk += row.Ok
+			totErrs += row.Errs
+			avail := 100.0
+			if row.Ok+row.Errs > 0 {
+				avail = 100 * float64(row.Ok) / float64(row.Ok+row.Errs)
+			}
+			if !s.crashes && row.Ok+row.Errs > 0 && row.Ok == 0 {
+				failures = append(failures, fmt.Sprintf(
+					"%s: window %d had traffic but zero successful ops — migration stalled the namespace",
+					plan.Name, w))
+			}
+			t.AddRow(row.Counters, []string{
+				plan.Name,
+				fmt.Sprintf("%d", w),
+				fmt.Sprintf("%.1f", float64(row.Start)/1e6),
+				fmt.Sprintf("%d", row.Ok),
+				fmt.Sprintf("%d", row.Errs),
+				fmt.Sprintf("%.1f", avail),
+				us(rep.Rows[w].P99),
+				"",
+			})
+		}
+		avail := 100.0
+		if totOk+totErrs > 0 {
+			avail = 100 * float64(totOk) / float64(totOk+totErrs)
+		}
+		// The Σ row's counters carry the final per-server op distribution —
+		// the deterministic load-spread signal the baseline gate pins.
+		t.AddRow(stats.Counters{
+			Ops: uint64(totOk + totErrs), Errs: uint64(totErrs),
+			PerServerOps: c.PerServerOps(),
+		}, []string{
+			plan.Name, "Σ", "-",
+			fmt.Sprintf("%d", totOk),
+			fmt.Sprintf("%d", totErrs),
+			fmt.Sprintf("%.1f", avail),
+			"-",
+			fmt.Sprintf("%d", c.Moves()),
+		})
+		if c.Moves() == 0 {
+			failures = append(failures, fmt.Sprintf(
+				"%s: zero groups migrated — the scenario exercised nothing", plan.Name))
+		}
+		for _, v := range rep.Checker.Violations() {
+			failures = append(failures, fmt.Sprintf("%s: %s", plan.Name, v))
+		}
+		for _, iss := range rep.Issues {
+			failures = append(failures, fmt.Sprintf("%s: %s", plan.Name, iss))
+		}
+		sim.Shutdown()
+	}
+	if len(failures) > 0 {
+		panic(fmt.Sprintf("figures: rebalance gate reported %d failures:\n  %s",
+			len(failures), strings.Join(failures, "\n  ")))
+	}
+	return t
+}

@@ -82,9 +82,10 @@ func TestFigLincheckShape(t *testing.T) {
 	if tab.ID != "lincheck" {
 		t.Fatalf("id=%q", tab.ID)
 	}
-	// two differential modes + concurrent + 5 plan rows.
-	if len(tab.Rows) != 8 {
-		t.Fatalf("%d rows, want 8 modes", len(tab.Rows))
+	// two differential modes + concurrent + 7 plan rows (incl. the
+	// reconfig-crash and rebalance-crash migration plans).
+	if len(tab.Rows) != 10 {
+		t.Fatalf("%d rows, want 10 modes", len(tab.Rows))
 	}
 	if len(tab.Meta) != len(tab.Rows) {
 		t.Fatalf("%d counter rows for %d rows", len(tab.Meta), len(tab.Rows))
@@ -100,6 +101,35 @@ func TestFigLincheckShape(t *testing.T) {
 	for _, c := range tab.Meta {
 		if c.Ops == 0 || c.PacketsDelivered == 0 {
 			t.Fatalf("mode with zero ops/packets: %+v", tab.Meta)
+		}
+	}
+}
+
+// TestFigRebalanceShape runs the rebalance figure at a reduced scale: one
+// row per (plan, window) plus a Σ row per plan — and, because
+// FigRebalanceSeed panics on a zero-availability traffic window during pure
+// migration, on a plan that moves nothing, and on any checker violation,
+// completing at all is the live-migration availability pass.
+func TestFigRebalanceShape(t *testing.T) {
+	sc := Scale{Dirs: 8, FilesPerDir: 8, Workers: 32, OpsPerWorker: 10,
+		ServerCounts: []int{4}, CoreCounts: []int{2}, BurstSizes: []int{10}}
+	tab := FigRebalance(sc)
+	if tab.ID != "rebalance" {
+		t.Fatalf("id=%q", tab.ID)
+	}
+	// 8 windows + one Σ row per plan.
+	if len(tab.Rows) == 0 || len(tab.Rows)%9 != 0 {
+		t.Fatalf("%d rows, want a multiple of 9 (8 windows + Σ)", len(tab.Rows))
+	}
+	if len(tab.Meta) != len(tab.Rows) {
+		t.Fatalf("%d counter rows for %d rows", len(tab.Meta), len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		if len(row) != len(tab.Header) {
+			t.Fatalf("ragged row %v", row)
+		}
+		if row[1] == "Σ" && (row[len(row)-1] == "0" || row[len(row)-1] == "") {
+			t.Fatalf("plan %s migrated no groups: %v", row[0], row)
 		}
 	}
 }

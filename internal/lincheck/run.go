@@ -16,12 +16,15 @@ import (
 var Geometry = chaos.Geometry{Servers: 4, Clients: 3, Switches: 1}
 
 // Plans is the fault catalog of a lincheck sweep: the §5.4 recovery stories
-// reused from chaos.BuiltinPlans, a deliberate crash of the rename/link
+// reused from chaos.BuiltinPlans (including reconfig-crash — live bulk
+// migration racing a server crash), a deliberate crash of the rename/link
 // coordinator (server 0 — the scenario that exercises the 2PC termination
-// protocol), and the seed's random plan.
+// protocol), a rebalance-racing-crash plan (balancer passes migrating
+// groups through gate-and-drain while a server fail-stops — no op may be
+// lost or double-applied across a migration), and the seed's random plan.
 func Plans(seed int64) []chaos.Plan {
 	var plans []chaos.Plan
-	for _, name := range []string{"server-crash", "switch-reboot", "flaky-links"} {
+	for _, name := range []string{"server-crash", "switch-reboot", "flaky-links", "reconfig-crash"} {
 		p, ok := chaos.BuiltinPlan(Geometry, name)
 		if !ok {
 			panic("lincheck: missing builtin plan " + name)
@@ -36,6 +39,19 @@ func Plans(seed int64) []chaos.Plan {
 		Events: []chaos.Event{
 			chaos.CrashServer(1*ms, 0),
 			chaos.RecoverServer(4*ms, 0),
+		},
+	})
+	plans = append(plans, chaos.Plan{
+		Name:    "rebalance-crash",
+		Desc:    "balancer passes migrating groups while a server fail-stops (§5.5)",
+		Horizon: 10 * ms,
+		Events: []chaos.Event{
+			chaos.RebalancePass(1 * ms),
+			chaos.RebalancePass(2 * ms),
+			chaos.CrashServer(2500*env.Microsecond, 1),
+			chaos.RebalancePass(4 * ms),
+			chaos.RecoverServer(6*ms, 1),
+			chaos.RebalancePass(7 * ms),
 		},
 	})
 	return append(plans, chaos.RandomPlan(seed, Geometry, 8*ms))

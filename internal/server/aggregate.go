@@ -129,6 +129,19 @@ func (s *Server) runAggregation(p *env.Proc, fp core.Fingerprint, opts *aggOpts)
 	}
 	s.aggs[id] = ctx
 	s.aggByFP[fp] = ctx
+	if s.ownerOfFP(fp) != s.cfg.ID {
+		// The group migrated away between the trigger (a read, a quiesce
+		// timer) and this registration. Aggregating a group this server no
+		// longer owns would collect peers' entries into a store the ring no
+		// longer routes reads to. Deregister and report incomplete — the
+		// caller retries and re-resolves to the new owner. Runs in the same
+		// event as the registration above, so FPQuiescent never observes a
+		// half-registered aggregation.
+		delete(s.aggs, id)
+		delete(s.aggByFP, fp)
+		s.mu.Unlock()
+		return false
+	}
 	if s.cfg.Tracker == TrackerOwner {
 		delete(s.ownerDirty, fp)
 	}
@@ -679,7 +692,6 @@ func (s *Server) pushLog(p *env.Proc, dl *dirLog, snap []core.LogEntry) {
 		return
 	}
 	s.Stats.Pushes++
-	owner := s.ownerOfFP(dl.ref.FP)
 	msg := &wire.ChangePush{From: s.cfg.ID, Log: wire.DirLog{Dir: dl.ref, Entries: snap}}
 	fut := env.NewFuture()
 	s.mu.Lock()
@@ -693,7 +705,9 @@ func (s *Server) pushLog(p *env.Proc, dl *dirLog, snap []core.LogEntry) {
 		if s.dead {
 			break // recovery re-pushes from the WAL-rebuilt log
 		}
-		s.reply(p, owner, msg)
+		// Owner recomputed per retry: a migration can move the directory's
+		// group mid-push, and the entries must chase the current owner.
+		s.reply(p, s.ownerOfFP(dl.ref.FP), msg)
 		if v, ok := fut.WaitTimeout(p, s.cfg.RetryTimeout); ok {
 			ack := v.(*wire.ChangePushAck)
 			s.ackEntries(dl, ack.MaxID)
@@ -730,6 +744,23 @@ func (s *Server) resetIdleTimer(dl *dirLog) {
 // aggregates on its own so the next read finds the directory normal (§5.3).
 func (s *Server) handleChangePush(p *env.Proc, from env.NodeID, cp *wire.ChangePush) {
 	p.Compute(s.cfg.Costs.Parse)
+	fp := cp.Log.Dir.FP
+	// A push routed here under a stale ring is dropped without an ack: the
+	// pusher recomputes the owner from the ring on every retry, so the entries
+	// chase the current owner (or stay pending behind a dirty mark). Applying
+	// them here would strand acknowledged entries on a server reads no longer
+	// reach.
+	if s.checkOwnership(fp) != nil {
+		return
+	}
+	if s.gateWait(p, fp) != nil {
+		return
+	}
+	if s.checkOwnership(fp) != nil {
+		return
+	}
+	s.fpEnter(fp)
+	defer s.fpExit(fp)
 	l := s.lockOf(cp.Log.Dir.Key)
 	l.Lock(p)
 	maxID := s.applyEntries(p, cp.From, cp.Log)
@@ -738,7 +769,6 @@ func (s *Server) handleChangePush(p *env.Proc, from env.NodeID, cp *wire.ChangeP
 	if cp.Final {
 		return
 	}
-	fp := cp.Log.Dir.FP
 	s.mu.Lock()
 	if t := s.quiesce[fp]; t != nil {
 		t.Cancel()
@@ -797,9 +827,10 @@ func (s *Server) doRmdir(p *env.Proc, req *wire.MutateReq) {
 	parentLog := s.clogOf(req.Parent)
 
 	p.Compute(c.LockOp)
-	if err := s.checkOwnership(key.Fingerprint()); err != nil {
-		// Routed here under a stale ring (reconfiguration in flight): the
-		// record may live on the new owner — retry, don't report ENOENT.
+	if err := s.admitFP(p, key.Fingerprint()); err != nil {
+		// Routed here under a stale ring (migration or reconfiguration in
+		// flight): the record may live on the new owner — retry, don't
+		// report ENOENT.
 		resp := &wire.MutateResp{RespCommon: s.respCommon(&req.ReqCommon, err)}
 		s.remember(req.Client, req.RPC, resp)
 		s.reply(p, req.Client, resp)
@@ -809,6 +840,7 @@ func (s *Server) doRmdir(p *env.Proc, req *wire.MutateReq) {
 	p.Compute(c.KVGet)
 	raw, ok := s.kv.GetView(key.Encode())
 	if !ok {
+		s.fpExit(key.Fingerprint())
 		resp := &wire.MutateResp{RespCommon: s.respCommon(&req.ReqCommon, core.ErrNotExist)}
 		s.remember(req.Client, req.RPC, resp)
 		s.reply(p, req.Client, resp)
@@ -816,6 +848,7 @@ func (s *Server) doRmdir(p *env.Proc, req *wire.MutateReq) {
 	}
 	in, derr := core.DecodeInode(raw)
 	if derr != nil || in.Type != core.TypeDir {
+		s.fpExit(key.Fingerprint())
 		resp := &wire.MutateResp{RespCommon: s.respCommon(&req.ReqCommon, core.ErrNotDir)}
 		s.remember(req.Client, req.RPC, resp)
 		s.reply(p, req.Client, resp)
@@ -832,6 +865,7 @@ func (s *Server) doRmdir(p *env.Proc, req *wire.MutateReq) {
 	if !s.aggregateFP(p, target.FP, &aggOpts{rmdir: true, dir: target.ID, force: true}) {
 		// Emptiness cannot be decided against state that may be missing an
 		// unreachable peer's acknowledged entries.
+		s.fpExit(key.Fingerprint())
 		resp := &wire.MutateResp{RespCommon: s.respCommon(&req.ReqCommon, core.ErrRetry)}
 		s.remember(req.Client, req.RPC, resp)
 		s.reply(p, req.Client, resp)
@@ -842,6 +876,7 @@ func (s *Server) doRmdir(p *env.Proc, req *wire.MutateReq) {
 	kl := s.lockOf(key)
 	kl.Lock(p)
 	fail := func(err error) {
+		s.fpExit(key.Fingerprint())
 		kl.Unlock()
 		parentLog.lock.RUnlock()
 		resp := &wire.MutateResp{RespCommon: s.respCommon(&req.ReqCommon, err)}
@@ -881,6 +916,7 @@ func (s *Server) doRmdir(p *env.Proc, req *wire.MutateReq) {
 
 	if !s.cfg.Async {
 		s.syncCommit(p, req, parentLog, entry, lsn, kl, core.DirID{})
+		s.fpExit(key.Fingerprint())
 		return
 	}
 
@@ -898,6 +934,7 @@ func (s *Server) doRmdir(p *env.Proc, req *wire.MutateReq) {
 	s.remember(req.Client, req.RPC, resp)
 	kl.Unlock()
 	parentLog.lock.RUnlock()
+	s.fpExit(key.Fingerprint())
 	s.resetIdleTimer(parentLog)
 }
 

@@ -20,6 +20,7 @@ func (s *Server) handleMutate(p *env.Proc, req *wire.MutateReq) {
 	}
 	s.Stats.Ops++
 	s.tallyDir(req.Parent.ID)
+	s.tallyFP(core.FingerprintOf(req.Parent.ID, req.Name))
 	if req.Op == core.OpRmdir {
 		s.doRmdir(p, req)
 		return
@@ -42,7 +43,11 @@ func (s *Server) doMutate(p *env.Proc, req *wire.MutateReq) {
 	parentLog.lock.RLock(p)
 	kl := s.lockOf(key)
 	kl.Lock(p)
+	admitted := false
 	fail := func(err error) {
+		if admitted {
+			s.fpExit(key.Fingerprint())
+		}
 		kl.Unlock()
 		parentLog.lock.RUnlock()
 		resp := &wire.MutateResp{RespCommon: s.respCommon(&req.ReqCommon, err)}
@@ -50,16 +55,17 @@ func (s *Server) doMutate(p *env.Proc, req *wire.MutateReq) {
 		s.reply(p, req.Client, resp)
 	}
 
-	// Checking (step 3): stale-cache validation, stale-ring routing, and
-	// existence.
+	// Checking (step 3): stale-cache validation, stale-ring routing (plus the
+	// migration arrival gate and busy reference), and existence.
 	if err := s.checkAncestors(&req.ReqCommon); err != nil {
 		fail(err)
 		return
 	}
-	if err := s.checkOwnership(key.Fingerprint()); err != nil {
+	if err := s.admitFP(p, key.Fingerprint()); err != nil {
 		fail(err)
 		return
 	}
+	admitted = true
 	// The parent ref is current (stale caches were just rejected): if the
 	// directory was renamed since this change-log was created, re-key the
 	// log so this entry aggregates under the directory's current
@@ -149,6 +155,7 @@ func (s *Server) doMutate(p *env.Proc, req *wire.MutateReq) {
 		// Baseline (Fig. 14): synchronous cross-server update of the parent
 		// directory before replying. Locks are held across the round trip.
 		s.syncCommit(p, req, parentLog, entry, lsn, kl, newDir)
+		s.fpExit(key.Fingerprint())
 		return
 	}
 
@@ -171,9 +178,13 @@ func (s *Server) doMutate(p *env.Proc, req *wire.MutateReq) {
 	s.asyncCommit(p, req.Parent, parentLog, entry, resp, req.Client)
 	s.remember(req.Client, req.RPC, resp)
 
-	// Unlocking happens when the switch (or the fallback owner) acks.
+	// Unlocking happens when the switch (or the fallback owner) acks. The
+	// busy reference is held through the commit ack: a migration must not
+	// copy the group away between the local mutation and the client's copy
+	// of the response leaving (the dedup cache stays authoritative here).
 	kl.Unlock()
 	parentLog.lock.RUnlock()
+	s.fpExit(key.Fingerprint())
 
 	// Proactive push when the log fills an MTU (§5.3), outside the locks.
 	if pending >= s.cfg.PushEntries {
@@ -204,15 +215,11 @@ func (s *Server) asyncCommit(p *env.Proc, parent core.DirRef, parentLog *dirLog,
 		CommitID: ctx.id,
 		MarkOnly: s.cfg.Tracker == TrackerOwner,
 	}
-	var dst env.NodeID
-	var pkt *wire.Packet
 	if s.cfg.Tracker == TrackerOwner {
 		// Owner-tracker variant: the parent's owner records the dirty state
 		// and multicasts completion — an extra server on the critical path
 		// (Fig. 16).
 		notice.Update = wire.DirLog{Dir: parent}
-		dst = s.ownerOfFP(parent.FP)
-		pkt = &wire.Packet{Dst: dst, Origin: s.cfg.ID, Trace: p.TraceCtx(), Body: notice}
 	} else {
 		// Snapshot the pending log for the overflow fallback: the switch
 		// rewrites the packet to the parent's owner, which applies the whole
@@ -220,19 +227,32 @@ func (s *Server) asyncCommit(p *env.Proc, parent core.DirRef, parentLog *dirLog,
 		parentLog.qmu.Lock()
 		notice.Update = wire.DirLog{Dir: parent, Entries: parentLog.log.Snapshot()}
 		parentLog.qmu.Unlock()
-		dst = s.cfg.SwitchFor(parent.FP)
-		pkt = &wire.Packet{
-			DS: &wire.DSHeader{Op: wire.DSInsert, FP: parent.FP,
-				AltDst: s.ownerOfFP(parent.FP)},
-			Dst:    dst,
-			Origin: s.cfg.ID,
-			Trace:  p.TraceCtx(),
-			Body:   notice,
-		}
 	}
 	for {
 		if s.dead {
 			return // fail-stopped: this incarnation retries no further
+		}
+		// The destination and the fallback owner are recomputed per retry: a
+		// migration can re-route the parent's group mid-commit, and a packet
+		// built once with a stale AltDst would keep steering the switch's
+		// overflow rewrite at a server that no longer owns the directory
+		// (the old owner forwards in-flight stragglers, but retransmissions
+		// must route right at the source).
+		var dst env.NodeID
+		var pkt *wire.Packet
+		if s.cfg.Tracker == TrackerOwner {
+			dst = s.ownerOfFP(parent.FP)
+			pkt = &wire.Packet{Dst: dst, Origin: s.cfg.ID, Trace: p.TraceCtx(), Body: notice}
+		} else {
+			dst = s.cfg.SwitchFor(parent.FP)
+			pkt = &wire.Packet{
+				DS: &wire.DSHeader{Op: wire.DSInsert, FP: parent.FP,
+					AltDst: s.ownerOfFP(parent.FP)},
+				Dst:    dst,
+				Origin: s.cfg.ID,
+				Trace:  p.TraceCtx(),
+				Body:   notice,
+			}
 		}
 		p.Send(dst, pkt)
 		v, ok := ctx.done.WaitTimeout(p, s.cfg.RetryTimeout)
@@ -318,9 +338,35 @@ func (s *Server) handleCommitAck(p *env.Proc, ack *wire.CommitAck) {
 // server runs in Baseline mode, or (c) the owner-tracker variant marks state.
 func (s *Server) handleFallback(p *env.Proc, pkt *wire.Packet, cn *wire.CommitNotice) {
 	p.Compute(s.cfg.Costs.Parse)
+	fp := cn.Update.Dir.FP
+	if s.checkOwnership(fp) != nil {
+		// The directory's group migrated while this notice was in flight (or
+		// the switch rewrote against a stale AltDst). Forward to the current
+		// owner, preserving pkt.Origin: the origin server's identity drives
+		// the per-source watermarks in applyEntries and routes the CommitAck.
+		dst := s.ownerOfFP(fp)
+		if dst != s.cfg.ID {
+			p.Send(dst, &wire.Packet{Dst: dst, Origin: pkt.Origin,
+				Trace: p.TraceCtx(), Body: cn})
+		}
+		return
+	}
+	if s.gateWait(p, fp) != nil {
+		return // migration inbound; the origin's retry loop re-sends
+	}
+	if s.checkOwnership(fp) != nil {
+		dst := s.ownerOfFP(fp)
+		if dst != s.cfg.ID {
+			p.Send(dst, &wire.Packet{Dst: dst, Origin: pkt.Origin,
+				Trace: p.TraceCtx(), Body: cn})
+		}
+		return
+	}
+	s.fpEnter(fp)
+	defer s.fpExit(fp)
 	if cn.MarkOnly {
 		s.mu.Lock()
-		s.ownerDirty[cn.Update.Dir.FP] = true
+		s.ownerDirty[fp] = true
 		s.mu.Unlock()
 		p.Send(cn.Client, &wire.Packet{Dst: cn.Client, Origin: s.cfg.ID,
 			Trace: p.TraceCtx(), Body: cn.Resp})

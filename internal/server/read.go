@@ -19,7 +19,7 @@ func (s *Server) handleLookup(p *env.Proc, req *wire.LookupReq) {
 	resp := &wire.LookupResp{}
 	err := s.checkAncestors(&req.ReqCommon)
 	if err == nil {
-		err = s.checkOwnership(key.Fingerprint())
+		err = s.admitFP(p, key.Fingerprint())
 	}
 	if err == nil {
 		l := s.lockOf(key)
@@ -37,6 +37,7 @@ func (s *Server) handleLookup(p *env.Proc, req *wire.LookupReq) {
 			resp.Attr = in.Attr
 		}
 		l.RUnlock()
+		s.fpExit(key.Fingerprint())
 	}
 	resp.RespCommon = s.respCommon(&req.ReqCommon, err)
 	s.reply(p, req.Client, resp)
@@ -54,10 +55,11 @@ func (s *Server) handleFile(p *env.Proc, req *wire.FileReq) {
 	s.Stats.Ops++
 	s.tallyDir(req.Parent.ID)
 	key := core.Key{PID: req.Parent.ID, Name: req.Name}
+	s.tallyFP(key.Fingerprint())
 	resp := &wire.FileResp{}
 	err := s.checkAncestors(&req.ReqCommon)
 	if err == nil {
-		err = s.checkOwnership(key.Fingerprint())
+		err = s.admitFP(p, key.Fingerprint())
 	}
 	if err == nil {
 		l := s.lockOf(key)
@@ -78,6 +80,7 @@ func (s *Server) handleFile(p *env.Proc, req *wire.FileReq) {
 			}
 		}
 		l.RUnlock()
+		s.fpExit(key.Fingerprint())
 	}
 	resp.RespCommon = s.respCommon(&req.ReqCommon, err)
 	s.reply(p, req.Client, resp)
@@ -102,10 +105,11 @@ func (s *Server) handleChmod(p *env.Proc, req *wire.FileReq) {
 	s.Stats.Ops++
 	s.tallyDir(req.Parent.ID)
 	key := core.Key{PID: req.Parent.ID, Name: req.Name}
+	s.tallyFP(key.Fingerprint())
 	resp := &wire.FileResp{}
 	err := s.checkAncestors(&req.ReqCommon)
 	if err == nil {
-		err = s.checkOwnership(key.Fingerprint())
+		err = s.admitFP(p, key.Fingerprint())
 	}
 	if err == nil {
 		l := s.lockOf(key)
@@ -125,6 +129,7 @@ func (s *Server) handleChmod(p *env.Proc, req *wire.FileReq) {
 			resp.Attr = in.Attr
 		}
 		l.Unlock()
+		s.fpExit(key.Fingerprint())
 	}
 	resp.RespCommon = s.respCommon(&req.ReqCommon, err)
 	s.remember(req.Client, req.RPC, resp)
@@ -142,10 +147,11 @@ func (s *Server) handleDirRead(p *env.Proc, pkt *wire.Packet, req *wire.DirReadR
 	p.Compute(c.Parse)
 	s.Stats.Ops++
 	s.tallyDir(req.Dir.ID)
+	s.tallyFP(req.Dir.FP)
 	resp := &wire.DirReadResp{}
 	err := s.checkAncestors(&req.ReqCommon)
 	if err == nil {
-		err = s.checkOwnership(req.Dir.FP)
+		err = s.admitFP(p, req.Dir.FP)
 	}
 	if err == nil {
 		scattered := false
@@ -206,6 +212,7 @@ func (s *Server) handleDirRead(p *env.Proc, pkt *wire.Packet, req *wire.DirReadR
 			}
 			l.RUnlock()
 		}
+		s.fpExit(req.Dir.FP)
 	}
 	resp.RespCommon = s.respCommon(&req.ReqCommon, err)
 	s.reply(p, req.Client, resp)

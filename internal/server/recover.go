@@ -224,6 +224,11 @@ func (s *Server) replayWAL() error {
 				}
 				s.txnRedrive = append(s.txnRedrive, txnRedrive{txn: txn, parts: parts})
 			}
+		case recEvict:
+			// The group migrated away: drop its records, or this restart
+			// would resurrect inodes that live (and have advanced) on the
+			// server the group moved to.
+			s.evictFP(core.Fingerprint(binary.BigEndian.Uint64(r.Payload)))
 		case recTxnPrepare:
 			// A prepared, undecided transaction: this incarnation must hold
 			// its locks and be able to apply the (possibly already-decided)
@@ -298,7 +303,6 @@ func (s *Server) ownedDirFingerprints() []core.Fingerprint {
 // pushLogFinal synchronously delivers a change-log to its owner (recovery
 // and flush-all); entries are marked applied on ack.
 func (s *Server) pushLogFinal(p *env.Proc, dl *dirLog, snap []core.LogEntry) {
-	owner := s.ownerOfFP(dl.ref.FP)
 	msg := &wire.ChangePush{From: s.cfg.ID, Log: wire.DirLog{Dir: dl.ref, Entries: snap}, Final: true}
 	fut := env.NewFuture()
 	s.mu.Lock()
@@ -309,7 +313,9 @@ func (s *Server) pushLogFinal(p *env.Proc, dl *dirLog, snap []core.LogEntry) {
 		if s.dead {
 			break // a later recovery rebuilds and re-pushes this log
 		}
-		s.reply(p, owner, msg)
+		// The owner is recomputed per retry: a migration may re-route the
+		// group mid-push, and the old owner drops mis-routed pushes.
+		s.reply(p, s.ownerOfFP(dl.ref.FP), msg)
 		if v, ok := fut.WaitTimeout(p, s.cfg.RetryTimeout); ok {
 			ack := v.(*wire.ChangePushAck)
 			s.ackEntries(dl, ack.MaxID)
@@ -427,7 +433,18 @@ func (s *Server) InjectAppliedMark(src env.NodeID, dir core.DirID, id uint64, lo
 func (s *Server) AggsQuiescent() bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return !s.recovering && len(s.aggs) == 0 && len(s.peerAggs) == 0
+	if s.recovering || len(s.aggs) != 0 || len(s.peerAggs) != 0 {
+		return false
+	}
+	// aggs deregisters before the apply phase; aggActive covers an
+	// aggregation end to end. The scan is a pure any-match, so map order
+	// cannot leak into behavior.
+	for _, st := range s.fps {
+		if st.aggActive {
+			return false
+		}
+	}
+	return true
 }
 
 // SetCores resizes the server's usable core count in place (gray failure:

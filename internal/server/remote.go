@@ -26,7 +26,13 @@ func (s *Server) nextTxnEntryID() uint64 {
 func (s *Server) readRemoteInode(p *env.Proc, owner env.NodeID, key core.Key) ([]byte, error) {
 	if owner == s.cfg.ID {
 		p.Compute(s.cfg.Costs.KVGet)
+		// Same admission as the remote path: the group may have migrated away
+		// between the caller's owner computation and this read.
+		if err := s.admitFP(p, key.Fingerprint()); err != nil {
+			return nil, err
+		}
 		raw, ok := s.kv.Get(key.Encode())
+		s.fpExit(key.Fingerprint())
 		if !ok {
 			return nil, core.ErrNotExist
 		}
@@ -47,8 +53,18 @@ func (s *Server) readRemoteInode(p *env.Proc, owner env.NodeID, key core.Key) ([
 
 func (s *Server) handleReadInode(p *env.Proc, req *wire.ReadInodeReq) {
 	p.Compute(s.cfg.Costs.Parse + s.cfg.Costs.KVGet)
-	raw, ok := s.kv.Get(req.Key.Encode())
 	resp := &wire.ReadInodeResp{Ctl: req.Ctl}
+	// Admission as for client ops: a read routed under a stale ring (or
+	// racing an inbound migration copy) must answer retry — answering
+	// ErrNotExist from a store the group just left would fail a rename
+	// against a file that exists.
+	if err := s.admitFP(p, req.Key.Fingerprint()); err != nil {
+		resp.Err = core.ErrnoOf(err)
+		s.reply(p, req.From, resp)
+		return
+	}
+	raw, ok := s.kv.Get(req.Key.Encode())
+	s.fpExit(req.Key.Fingerprint())
 	if !ok {
 		resp.Err = core.ErrnoNotExist
 	} else {
@@ -58,8 +74,12 @@ func (s *Server) handleReadInode(p *env.Proc, req *wire.ReadInodeReq) {
 }
 
 // collectDentries fetches a directory's full entry list from its owner and
-// converts it into dentry-put transaction ops for the new owner.
-func (s *Server) collectDentries(p *env.Proc, owner env.NodeID, dir core.DirID) ([]wire.TxnOp, error) {
+// converts it into dentry-put transaction ops for the new owner. fp is the
+// fingerprint of the directory's own key, validated by the remote owner
+// against the ring.
+func (s *Server) collectDentries(p *env.Proc, owner env.NodeID, dir core.DirID,
+	fp core.Fingerprint) ([]wire.TxnOp, error) {
+
 	var entries []core.DirEntry
 	if owner == s.cfg.ID {
 		prefix := core.EntryPrefix(dir)
@@ -72,12 +92,16 @@ func (s *Server) collectDentries(p *env.Proc, owner env.NodeID, dir core.DirID) 
 		})
 	} else {
 		v, err := s.ctlCall(p, owner, func(ctl uint64) wire.Msg {
-			return &wire.ScanDirReq{Ctl: ctl, From: s.cfg.ID, Dir: dir}
+			return &wire.ScanDirReq{Ctl: ctl, From: s.cfg.ID, Dir: dir, FP: fp}
 		})
 		if err != nil {
 			return nil, err
 		}
-		entries = v.(*wire.ScanDirResp).Entries
+		resp := v.(*wire.ScanDirResp)
+		if resp.Err != core.ErrnoOK {
+			return nil, resp.Err.Err()
+		}
+		entries = resp.Entries
 	}
 	ops := make([]wire.TxnOp, 0, len(entries))
 	for _, e := range entries {
@@ -94,6 +118,14 @@ func (s *Server) handleScanDir(p *env.Proc, req *wire.ScanDirReq) {
 	c := &s.cfg.Costs
 	p.Compute(c.Parse)
 	resp := &wire.ScanDirResp{Ctl: req.Ctl}
+	if req.FP != 0 {
+		if err := s.admitFP(p, req.FP); err != nil {
+			resp.Err = core.ErrnoOf(err)
+			s.reply(p, req.From, resp)
+			return
+		}
+		defer s.fpExit(req.FP)
+	}
 	prefix := core.EntryPrefix(req.Dir)
 	n := 0
 	s.kv.Scan(prefix, func(k, v []byte) bool {

@@ -13,6 +13,7 @@ import (
 	"switchfs/internal/core"
 	"switchfs/internal/env"
 	"switchfs/internal/kv"
+	"switchfs/internal/ring"
 	"switchfs/internal/trace"
 	"switchfs/internal/wal"
 	"switchfs/internal/wire"
@@ -35,12 +36,14 @@ const (
 
 // Config parameterizes one metadata server.
 type Config struct {
-	ID        env.NodeID
-	Cores     int
-	Costs     env.Costs
-	Placement *core.Placement
-	// ServerOf maps a placement slot (uint32 server number) to a NodeID.
-	ServerOf func(uint32) env.NodeID
+	ID    env.NodeID
+	Cores int
+	Costs env.Costs
+	// Ring is the shared versioned placement ring (consistent hash +
+	// per-fingerprint migration overrides). All ownership decisions route
+	// through it, so a control-plane override re-routes this server's
+	// traffic in the same virtual instant it lands.
+	Ring *ring.Ring
 	// Peers lists every metadata server NodeID (including this one).
 	Peers []env.NodeID
 	// SwitchFor returns the switch (or tracker) responsible for a
@@ -190,6 +193,19 @@ type Server struct {
 	// dirOps tallies client operations per target directory (observability;
 	// exported via DirOps for the metrics registry's hottest-directory view).
 	dirOps map[core.DirID]uint64
+	// fpOps tallies client operations per fingerprint group — the balancer's
+	// migration-unit view of the same heat (a fingerprint is what moves).
+	fpOps map[core.Fingerprint]uint64
+
+	// busy counts in-flight client operations per fingerprint group; a
+	// migration waits for the count to reach zero (FPQuiescent) before
+	// copying, so no op straddles the move.
+	busy map[core.Fingerprint]int
+	// gates holds arrival gates for fingerprints mid-migration INTO this
+	// server: requests that already route here (the ring override landed)
+	// wait on the gate instead of failing fast against a not-yet-copied
+	// group. UnblockFP completes the future.
+	gates map[core.Fingerprint]*env.Future
 
 	// Pending protocol contexts.
 	commits    map[uint64]*commitCtx
@@ -312,6 +328,9 @@ func New(e env.Env, cfg Config) *Server {
 		invalSet:   make(map[core.DirID]uint64),
 		applied:    make(map[appliedKey]uint64),
 		dirOps:     make(map[core.DirID]uint64),
+		fpOps:      make(map[core.Fingerprint]uint64),
+		busy:       make(map[core.Fingerprint]int),
+		gates:      make(map[core.Fingerprint]*env.Future),
 		commits:    make(map[uint64]*commitCtx),
 		aggs:       make(map[uint64]*aggCtx),
 		aggByFP:    make(map[core.Fingerprint]*aggCtx),
@@ -377,9 +396,11 @@ func (s *Server) ID() env.NodeID { return s.cfg.ID }
 // Node returns the env node.
 func (s *Server) Node() *env.Node { return s.node }
 
-// ownerOfFP maps a fingerprint to the owning server's NodeID.
+// ownerOfFP maps a fingerprint to the owning server's NodeID under the
+// current ring (overrides included — a group mid-migration already answers
+// with its destination).
 func (s *Server) ownerOfFP(fp core.Fingerprint) env.NodeID {
-	return s.cfg.ServerOf(s.cfg.Placement.OwnerOfFingerprint(fp))
+	return s.cfg.Ring.OwnerNode(fp)
 }
 
 // checkOwnership rejects a client request routed here under a stale ring —

@@ -7,6 +7,7 @@ import (
 
 	"switchfs/internal/core"
 	"switchfs/internal/env"
+	"switchfs/internal/ring"
 	"switchfs/internal/wire"
 )
 
@@ -15,11 +16,9 @@ func newTestServer(t *testing.T) (*env.Sim, *Server) {
 	t.Helper()
 	sim := env.NewSim(3)
 	t.Cleanup(sim.Shutdown)
-	pl := core.NewPlacement([]uint32{0}, 0)
 	s := New(sim, Config{
 		ID:        100,
-		Placement: pl,
-		ServerOf:  func(slot uint32) env.NodeID { return 100 },
+		Ring:      ring.New([]uint32{0}, 0, func(uint32) env.NodeID { return 100 }),
 		Peers:     []env.NodeID{100},
 		SwitchFor: func(core.Fingerprint) env.NodeID { return 1 },
 		Async:     true, Compaction: true,

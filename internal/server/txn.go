@@ -122,7 +122,7 @@ func (s *Server) doRename(p *env.Proc, req *wire.RenameReq) error {
 		}
 		// The entry list migrates with the inode: collect it for replay at
 		// the destination owner.
-		dentries, err = s.collectDentries(p, srcOwner, in.ID)
+		dentries, err = s.collectDentries(p, srcOwner, in.ID, srcKey.Fingerprint())
 		if err != nil {
 			return err
 		}
@@ -634,6 +634,17 @@ func (s *Server) handleTxnPrepare(p *env.Proc, tp *wire.TxnPrepare) {
 		}
 	}
 	if autoOnly && len(tp.Check) == 0 {
+		// Ownership + arrival-gate admission per touched group: an nlink
+		// adjustment routed under a stale ring (or racing an inbound
+		// migration copy) must vote retry rather than apply against a store
+		// that does not — or no longer does — hold the attribute object.
+		afps := txnFPs(tp.Ops, nil)
+		if aerr := s.admitFPs(p, afps); aerr != nil {
+			s.recordVote(tp.Txn, core.ErrnoOf(aerr))
+			//detlint:ignore walorder -- retry vote: nothing was applied, nothing to log
+			s.reply(p, tp.From, &wire.TxnVote{Txn: tp.Txn, From: s.cfg.ID, Err: core.ErrnoOf(aerr)})
+			return
+		}
 		var err error
 		for _, op := range tp.Ops {
 			delta := int32(int64(op.Entry.ID))
@@ -641,12 +652,28 @@ func (s *Server) handleTxnPrepare(p *env.Proc, tp *wire.TxnPrepare) {
 				err = e
 			}
 		}
+		s.exitFPs(afps)
 		s.recordVote(tp.Txn, core.ErrnoOf(err))
 		//detlint:ignore walorder -- commutative auto-apply: durability came from recInode inside applyNlink; there is no prepared state to log
 		s.reply(p, tp.From, &wire.TxnVote{Txn: tp.Txn, From: s.cfg.ID, Err: core.ErrnoOf(err)})
 		return
 	}
 
+	// Ownership + arrival-gate admission over the transaction's whole
+	// fingerprint footprint, before any lock is taken. The busy references
+	// are held through lock acquisition, the checks, and the prepared-state
+	// WAL record; once the transaction registers in s.txns the prepared-txn
+	// scan (preparedTxnOnFP) keeps migration out and the references drop —
+	// a group touched by a prepared-but-undecided transaction never
+	// migrates, so the decision always finds the keys where they were
+	// prepared.
+	fps := txnFPs(tp.Ops, tp.Check)
+	if aerr := s.admitFPs(p, fps); aerr != nil {
+		s.recordVote(tp.Txn, core.ErrnoOf(aerr))
+		//detlint:ignore walorder -- retry vote: nothing was prepared; presumed abort needs no record
+		s.reply(p, tp.From, &wire.TxnVote{Txn: tp.Txn, From: s.cfg.ID, Err: core.ErrnoOf(aerr)})
+		return
+	}
 	st := &txnState{id: tp.Txn, ops: tp.Ops}
 	st.locks = s.lockTxnKeys(p, tp.Ops, tp.Check)
 
@@ -672,6 +699,7 @@ func (s *Server) handleTxnPrepare(p *env.Proc, tp *wire.TxnPrepare) {
 		for _, l := range st.locks {
 			l.Unlock()
 		}
+		s.exitFPs(fps)
 		s.recordVote(tp.Txn, core.ErrnoOf(err))
 		//detlint:ignore walorder -- abort vote: nothing was prepared; presumed abort needs no record
 		s.reply(p, tp.From, &wire.TxnVote{Txn: tp.Txn, From: s.cfg.ID, Err: core.ErrnoOf(err)})
@@ -691,6 +719,10 @@ func (s *Server) handleTxnPrepare(p *env.Proc, tp *wire.TxnPrepare) {
 	s.mu.Lock()
 	s.txns[tp.Txn] = st
 	s.mu.Unlock()
+	// Registered: the prepared-txn scan now covers the footprint, in the same
+	// event as the registration — at no instant is the group neither busy nor
+	// prepared.
+	s.exitFPs(fps)
 	s.recordVote(tp.Txn, core.ErrnoOK)
 	// Prepared and locked: arm the termination protocol in case the
 	// coordinator dies before the decision reaches us.
@@ -822,6 +854,13 @@ func (s *Server) handleTxnDecision(p *env.Proc, td *wire.TxnDecision) {
 		s.reply(p, s.cfg.Coordinator, &wire.TxnDone{Txn: td.Txn, From: s.cfg.ID})
 		return
 	}
+	// Busy references re-taken in the same event as the deregistration above:
+	// the apply phase below parks, and without them a migration could observe
+	// the group neither busy nor prepared and copy it away mid-apply.
+	fps := txnFPs(st.ops, nil)
+	for _, fp := range fps {
+		s.fpEnter(fp)
+	}
 	if td.Commit {
 		for _, op := range st.ops {
 			switch op.Kind {
@@ -873,5 +912,6 @@ func (s *Server) handleTxnDecision(p *env.Proc, td *wire.TxnDecision) {
 	}
 	// Resolved: the prepared-state record need not be rebuilt on replay.
 	mustMark(s.wal, st.lsn)
+	s.exitFPs(fps)
 	s.reply(p, s.cfg.Coordinator, &wire.TxnDone{Txn: td.Txn, From: s.cfg.ID})
 }

@@ -336,16 +336,21 @@ type ReadInodeResp struct {
 	Raw []byte
 }
 
-// ScanDirReq reads a directory's entry list (entry-list migration).
+// ScanDirReq reads a directory's entry list (entry-list migration). FP is the
+// fingerprint of the directory's own key — the owner validates it against the
+// ring so a scan routed under a stale placement retries instead of returning
+// a partial (or vanished) entry list.
 type ScanDirReq struct {
 	Ctl  uint64
 	From env.NodeID
 	Dir  core.DirID
+	FP   core.Fingerprint
 }
 
 // ScanDirResp returns the entries.
 type ScanDirResp struct {
 	Ctl     uint64
+	Err     core.Errno
 	Entries []core.DirEntry
 }
 
