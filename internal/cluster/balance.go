@@ -63,17 +63,28 @@ func (c *Cluster) MigrateFP(p *env.Proc, fp core.Fingerprint, dstSlot uint32) er
 		src := c.Servers[int(srcSlot)]
 		if src.Node().Down() {
 			// Fail-stopped source: its volatile references died with the
-			// incarnation and its store mirrors the WAL. Copy directly; the
-			// eviction below lands in its (surviving) WAL, so a later
-			// recovery replays the group and then drops it instead of
-			// resurrecting a stale copy.
-			copyGroup(src, dst, fp)
-			c.moves++
-			src.EvictMigrated(fp)
-			dst.UnblockFP(fp)
-			return nil
-		}
-		if src.FPQuiescent(fp) {
+			// incarnation and its store mirrors the WAL — with one durable
+			// exception. A prepared-but-undecided 2PC record (recTxnPrepare)
+			// survives the crash: recovery re-registers it and the decision
+			// later applies its ops to THIS store, so copying the group out
+			// now would strand the committed effects on the evicted copy
+			// while the destination never sees them. Such a group is not
+			// quiescent until the source recovers and the transaction
+			// resolves — keep polling (a concurrent RecoverServer swaps in
+			// the fresh incarnation) and let the deadline roll the override
+			// back if recovery never comes.
+			if !src.PreparedTxnOnFPInWAL(fp) {
+				// No prepared state straddles the group: copy directly; the
+				// eviction below lands in its (surviving) WAL, so a later
+				// recovery replays the group and then drops it instead of
+				// resurrecting a stale copy.
+				copyGroup(src, dst, fp)
+				c.moves++
+				src.EvictMigrated(fp)
+				dst.UnblockFP(fp)
+				return nil
+			}
+		} else if src.FPQuiescent(fp) {
 			// Poll, copy and evict share this event — atomic with respect to
 			// traffic, so the quiescence answer cannot go stale under it.
 			copyGroup(src, dst, fp)

@@ -248,6 +248,103 @@ func TestMigrationDefersToPreparedTxn(t *testing.T) {
 	}
 }
 
+// TestMigrationDefersToCrashedPreparedTxn pins the durable half of the
+// migration/2PC interlock: prepared-but-undecided state survives a fail-stop
+// in the source's WAL (recTxnPrepare), so a group touched by one must not be
+// copied from a crashed source either — recovery re-registers the
+// transaction and the commit decision applies its ops to the source store.
+// Before the fix, the down-source fast path copied and evicted the group
+// pre-decision; the recovered source then applied the rename's effects to
+// the evicted, no-longer-owner store and the destination never saw them.
+// The migration must instead wait out the crash and land only after the
+// recovered participant's termination protocol resolves the transaction.
+func TestMigrationDefersToCrashedPreparedTxn(t *testing.T) {
+	s, c := sim(t, Options{Servers: 4, Clients: 1, RetryTimeout: 200 * env.Microsecond})
+	src := remoteFileName(c, "s", 0)
+	dst := remoteFileName(c, "d", 0)
+	part := int(c.Ring.OwnerOfFile(core.RootDirID, dst[1:]))
+	fp := core.FingerprintOf(core.RootDirID, dst[1:])
+	target := uint32((part + 1) % 4)
+	c.Run(0, func(p *env.Proc, cl *client.Client) {
+		if err := cl.Create(p, src, 0); err != nil {
+			t.Fatalf("create %s: %v", src, err)
+		}
+	})
+
+	s.Net().Filter = func(from, to env.NodeID, msg any) env.Verdict {
+		if pkt, ok := msg.(*wire.Packet); ok {
+			if _, isDec := pkt.Body.(*wire.TxnDecision); isDec {
+				return env.Drop
+			}
+		}
+		return env.Pass
+	}
+	// 600µs in: the participant's vote has left but no decision can arrive —
+	// crash it inside the prepared-but-undecided window, with the prepared
+	// state only in its WAL.
+	var prepared bool
+	var migErr error
+	migDone := false
+	s.After(600*env.Microsecond, func() {
+		prepared = !c.Servers[part].FPQuiescent(fp)
+		c.CrashServer(part)
+		s.Spawn(c.Servers[0].ID(), func(p *env.Proc) {
+			migErr = c.MigrateFP(p, fp, target)
+			migDone = true
+		})
+	})
+	// While the source is down with an in-doubt transaction, the group must
+	// not have moved.
+	var movedWhileDown bool
+	s.After(3*env.Millisecond, func() {
+		movedWhileDown = migDone
+	})
+	s.After(4*env.Millisecond, func() {
+		s.Net().Filter = nil
+		c.RecoverServer(part)
+	})
+	var renErr error
+	c.Run(0, func(p *env.Proc, cl *client.Client) {
+		renErr = cl.Rename(p, src, dst)
+	})
+
+	if !prepared {
+		t.Fatal("destination group was quiescent at crash time; the scenario exercised nothing")
+	}
+	if movedWhileDown {
+		t.Fatal("group migrated away from a crashed source with a prepared-but-undecided transaction in its WAL")
+	}
+	if !migDone || migErr != nil {
+		t.Fatalf("migration after recovery: done=%v err=%v", migDone, migErr)
+	}
+	if c.Ring.OwnerOf(fp) != target {
+		t.Fatalf("ring owner=%d, want %d", c.Ring.OwnerOf(fp), target)
+	}
+	// The rename committed (the coordinator's decision is durable); its
+	// effects must have been applied at the recovered source and travelled
+	// with the copy — a migration that jumped the crash window strands them.
+	c.Run(0, func(p *env.Proc, cl *client.Client) {
+		if renErr != nil {
+			t.Errorf("rename: %v", renErr)
+		}
+		if _, err := cl.Stat(p, dst); err != nil {
+			t.Errorf("stat %s after crash+recover+migration: %v", dst, err)
+		}
+		if _, err := cl.Stat(p, src); !errors.Is(err, core.ErrNotExist) {
+			t.Errorf("stat %s after rename: %v, want ErrNotExist", src, err)
+		}
+	})
+	found := false
+	for _, g := range c.Servers[int(target)].StoredFingerprints() {
+		if g == fp {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("migrated group absent from the target server's store")
+	}
+}
+
 // TestReconfigureUnderLoad grows the cluster while closed-loop clients keep
 // mutating: the staged migration must leave every operation either succeeded
 // or transparently retried (the stop-the-world class would surface here as

@@ -34,14 +34,18 @@ const reconfigPasses = 20
 //
 // If the convergence loop exhausts its passes (adversarial load), the
 // stragglers are retired under a brief quiesce — the window covers only the
-// leftover groups, not the migration itself.
+// leftover groups, not the migration itself. If even the quiesced passes
+// cannot converge (a group wedged behind an unresolvable prepared
+// transaction), the reconfiguration aborts with an error through the future
+// instead of finalizing against a placement that was never installed.
 //
 // The returned future completes with the virtual duration. Servers
 // fail-stopping mid-reconfiguration are tolerated: MigrateFP copies from a
-// down server's store (which mirrors the WAL it will replay) and completes
-// the eviction in that WAL, so the recovered incarnation does not resurrect
-// migrated groups; RecoverServer defers its swap until the reconfiguration
-// ends.
+// down server's store (which mirrors the WAL it will replay, provided no
+// prepared-but-undecided transaction straddles the group — such groups wait
+// for the source to recover) and completes the eviction in that WAL, so the
+// recovered incarnation does not resurrect migrated groups; RecoverServer
+// defers its swap until the reconfiguration ends.
 func (c *Cluster) Reconfigure(newServers int) *env.Future {
 	fut := env.NewFuture()
 	if newServers < 1 {
@@ -115,12 +119,32 @@ func (c *Cluster) Reconfigure(newServers int) *env.Future {
 					c.Servers[i].DrainAggs(p)
 				}
 			}
-			for pass := 0; pass < reconfigPasses && !c.convergePass(p, target); pass++ {
+			for pass := 0; pass < reconfigPasses; pass++ {
+				if c.convergePass(p, target) {
+					converged = true
+					break
+				}
 				p.Sleep(migratePollStep)
 			}
 			for _, srv := range c.Servers {
 				srv.SetServing(true)
 			}
+		}
+		if !converged {
+			// Even quiesced, some group never migrated — e.g. wedged behind a
+			// prepared transaction whose coordinator is crashed, the blocking
+			// case MigrateFP's drain deadline surfaces. Finalizing anyway
+			// would crash removed servers and truncate c.Servers while the
+			// un-reset base placement keeps routing the stragglers to
+			// now-dead slots. Abort instead: every server keeps serving under
+			// the union peer set, the accumulated overrides keep every
+			// already-moved group reachable, and the caller can reconfigure
+			// again once the wedge resolves.
+			c.reconfiguring = false
+			fut.Complete(fmt.Errorf(
+				"cluster: reconfigure to %d servers: convergence stalled (groups wedged behind unresolved transactions)",
+				newServers))
+			return
 		}
 		// convergePass returned true from a park-free sweep that also Reset
 		// the ring in the same event — the base placement is now the target.

@@ -44,6 +44,21 @@ func TestFingerprintWidth(t *testing.T) {
 	}
 }
 
+func TestFingerprintZeroReserved(t *testing.T) {
+	// Fingerprint 0 is the protocol's "no group" sentinel: a hash landing on
+	// it (any multiple of 2^49) must fold away rather than mint a real group
+	// that would silently skip migration admission.
+	if fp := fingerprintOfHash(0); fp != 1 {
+		t.Fatalf("fingerprintOfHash(0) = %d, want 1", fp)
+	}
+	if fp := fingerprintOfHash(1 << FingerprintBits); fp != 1 {
+		t.Fatalf("hash with all-zero low bits folded to %d, want 1", fp)
+	}
+	if fp := fingerprintOfHash(42); fp != 42 {
+		t.Fatalf("fingerprintOfHash(42) = %d, want 42", fp)
+	}
+}
+
 func TestFingerprintIndexTagRoundTrip(t *testing.T) {
 	// index and tag partition the fingerprint bits (modulo the zero-tag
 	// reservation).

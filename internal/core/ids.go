@@ -96,9 +96,21 @@ const FingerprintBits = 49
 type Fingerprint uint64
 
 // FingerprintOf hashes (pid, name) into the 49-bit fingerprint space.
+// Fingerprint 0 is reserved as the protocol's "no group" sentinel (scan
+// admission opt-out, dentry transaction ops that ride with their directory's
+// inode op), so a computed zero folds to 1 — legal for the same reason Tag
+// folds: fingerprint collisions only make directories share a group, never a
+// correctness violation.
 func FingerprintOf(pid DirID, name string) Fingerprint {
-	h := hash64Dir(pid, name)
-	return Fingerprint(h & (1<<FingerprintBits - 1))
+	return fingerprintOfHash(hash64Dir(pid, name))
+}
+
+func fingerprintOfHash(h uint64) Fingerprint {
+	fp := Fingerprint(h & (1<<FingerprintBits - 1))
+	if fp == 0 {
+		return 1
+	}
+	return fp
 }
 
 // Index returns the set index (upper 17 bits of the fingerprint) used to pick

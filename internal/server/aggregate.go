@@ -836,6 +836,7 @@ func (s *Server) doRmdir(p *env.Proc, req *wire.MutateReq) {
 		s.reply(p, req.Client, resp)
 		return
 	}
+	s.tallyFP(key.Fingerprint())
 	// Pre-check existence and type without locks to learn the target id.
 	p.Compute(c.KVGet)
 	raw, ok := s.kv.GetView(key.Encode())

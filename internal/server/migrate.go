@@ -5,6 +5,7 @@ import (
 
 	"switchfs/internal/core"
 	"switchfs/internal/env"
+	"switchfs/internal/wal"
 	"switchfs/internal/wire"
 )
 
@@ -36,8 +37,12 @@ import (
 // fingerprint, big-endian.
 const recEvict uint8 = 10
 
-// tallyFP counts one client operation against its fingerprint group — the
-// balancer's view of directory heat in migration units.
+// tallyFP counts one admitted client operation against its fingerprint group
+// — the balancer's view of directory heat in migration units. Call sites
+// tally only after admitFP succeeds: an op bounced with ErrRetry around a
+// migration would otherwise count at both the old owner and, on retry, the
+// new one, inflating the moved group's apparent heat and letting a retry
+// storm ping-pong the same hot group between servers.
 func (s *Server) tallyFP(fp core.Fingerprint) {
 	s.mu.Lock()
 	s.fpOps[fp]++
@@ -221,10 +226,36 @@ func (s *Server) preparedTxnOnFPLocked(fp core.Fingerprint) bool {
 	return false
 }
 
+// PreparedTxnOnFPInWAL reports whether the WAL holds a prepared-but-undecided
+// transaction (an unresolved recTxnPrepare record) touching the group. Unlike
+// the in-memory s.txns scan, this survives a fail-stop: prepared state is
+// durable, and recovery re-registers it and later applies the commit decision
+// to this store — so a down server's group is NOT migratable just because its
+// volatile references died. The migration control plane consults this before
+// copying from a crashed source.
+func (s *Server) PreparedTxnOnFPInWAL(fp core.Fingerprint) bool {
+	found := false
+	_ = s.wal.Replay(func(r wal.Record) error {
+		if found || r.Kind != recTxnPrepare || r.Applied {
+			return nil
+		}
+		_, _, ops := decodeTxnPrepare(r.Payload)
+		for _, op := range ops {
+			if opFP(op) == fp {
+				found = true
+				break
+			}
+		}
+		return nil
+	})
+	return found
+}
+
 // opFP maps a transaction op to the fingerprint group it targets. Dentry ops
 // carry only the directory id; they always ride with their directory's inode
-// op on the same participant, whose fingerprint covers admission, so zero is
-// acceptable there.
+// op on the same participant, whose fingerprint covers admission, so they map
+// to fingerprint 0 — reserved, never produced by core.FingerprintOf for a
+// real group — and txnFPs drops them.
 func opFP(op wire.TxnOp) core.Fingerprint {
 	switch op.Kind {
 	case wire.TxnPutInode, wire.TxnDelInode, wire.TxnAdjustNlink:

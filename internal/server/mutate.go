@@ -20,7 +20,6 @@ func (s *Server) handleMutate(p *env.Proc, req *wire.MutateReq) {
 	}
 	s.Stats.Ops++
 	s.tallyDir(req.Parent.ID)
-	s.tallyFP(core.FingerprintOf(req.Parent.ID, req.Name))
 	if req.Op == core.OpRmdir {
 		s.doRmdir(p, req)
 		return
@@ -66,6 +65,7 @@ func (s *Server) doMutate(p *env.Proc, req *wire.MutateReq) {
 		return
 	}
 	admitted = true
+	s.tallyFP(key.Fingerprint())
 	// The parent ref is current (stale caches were just rejected): if the
 	// directory was renamed since this change-log was created, re-key the
 	// log so this entry aggregates under the directory's current

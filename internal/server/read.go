@@ -55,13 +55,13 @@ func (s *Server) handleFile(p *env.Proc, req *wire.FileReq) {
 	s.Stats.Ops++
 	s.tallyDir(req.Parent.ID)
 	key := core.Key{PID: req.Parent.ID, Name: req.Name}
-	s.tallyFP(key.Fingerprint())
 	resp := &wire.FileResp{}
 	err := s.checkAncestors(&req.ReqCommon)
 	if err == nil {
 		err = s.admitFP(p, key.Fingerprint())
 	}
 	if err == nil {
+		s.tallyFP(key.Fingerprint())
 		l := s.lockOf(key)
 		l.RLock(p)
 		p.Compute(c.KVGet)
@@ -105,13 +105,13 @@ func (s *Server) handleChmod(p *env.Proc, req *wire.FileReq) {
 	s.Stats.Ops++
 	s.tallyDir(req.Parent.ID)
 	key := core.Key{PID: req.Parent.ID, Name: req.Name}
-	s.tallyFP(key.Fingerprint())
 	resp := &wire.FileResp{}
 	err := s.checkAncestors(&req.ReqCommon)
 	if err == nil {
 		err = s.admitFP(p, key.Fingerprint())
 	}
 	if err == nil {
+		s.tallyFP(key.Fingerprint())
 		l := s.lockOf(key)
 		l.Lock(p)
 		p.Compute(c.KVGet)
@@ -147,13 +147,13 @@ func (s *Server) handleDirRead(p *env.Proc, pkt *wire.Packet, req *wire.DirReadR
 	p.Compute(c.Parse)
 	s.Stats.Ops++
 	s.tallyDir(req.Dir.ID)
-	s.tallyFP(req.Dir.FP)
 	resp := &wire.DirReadResp{}
 	err := s.checkAncestors(&req.ReqCommon)
 	if err == nil {
 		err = s.admitFP(p, req.Dir.FP)
 	}
 	if err == nil {
+		s.tallyFP(req.Dir.FP)
 		scattered := false
 		switch s.cfg.Tracker {
 		case TrackerOwner:

@@ -118,6 +118,9 @@ func (s *Server) handleScanDir(p *env.Proc, req *wire.ScanDirReq) {
 	c := &s.cfg.Costs
 	p.Compute(c.Parse)
 	resp := &wire.ScanDirResp{Ctl: req.Ctl}
+	// Fingerprint 0 is reserved — core.FingerprintOf never produces it for a
+	// real group — so the zero value soundly marks control-plane scans that
+	// opt out of migration admission.
 	if req.FP != 0 {
 		if err := s.admitFP(p, req.FP); err != nil {
 			resp.Err = core.ErrnoOf(err)
